@@ -1,0 +1,43 @@
+// Command gdbstub serves the simulated kernel over the GDB Remote Serial
+// Protocol, playing QEMU's `-s` gdbstub. Another process (cmd/visualinux
+// with -remote, or any RSP-speaking tool) can attach to it:
+//
+//	gdbstub -addr 127.0.0.1:1234 &
+//	visualinux -remote 127.0.0.1:1234
+//
+// For raw protocol inspection:
+//
+//	printf '+$m%x,8#...' | nc 127.0.0.1 1234
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"visualinux/internal/gdbrsp"
+	"visualinux/internal/kernelsim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:1234", "listen address")
+	procs := flag.Int("procs", 0, "workload processes (0 = default of 5)")
+	flag.Parse()
+
+	k := kernelsim.Build(kernelsim.Options{Processes: *procs})
+	srv, err := gdbrsp.Serve(*addr, k.Target())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gdbstub: %v\n", err)
+		os.Exit(1)
+	}
+	_, bytes := k.Mem.Footprint()
+	fmt.Printf("gdbstub: simulated kernel (%d tasks, %d KiB) served on %s\n",
+		len(k.Tasks), bytes/1024, srv.Addr())
+	fmt.Println("gdbstub: waiting for RSP clients (ctrl-c to stop)")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Close()
+}

@@ -1,0 +1,65 @@
+// Command perfbench regenerates the paper's Table 4: per-figure
+// visualization overhead on the "GDB (QEMU)" (fast simulated) target and
+// the "KGDB (rpi-400)" (latency-modeled) target, plus the qualitative
+// shape checks of §5.4.
+//
+// Usage:
+//
+//	perfbench                    # virtual-clock KGDB accounting (fast)
+//	perfbench -sleep             # really sleep per read (live wall-clock)
+//	perfbench -perread 5ms       # tune the modeled round-trip latency
+//	perfbench -procs 10          # scale the workload population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/perf"
+	"visualinux/internal/target"
+)
+
+func main() {
+	sleep := flag.Bool("sleep", false, "really sleep per read instead of virtual accounting")
+	rsp := flag.Bool("rsp", false, "also measure extraction through a real GDB-RSP loopback socket")
+	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
+	perByte := flag.Duration("perbyte", 2*time.Microsecond, "modeled KGDB cost per byte")
+	procs := flag.Int("procs", 0, "workload processes (0 = paper default of 5)")
+	churn := flag.Int("churn", 0, "age the state through N live-transition rounds before measuring")
+	flag.Parse()
+
+	model := target.LatencyModel{PerRead: *perRead, PerByte: *perByte, Sleep: *sleep}
+	opts := kernelsim.Options{Processes: *procs, Churn: *churn}
+
+	pairs, err := perf.Table4(opts, model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(perf.Format(pairs))
+
+	if *rsp {
+		rows, err := perf.Table4RSP(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: rsp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(perf.FormatRows("Extra: extraction through a real GDB-RSP loopback socket", rows))
+	}
+
+	fmt.Println("\nShape checks (paper §5.4 qualitative claims):")
+	fails := perf.ShapeChecks(pairs)
+	if len(fails) == 0 {
+		fmt.Println("  all hold: KGDB >=10x slower everywhere; cost ranks with read count;")
+		fmt.Println("  small figures remain interactive on KGDB.")
+	} else {
+		for _, f := range fails {
+			fmt.Println("  FAIL:", f)
+		}
+		os.Exit(1)
+	}
+}

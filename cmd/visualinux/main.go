@@ -1,0 +1,112 @@
+// Command visualinux is the interactive CLI debugger: a REPL over the
+// simulated kernel exposing the paper's three v-commands (§4). It is the
+// terminal analogue of attaching the GDB extension to a stopped kernel.
+// Run `help` inside the REPL for the command list; use -remote to attach
+// to a cmd/gdbstub process over the GDB Remote Serial Protocol.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"visualinux/internal/cli"
+	"visualinux/internal/core"
+	"visualinux/internal/coredump"
+	"visualinux/internal/ctypes"
+	"visualinux/internal/gdbrsp"
+	"visualinux/internal/kernelsim"
+)
+
+func main() {
+	procs := flag.Int("procs", 0, "workload processes (0 = default of 5)")
+	oneShot := flag.String("c", "", "run semicolon-separated commands and exit (e.g. -c 'vplot 7-1;vctrl show 1')")
+	remote := flag.String("remote", "", "attach to a gdbstub over RSP instead of debugging in-process (addr:port); the local build provides types+symbols like vmlinux — use the same -procs on both sides")
+	corePath := flag.String("core", "", "post-mortem: attach to a dump written with -savecore (crash(8) style)")
+	saveCore := flag.String("savecore", "", "write the simulated kernel's memory image to a dump file and exit")
+	flag.Parse()
+
+	var session *core.Session
+	var k *kernelsim.Kernel
+	if *saveCore != "" {
+		k = kernelsim.Build(kernelsim.Options{Processes: *procs})
+		f, err := os.Create(*saveCore)
+		if err == nil {
+			err = coredump.Dump(k.Target(), f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visualinux: savecore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("visualinux: core dump written to %s\n", *saveCore)
+		return
+	}
+	if *corePath != "" {
+		fmt.Printf("visualinux: post-mortem attach to %s...\n", *corePath)
+		f, err := os.Open(*corePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visualinux: %v\n", err)
+			os.Exit(1)
+		}
+		reg := kernelsim.RegisterTypes(ctypes.NewRegistry())
+		tgt, err := coredump.Load(f, reg)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visualinux: %v\n", err)
+			os.Exit(1)
+		}
+		// Build a local kernel only for the Kernel handle the CLI banner
+		// uses; the target is purely the dump.
+		k = kernelsim.Build(kernelsim.Options{Processes: *procs})
+		session = core.SessionOver(k, tgt)
+		r := cli.New(session, k, os.Stdout)
+		runREPL(r, *oneShot)
+		return
+	}
+	if *remote != "" {
+		fmt.Printf("visualinux: loading local symbols and attaching to %s over RSP...\n", *remote)
+		k = kernelsim.Build(kernelsim.Options{Processes: *procs})
+		client, err := gdbrsp.Dial(*remote, k.Reg, k.Target().Symbols())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visualinux: %v\n", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		session = core.SessionOver(k, client)
+	} else {
+		fmt.Println("visualinux: building simulated kernel state...")
+		session, k = core.NewKernelSession(kernelsim.Options{Processes: *procs})
+	}
+	pages, bytes := k.Mem.Footprint()
+	fmt.Printf("attached: %d tasks, %d mapped pages (%d KiB). Type 'help'.\n",
+		len(k.Tasks), pages, bytes/1024)
+
+	r := cli.New(session, k, os.Stdout)
+	runREPL(r, *oneShot)
+}
+
+// runREPL drives the runner either from -c one-shot commands or stdin.
+func runREPL(r *cli.Runner, oneShot string) {
+	if oneShot != "" {
+		for _, cmd := range strings.Split(oneShot, ";") {
+			if !r.Exec(cmd) {
+				break
+			}
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("(vl) ")
+	for sc.Scan() {
+		if !r.Exec(sc.Text()) {
+			break
+		}
+		fmt.Print("(vl) ")
+	}
+}

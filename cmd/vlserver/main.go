@@ -1,0 +1,33 @@
+// Command vlserver runs the Visualinux visualizer front-end as an HTTP
+// service over a simulated kernel: POST v-commands, GET pane state, and a
+// minimal embedded browser UI at /.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8873", "listen address")
+	procs := flag.Int("procs", 0, "workload processes (0 = default of 5)")
+	figure := flag.String("figure", "7-1", "figure to plot at startup ('' for none)")
+	flag.Parse()
+
+	session, k := core.NewKernelSession(kernelsim.Options{Processes: *procs})
+	if *figure != "" {
+		if _, err := session.VPlotFigure(*figure); err != nil {
+			log.Fatalf("vlserver: startup plot: %v", err)
+		}
+	}
+	_, bytes := k.Mem.Footprint()
+	fmt.Printf("vlserver: simulated kernel ready (%d tasks, %d KiB); listening on http://%s\n",
+		len(k.Tasks), bytes/1024, *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
+}

@@ -1,0 +1,3 @@
+module visualinux
+
+go 1.23

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"visualinux/internal/panes"
+	"visualinux/internal/viewql"
+)
+
+// Session persistence (paper §4.2: "persisting the state of panes and
+// plots for reuse across debugging sessions"). A saved session stores the
+// ViewCL program of every primary pane, the secondary panes' selections,
+// the named ViewQL sets, and every display-attribute assignment; Import
+// re-extracts against the (new) target and re-applies the customizations —
+// exactly the reuse model of the paper, where plots are recomputed from
+// the live state but the analyst's view setup survives.
+
+type savedItemAttrs struct {
+	Member string            `json:"member"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+type savedBox struct {
+	ID    string            `json:"id"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Items []savedItemAttrs  `json:"items,omitempty"`
+}
+
+type savedPane struct {
+	ID        int                     `json:"id"`
+	Kind      string                  `json:"kind"`
+	Title     string                  `json:"title"`
+	Program   string                  `json:"program,omitempty"`
+	Source    int                     `json:"source,omitempty"` // secondary: origin pane
+	Selection []string                `json:"selection,omitempty"`
+	Sets      map[string][]viewql.Ref `json:"sets,omitempty"`
+	Boxes     []savedBox              `json:"boxes,omitempty"`
+}
+
+type savedState struct {
+	Version int         `json:"version"`
+	History []string    `json:"history"`
+	Panes   []savedPane `json:"panes"`
+}
+
+// Export serializes the session's pane/plot state.
+func (s *Session) Export() ([]byte, error) {
+	st := savedState{Version: 1, History: s.History}
+	if s.Tree != nil {
+		for _, p := range s.Tree.Panes() {
+			sp := savedPane{
+				ID:        p.ID,
+				Kind:      p.Kind.String(),
+				Title:     p.Title,
+				Program:   s.programs[p.ID],
+				Selection: p.Selection,
+				Sets:      p.Engine.Sets,
+				Source:    s.secondarySrc[p.ID],
+			}
+			for _, id := range p.Graph.Order {
+				b := p.Graph.Boxes[id]
+				sb := savedBox{ID: b.ID}
+				if len(b.Attrs) > 0 {
+					sb.Attrs = b.Attrs
+				}
+				for _, vn := range b.ViewSeq {
+					for _, it := range b.Views[vn].Items {
+						if len(it.Attrs) > 0 {
+							sb.Items = append(sb.Items, savedItemAttrs{Member: it.Name, Attrs: it.Attrs})
+						}
+					}
+				}
+				if sb.Attrs != nil || sb.Items != nil {
+					sp.Boxes = append(sp.Boxes, sb)
+				}
+			}
+			st.Panes = append(st.Panes, sp)
+		}
+	}
+	return json.MarshalIndent(st, "", "  ")
+}
+
+// Import restores a saved session into this (fresh) session: primary panes
+// re-extract their programs against the current target, secondary panes
+// re-select, and all attributes and named sets are re-applied.
+func (s *Session) Import(data []byte) error {
+	var st savedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: corrupt session state: %w", err)
+	}
+	if s.Tree != nil {
+		return fmt.Errorf("core: import requires a fresh session")
+	}
+	idMap := make(map[int]int) // saved pane ID -> new pane ID
+	for _, sp := range st.Panes {
+		var p *panes.Pane
+		var err error
+		switch sp.Kind {
+		case "primary":
+			p, err = s.VPlot(sp.Title, sp.Program)
+			if err != nil {
+				return fmt.Errorf("core: re-extracting pane %q: %w", sp.Title, err)
+			}
+		case "secondary":
+			srcID, ok := idMap[sp.Source]
+			if !ok {
+				return fmt.Errorf("core: secondary pane %q references unknown source %d", sp.Title, sp.Source)
+			}
+			refs := make([]viewql.Ref, 0, len(sp.Selection))
+			for _, id := range sp.Selection {
+				refs = append(refs, viewql.Ref{BoxID: id})
+			}
+			p, err = s.Tree.SelectInto(srcID, refs, sp.Title)
+			if err != nil {
+				return fmt.Errorf("core: re-selecting pane %q: %w", sp.Title, err)
+			}
+		default:
+			return fmt.Errorf("core: unknown pane kind %q", sp.Kind)
+		}
+		idMap[sp.ID] = p.ID
+		for name, refs := range sp.Sets {
+			p.Engine.Sets[name] = refs
+		}
+		for _, sb := range sp.Boxes {
+			b, ok := p.Graph.Get(sb.ID)
+			if !ok {
+				// The live state moved on; the box no longer exists. This
+				// is expected across reboots — skip silently like the
+				// paper's tool does for stale objects.
+				continue
+			}
+			for k, v := range sb.Attrs {
+				b.SetAttr(k, v)
+			}
+			for _, ia := range sb.Items {
+				for _, vn := range b.ViewSeq {
+					v := b.Views[vn]
+					for i := range v.Items {
+						if v.Items[i].Name == ia.Member {
+							for k, val := range ia.Attrs {
+								v.Items[i].SetAttr(k, val)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	s.History = append(s.History, st.History...)
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package coredump implements post-mortem debugging, the third attach mode
+// next to live (in-process) and remote (GDB RSP): the simulated kernel's
+// memory image and symbol table serialize to a dump file, and a dump loads
+// back into a read-only target — the moral equivalent of inspecting a
+// kdump/vmcore with crash(8), which the paper lists among the state
+// analysis tools Visualinux complements.
+//
+// Format (little-endian):
+//
+//	magic   "VLCORE01"
+//	u32     segment count
+//	per segment: u64 addr, u64 len, raw bytes
+//	u32     symbol count
+//	per symbol:  u16 name len, name, u64 addr, u16 type-name len, type name
+//
+// Types are NOT serialized: like GDB loading vmlinux for a vmcore, the
+// reader reconstructs the type registry locally and re-binds symbols to it
+// by name.
+package coredump
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/mem"
+	"visualinux/internal/target"
+)
+
+var magic = [8]byte{'V', 'L', 'C', 'O', 'R', 'E', '0', '1'}
+
+// Dump serializes the target's mapped memory and symbols to w. Contiguous
+// pages coalesce into single segments.
+func Dump(t *target.Sim, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+
+	// Coalesce mapped pages into segments.
+	pages := t.Mem.MappedRanges()
+	type seg struct{ addr, length uint64 }
+	var segs []seg
+	for _, base := range pages {
+		if n := len(segs); n > 0 && segs[n-1].addr+segs[n-1].length == base {
+			segs[n-1].length += mem.PageSize
+		} else {
+			segs = append(segs, seg{addr: base, length: mem.PageSize})
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(segs))); err != nil {
+		return err
+	}
+	buf := make([]byte, mem.PageSize)
+	for _, s := range segs {
+		if err := binary.Write(bw, binary.LittleEndian, s.addr); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.length); err != nil {
+			return err
+		}
+		for off := uint64(0); off < s.length; off += mem.PageSize {
+			if err := t.Mem.Read(s.addr+off, buf); err != nil {
+				return fmt.Errorf("coredump: reading %#x: %w", s.addr+off, err)
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	syms := t.Symbols()
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(syms))); err != nil {
+		return err
+	}
+	for _, s := range syms {
+		typeName := ""
+		if s.Type != nil {
+			typeName = s.Type.String()
+		}
+		if err := writeString(bw, s.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.Addr); err != nil {
+			return err
+		}
+		if err := writeString(bw, typeName); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dump into a fresh read-only target, binding symbols against
+// reg (the locally reconstructed "vmlinux" types). Symbols whose type
+// names don't resolve keep a nil type, like stripped symbols.
+func Load(r io.Reader, reg *ctypes.Registry) (*target.Sim, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("coredump: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("coredump: bad magic %q", m[:])
+	}
+	memory := mem.New()
+	var nsegs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nsegs); err != nil {
+		return nil, err
+	}
+	if nsegs > 1<<20 {
+		return nil, fmt.Errorf("coredump: implausible segment count %d", nsegs)
+	}
+	buf := make([]byte, mem.PageSize)
+	for i := uint32(0); i < nsegs; i++ {
+		var addr, length uint64
+		if err := binary.Read(br, binary.LittleEndian, &addr); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, err
+		}
+		if length%mem.PageSize != 0 {
+			return nil, fmt.Errorf("coredump: segment %d length %#x not page-aligned", i, length)
+		}
+		for off := uint64(0); off < length; off += mem.PageSize {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("coredump: segment %d data: %w", i, err)
+			}
+			memory.Write(addr+off, buf)
+		}
+	}
+	tgt := target.NewSim(memory, reg)
+	var nsyms uint32
+	if err := binary.Read(br, binary.LittleEndian, &nsyms); err != nil {
+		return nil, err
+	}
+	if nsyms > 1<<24 {
+		return nil, fmt.Errorf("coredump: implausible symbol count %d", nsyms)
+	}
+	for i := uint32(0); i < nsyms; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var addr uint64
+		if err := binary.Read(br, binary.LittleEndian, &addr); err != nil {
+			return nil, err
+		}
+		typeName, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var typ *ctypes.Type
+		if typeName != "" {
+			if t, ok := resolveTypeSpelling(reg, typeName); ok {
+				typ = t
+			} else if typeName == "func" {
+				typ = ctypes.FuncType
+			}
+		}
+		tgt.AddSymbol(name, addr, typ)
+	}
+	return tgt, nil
+}
+
+// resolveTypeSpelling parses the String() spelling of a type back into the
+// registry: "task_struct", "struct rq[2]", "u64 *", "list_head".
+func resolveTypeSpelling(reg *ctypes.Registry, s string) (*ctypes.Type, bool) {
+	// Array suffix: "...[N]"
+	if n := len(s); n > 0 && s[n-1] == ']' {
+		open := -1
+		for i := n - 2; i >= 0; i-- {
+			if s[i] == '[' {
+				open = i
+				break
+			}
+		}
+		if open > 0 {
+			var count uint64
+			if _, err := fmt.Sscanf(s[open+1:n-1], "%d", &count); err == nil {
+				if elem, ok := resolveTypeSpelling(reg, s[:open]); ok {
+					return elem.ArrayOf(count), true
+				}
+			}
+		}
+		return nil, false
+	}
+	return reg.Lookup(s)
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("coredump: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w.(io.Writer), s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

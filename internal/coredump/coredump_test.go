@@ -1,0 +1,142 @@
+package coredump_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"visualinux/internal/core"
+	"visualinux/internal/coredump"
+	"visualinux/internal/ctypes"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
+)
+
+func dumpAndLoad(t *testing.T, k *kernelsim.Kernel) *target.Sim {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := coredump.Dump(k.Target(), &buf); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	// Reconstruct types locally, like loading vmlinux against a vmcore.
+	reg := kernelsim.RegisterTypes(ctypes.NewRegistry())
+	tgt, err := coredump.Load(bytes.NewReader(buf.Bytes()), reg)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return tgt
+}
+
+func TestRoundtripMemoryAndSymbols(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	tgt := dumpAndLoad(t, k)
+
+	// Memory identical at a few probe points.
+	for _, probe := range []uint64{k.InitTask.Addr, k.SharedPage.Addr, k.StackRotNode.Addr} {
+		want, err := target.ReadU64(k.Target(), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := target.ReadU64(tgt, probe)
+		if err != nil {
+			t.Fatalf("probe %#x: %v", probe, err)
+		}
+		if got != want {
+			t.Errorf("probe %#x: %#x != %#x", probe, got, want)
+		}
+	}
+	// Symbols rebound with types.
+	sym, ok := tgt.LookupSymbol("init_task")
+	if !ok {
+		t.Fatal("init_task lost")
+	}
+	if sym.Type == nil || sym.Type.Strip().Name != "task_struct" {
+		t.Errorf("init_task type = %v", sym.Type)
+	}
+	// Array-typed symbols ("struct rq[2]") reparse.
+	rqs, ok := tgt.LookupSymbol("runqueues")
+	if !ok || rqs.Type == nil || rqs.Type.Strip().Kind != ctypes.KindArray {
+		t.Errorf("runqueues type = %v", rqs.Type)
+	}
+	// Function symbols keep reverse lookup.
+	fn, ok := tgt.LookupSymbol("mt_free_rcu")
+	if !ok {
+		t.Fatal("function symbol lost")
+	}
+	if name, ok := tgt.SymbolAt(fn.Addr); !ok || name != "mt_free_rcu" {
+		t.Errorf("reverse lookup = %q", name)
+	}
+}
+
+// TestPostMortemDebugging: a full figure extraction against the dump must
+// match the live extraction — the crash(8) workflow.
+func TestPostMortemDebugging(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	tgt := dumpAndLoad(t, k)
+
+	fig, _ := vclstdlib.FigureByID("9-2")
+	live := core.SessionOver(k, k.Target())
+	pl, err := live.VPlot("live", fig.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := core.SessionOver(k, tgt)
+	pp, err := post.VPlot("postmortem", fig.Program)
+	if err != nil {
+		t.Fatalf("post-mortem extraction: %v", err)
+	}
+	if len(pl.Graph.Boxes) != len(pp.Graph.Boxes) {
+		t.Fatalf("box counts: live %d, post-mortem %d", len(pl.Graph.Boxes), len(pp.Graph.Boxes))
+	}
+	for _, id := range pl.Graph.Order {
+		lb := pl.Graph.Boxes[id]
+		pb, ok := pp.Graph.Get(id)
+		if !ok {
+			t.Fatalf("box %s missing post-mortem", id)
+		}
+		for _, vn := range lb.ViewSeq {
+			li, pi := lb.Views[vn].Items, pb.Views[vn].Items
+			for i := range li {
+				if li[i].Value != pi[i].Value {
+					t.Errorf("%s.%s: %q != %q", id, li[i].Name, pi[i].Value, li[i].Value)
+				}
+			}
+		}
+	}
+}
+
+func TestCorruptDumps(t *testing.T) {
+	reg := kernelsim.RegisterTypes(ctypes.NewRegistry())
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTACORE falafel"),
+		"truncated": append([]byte("VLCORE01"), 0xFF, 0xFF, 0xFF, 0x00),
+	}
+	for name, data := range cases {
+		if _, err := coredump.Load(bytes.NewReader(data), reg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	var a, b bytes.Buffer
+	if err := coredump.Dump(k.Target(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := coredump.Dump(k.Target(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("dump not deterministic")
+	}
+	if a.Len() < 100*1024 {
+		t.Errorf("dump suspiciously small: %d bytes", a.Len())
+	}
+	// Header sanity.
+	if !strings.HasPrefix(a.String(), "VLCORE01") {
+		t.Error("bad header")
+	}
+}

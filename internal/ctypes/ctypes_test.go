@@ -1,0 +1,260 @@
+package ctypes_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"visualinux/internal/ctypes"
+)
+
+func reg() *ctypes.Registry { return ctypes.NewRegistry() }
+
+func TestBaseTypes(t *testing.T) {
+	r := reg()
+	cases := []struct {
+		name string
+		size uint64
+	}{
+		{"char", 1}, {"short", 2}, {"int", 4}, {"long", 8},
+		{"u8", 1}, {"u16", 2}, {"u32", 4}, {"u64", 8},
+		{"pid_t", 4}, {"size_t", 8}, {"atomic_t", 4},
+	}
+	for _, c := range cases {
+		typ, ok := r.Lookup(c.name)
+		if !ok {
+			t.Fatalf("missing %s", c.name)
+		}
+		if typ.Size() != c.size {
+			t.Errorf("sizeof(%s) = %d, want %d", c.name, typ.Size(), c.size)
+		}
+	}
+}
+
+func TestStructLayoutAlignment(t *testing.T) {
+	r := reg()
+	s := ctypes.StructOf("s",
+		ctypes.F("a", r.MustLookup("char")),
+		ctypes.F("b", r.MustLookup("u32")), // padded to offset 4
+		ctypes.F("c", r.MustLookup("char")),
+		ctypes.F("d", r.MustLookup("u64")), // padded to offset 16
+	)
+	want := map[string]uint64{"a": 0, "b": 4, "c": 8, "d": 16}
+	for name, off := range want {
+		f, ok := s.FieldByName(name)
+		if !ok || f.Offset != off {
+			t.Errorf("%s at %d, want %d", name, f.Offset, off)
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("align = %d, want 8", s.Align())
+	}
+}
+
+// Property: for any sequence of members, every field offset is aligned to
+// its type and the struct size is a multiple of the struct alignment, with
+// no two plain fields overlapping.
+func TestStructLayoutProperties(t *testing.T) {
+	r := reg()
+	pool := []*ctypes.Type{
+		r.MustLookup("char"), r.MustLookup("short"), r.MustLookup("int"),
+		r.MustLookup("long"), r.MustLookup("u64").ArrayOf(3),
+		ctypes.StructOf("inner", ctypes.F("x", r.MustLookup("u32")), ctypes.F("y", r.MustLookup("u64"))),
+	}
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%12) + 1
+		specs := make([]ctypes.FieldSpec, count)
+		for i := range specs {
+			specs[i] = ctypes.F(string(rune('a'+i)), pool[rng.Intn(len(pool))])
+		}
+		s := ctypes.StructOf("p", specs...)
+		if s.Size()%s.Align() != 0 {
+			return false
+		}
+		prevEnd := uint64(0)
+		for _, f := range s.Fields {
+			if f.Offset%f.Type.Align() != 0 {
+				return false
+			}
+			if f.Offset < prevEnd {
+				return false // overlap
+			}
+			prevEnd = f.Offset + f.Type.Size()
+		}
+		return prevEnd <= s.Size()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitfields(t *testing.T) {
+	r := reg()
+	u32 := r.MustLookup("u32")
+	s := ctypes.StructOf("bf",
+		ctypes.BF("a", u32, 16),
+		ctypes.BF("b", u32, 15),
+		ctypes.BF("c", u32, 1),  // fits in the same unit: 16+15+1 = 32
+		ctypes.BF("d", u32, 20), // new unit
+		ctypes.F("e", r.MustLookup("u8")),
+	)
+	a, _ := s.FieldByName("a")
+	b, _ := s.FieldByName("b")
+	c, _ := s.FieldByName("c")
+	d, _ := s.FieldByName("d")
+	if a.Offset != 0 || a.BitOffset != 0 || !a.IsBitfield() {
+		t.Errorf("a: %+v", a)
+	}
+	if b.Offset != 0 || b.BitOffset != 16 {
+		t.Errorf("b: %+v", b)
+	}
+	if c.Offset != 0 || c.BitOffset != 31 {
+		t.Errorf("c: %+v", c)
+	}
+	if d.Offset != 4 || d.BitOffset != 0 {
+		t.Errorf("d: %+v", d)
+	}
+	e, _ := s.FieldByName("e")
+	if e.Offset != 8 {
+		t.Errorf("e at %d", e.Offset)
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	r := reg()
+	u := ctypes.UnionOf("u",
+		ctypes.F("i", r.MustLookup("int")),
+		ctypes.F("l", r.MustLookup("long")),
+		ctypes.F("a", r.MustLookup("char").ArrayOf(3)),
+	)
+	if u.Size() != 8 {
+		t.Errorf("union size = %d", u.Size())
+	}
+	for _, name := range []string{"i", "l", "a"} {
+		f, ok := u.FieldByName(name)
+		if !ok || f.Offset != 0 {
+			t.Errorf("union member %s at %d", name, f.Offset)
+		}
+	}
+}
+
+func TestAnonymousMembers(t *testing.T) {
+	r := reg()
+	inner := ctypes.StructOf("", ctypes.F("x", r.MustLookup("u64")), ctypes.F("y", r.MustLookup("u32")))
+	outer := ctypes.StructOf("o",
+		ctypes.F("head", r.MustLookup("u32")),
+		ctypes.FieldSpec{Name: "", Type: inner},
+	)
+	x, ok := outer.FieldByName("x")
+	if !ok {
+		t.Fatal("x not lifted through anonymous member")
+	}
+	if x.Offset != 8 { // head(4) pad(4) then inner.x at 0
+		t.Errorf("x at %d", x.Offset)
+	}
+	y, _ := outer.FieldByName("y")
+	if y.Offset != 16 {
+		t.Errorf("y at %d", y.Offset)
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	r := reg()
+	leaf := ctypes.StructOf("leaf", ctypes.F("v", r.MustLookup("u64")))
+	mid := ctypes.StructOf("mid", ctypes.F("pad", r.MustLookup("u64")), ctypes.F("leaf", leaf))
+	top := ctypes.StructOf("top", ctypes.F("pad", r.MustLookup("u32")), ctypes.F("mid", mid))
+	f, err := top.ResolvePath("mid.leaf.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Offset != 8+8 { // mid at 8 (aligned), leaf at +8, v at +0
+		t.Errorf("offset = %d", f.Offset)
+	}
+	// Paths crossing pointers are rejected.
+	ptr := ctypes.StructOf("p", ctypes.F("next", top.PointerTo()))
+	if _, err := ptr.ResolvePath("next.mid"); err == nil {
+		t.Error("pointer-crossing path accepted")
+	}
+	if _, err := top.ResolvePath("nothere"); err == nil {
+		t.Error("missing member accepted")
+	}
+}
+
+func TestShellCompletion(t *testing.T) {
+	a := ctypes.NewShell("a")
+	b := ctypes.NewShell("b")
+	a.Complete(ctypes.F("next", b.PointerTo()), ctypes.F("v", ctypes.Int("u64", 8, false)))
+	b.Complete(ctypes.F("prev", a.PointerTo()))
+	if a.Size() != 16 || b.Size() != 8 {
+		t.Errorf("sizes: a=%d b=%d", a.Size(), b.Size())
+	}
+	f, _ := a.FieldByName("next")
+	if f.Type.Strip().Elem != b {
+		t.Error("cycle not preserved")
+	}
+}
+
+func TestRegistryLookupSpellings(t *testing.T) {
+	r := reg()
+	s := r.Register(ctypes.StructOf("task_struct", ctypes.F("pid", r.MustLookup("int"))))
+	for _, spelling := range []string{"task_struct", "struct task_struct", "struct task_struct *", "task_struct **"} {
+		typ, ok := r.Lookup(spelling)
+		if !ok {
+			t.Errorf("lookup %q failed", spelling)
+			continue
+		}
+		base := typ
+		for base.Strip().Kind == ctypes.KindPointer {
+			base = base.Strip().Elem
+		}
+		if base != s {
+			t.Errorf("%q resolved to wrong type", spelling)
+		}
+	}
+	if _, ok := r.Lookup("no_such_type"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestEnums(t *testing.T) {
+	r := reg()
+	e := r.Register(ctypes.NewEnum("color",
+		ctypes.EnumVal{Name: "RED", Value: 0},
+		ctypes.EnumVal{Name: "GREEN", Value: 5},
+	))
+	if n := e.EnumName(5); n != "GREEN" {
+		t.Errorf("EnumName = %q", n)
+	}
+	if n := e.EnumName(99); n != "" {
+		t.Errorf("bogus EnumName = %q", n)
+	}
+	if v, ok := e.EnumValue("RED"); !ok || v != 0 {
+		t.Errorf("EnumValue RED = %d, %v", v, ok)
+	}
+	v, typ, ok := r.EnumeratorValue("GREEN")
+	if !ok || v != 5 || typ != e {
+		t.Errorf("EnumeratorValue = %d, %v, %v", v, typ, ok)
+	}
+}
+
+func TestPointerCacheAndStrings(t *testing.T) {
+	r := reg()
+	u64 := r.MustLookup("u64")
+	if u64.PointerTo() != u64.PointerTo() {
+		t.Error("pointer type not cached")
+	}
+	if s := u64.PointerTo().String(); s != "u64 *" {
+		t.Errorf("spelling %q", s)
+	}
+	arr := u64.ArrayOf(4)
+	if arr.Size() != 32 || arr.String() != "u64[4]" {
+		t.Errorf("array: %d %q", arr.Size(), arr.String())
+	}
+	if got := ctypes.Void.String(); got != "void" {
+		t.Errorf("void = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+package gdbrsp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/target"
+)
+
+// Client implements target.Target over an RSP connection: memory reads go
+// over the wire as $m packets; types and symbols are provided locally,
+// exactly as GDB gets them from vmlinux DWARF rather than from the stub.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	types   *ctypes.Registry
+	symbols map[string]target.Symbol
+	byAddr  map[uint64]string
+	stats   target.Stats
+}
+
+// Dial connects to an RSP server and performs the initial handshake.
+// reg and symbols play the role of the locally-loaded vmlinux.
+func Dial(addr string, reg *ctypes.Registry, symbols []target.Symbol) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gdbrsp: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		types:   reg,
+		symbols: make(map[string]target.Symbol, len(symbols)),
+		byAddr:  make(map[uint64]string, len(symbols)),
+	}
+	for _, s := range symbols {
+		c.symbols[s.Name] = s
+		c.byAddr[s.Addr] = s.Name
+	}
+	// Handshake like GDB: feature negotiation then stop-reason query.
+	if _, err := c.roundTrip("qSupported:multiprocess+"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := c.roundTrip("?"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close detaches and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = c.roundTripLocked("D")
+	return c.conn.Close()
+}
+
+// roundTrip sends one packet and reads the reply (with ack handling).
+func (c *Client) roundTrip(payload string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(payload)
+}
+
+func (c *Client) roundTripLocked(payload string) (string, error) {
+	if _, err := c.w.Write(encodePacket(payload)); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	// Expect the stub's ack, then its reply packet, then ack it.
+	for {
+		b, err := c.r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if b == '+' {
+			break
+		}
+		if b == '-' {
+			// retransmit
+			if _, err := c.w.Write(encodePacket(payload)); err != nil {
+				return "", err
+			}
+			if err := c.w.Flush(); err != nil {
+				return "", err
+			}
+		}
+	}
+	reply, err := readPacket(c.r)
+	if err != nil {
+		return "", err
+	}
+	if _, err := c.w.WriteString("+"); err != nil {
+		return "", err
+	}
+	return reply, c.w.Flush()
+}
+
+// ReadMemory implements target.Target via $m packets, chunking large
+// requests to the stub's packet size.
+func (c *Client) ReadMemory(addr uint64, buf []byte) error {
+	c.stats.Reads.Add(1)
+	c.stats.BytesRead.Add(uint64(len(buf)))
+	const chunk = maxPacket / 2
+	for off := 0; off < len(buf); {
+		n := len(buf) - off
+		if n > chunk {
+			n = chunk
+		}
+		reply, err := c.roundTrip(fmt.Sprintf("m%x,%x", addr+uint64(off), n))
+		if err != nil {
+			return err
+		}
+		if len(reply) >= 1 && reply[0] == 'E' {
+			return fmt.Errorf("gdbrsp: stub error %s reading %#x", reply, addr+uint64(off))
+		}
+		data, err := decodeHex(reply)
+		if err != nil {
+			return err
+		}
+		if len(data) != n {
+			return fmt.Errorf("gdbrsp: short read %d of %d", len(data), n)
+		}
+		copy(buf[off:], data)
+		off += n
+	}
+	return nil
+}
+
+// LookupSymbol implements target.Target from the locally-loaded table.
+func (c *Client) LookupSymbol(name string) (target.Symbol, bool) {
+	s, ok := c.symbols[name]
+	return s, ok
+}
+
+// SymbolAt implements target.Target.
+func (c *Client) SymbolAt(addr uint64) (string, bool) {
+	n, ok := c.byAddr[addr]
+	return n, ok
+}
+
+// Types implements target.Target.
+func (c *Client) Types() *ctypes.Registry { return c.types }
+
+// Stats implements target.Target.
+func (c *Client) Stats() *target.Stats { return &c.stats }
+
+var _ target.Target = (*Client)(nil)

@@ -1,0 +1,105 @@
+// Package gdbrsp implements the GDB Remote Serial Protocol (RSP) — the
+// wire protocol GDB speaks to QEMU's gdbstub and to KGDB. The paper's tool
+// is "a detached front-end for GDB"; this package makes that architecture
+// concrete in the reproduction:
+//
+//	Visualinux engine -> Client (this pkg, implements target.Target)
+//	    -> TCP, real $m addr,len#cs packets ->
+//	Server (this pkg) -> simulated kernel memory
+//
+// Type information and symbols do NOT travel over RSP — real GDB reads
+// them from vmlinux's DWARF on the local side — so the Client carries the
+// registry and symbol table locally and forwards only memory traffic,
+// exactly mirroring GDB's split.
+//
+// The subset implemented is what a memory-inspecting debugger session
+// uses: qSupported, ?, g/p (register stubs), m (memory read), H, D, k,
+// qAttached, vMustReplyEmpty, plus correct checksums and +/- acks.
+package gdbrsp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxPacket is our advertised packet size (payload bytes).
+const maxPacket = 4096
+
+// checksum computes the RSP modulo-256 sum of the payload.
+func checksum(payload []byte) byte {
+	var sum byte
+	for _, b := range payload {
+		sum += b
+	}
+	return sum
+}
+
+// encodePacket frames a payload: $<payload>#<2-hex-checksum>.
+func encodePacket(payload string) []byte {
+	return []byte(fmt.Sprintf("$%s#%02x", payload, checksum([]byte(payload))))
+}
+
+// hexByte renders one byte as two lowercase hex digits.
+func hexByte(b byte) string { return fmt.Sprintf("%02x", b) }
+
+// decodeHex parses a hex string into bytes.
+func decodeHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("gdbrsp: odd hex length %d", len(s))
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, ok1 := hexDigit(s[2*i])
+		lo, ok2 := hexDigit(s[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("gdbrsp: bad hex %q", s[2*i:2*i+2])
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexDigit(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// parseHexU64 parses a hex number (no 0x prefix, RSP style).
+func parseHexU64(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("gdbrsp: empty number")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		d, ok := hexDigit(s[i])
+		if !ok {
+			return 0, fmt.Errorf("gdbrsp: bad hex number %q", s)
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, nil
+}
+
+// errorReply renders an RSP error response (Exx).
+func errorReply(code byte) string { return "E" + hexByte(code) }
+
+// splitAddrLen parses "ADDR,LEN".
+func splitAddrLen(s string) (addr, length uint64, err error) {
+	i := strings.IndexByte(s, ',')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("gdbrsp: malformed addr,len %q", s)
+	}
+	addr, err = parseHexU64(s[:i])
+	if err != nil {
+		return 0, 0, err
+	}
+	length, err = parseHexU64(s[i+1:])
+	return addr, length, err
+}

@@ -1,0 +1,190 @@
+package gdbrsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"visualinux/internal/target"
+)
+
+// Server speaks the gdbstub side of RSP, serving memory reads from a
+// backing target (the simulated kernel). It is the QEMU-gdbstub stand-in.
+type Server struct {
+	backing target.Target
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts an RSP server on addr ("127.0.0.1:0" for an ephemeral
+// port). It returns immediately; connections are handled in goroutines.
+func Serve(addr string, backing target.Target) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gdbrsp: listen: %w", err)
+	}
+	s := &Server{backing: backing, ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		payload, err := readPacket(r)
+		if err != nil {
+			return
+		}
+		// Ack every well-formed packet.
+		if _, err := w.WriteString("+"); err != nil {
+			return
+		}
+		reply, kill := s.dispatch(payload)
+		if _, err := w.Write(encodePacket(reply)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		// The stub ignores the client's ack of our reply (read and drop).
+		if b, err := r.Peek(1); err == nil && (b[0] == '+' || b[0] == '-') {
+			_, _ = r.ReadByte()
+		}
+		if kill {
+			return
+		}
+	}
+}
+
+// readPacket consumes one $...#cs frame, tolerating interrupt bytes and
+// acks in the stream.
+func readPacket(r *bufio.Reader) (string, error) {
+	for {
+		c, err := r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		switch c {
+		case '$':
+			var payload []byte
+			for {
+				b, err := r.ReadByte()
+				if err != nil {
+					return "", err
+				}
+				if b == '#' {
+					break
+				}
+				payload = append(payload, b)
+				if len(payload) > maxPacket*2 {
+					return "", fmt.Errorf("gdbrsp: oversized packet")
+				}
+			}
+			var cs [2]byte
+			if _, err := io.ReadFull(r, cs[:]); err != nil {
+				return "", err
+			}
+			want, err := parseHexU64(string(cs[:]))
+			if err != nil {
+				return "", err
+			}
+			if byte(want) != checksum(payload) {
+				return "", fmt.Errorf("gdbrsp: checksum mismatch")
+			}
+			return string(payload), nil
+		case '+', '-', 0x03:
+			continue // acks and interrupts between packets
+		default:
+			continue // noise
+		}
+	}
+}
+
+// dispatch computes the reply for one packet; kill reports session end.
+func (s *Server) dispatch(payload string) (reply string, kill bool) {
+	switch {
+	case payload == "":
+		return "", false
+	case payload[0] == 'm':
+		addr, length, err := splitAddrLen(payload[1:])
+		if err != nil {
+			return errorReply(0x16), false // EINVAL
+		}
+		if length > maxPacket/2 {
+			length = maxPacket / 2
+		}
+		buf := make([]byte, length)
+		if err := s.backing.ReadMemory(addr, buf); err != nil {
+			return errorReply(0x0e), false // EFAULT
+		}
+		var sb []byte
+		for _, b := range buf {
+			sb = append(sb, hexByte(b)...)
+		}
+		return string(sb), false
+	case payload == "?":
+		return "S05", false // stopped by SIGTRAP, like a fresh attach
+	case payload == "g":
+		// 16 fake 64-bit registers, all zero: we debug state, not regs.
+		return stringsRepeat("0", 16*16), false
+	case payload[0] == 'p':
+		return stringsRepeat("0", 16), false
+	case payload[0] == 'H':
+		return "OK", false
+	case payload == "qAttached":
+		return "1", false
+	case payload == "vMustReplyEmpty":
+		return "", false
+	case hasPrefix(payload, "qSupported"):
+		return fmt.Sprintf("PacketSize=%x;qXfer:features:read-", maxPacket), false
+	case payload == "D": // detach
+		return "OK", true
+	case payload == "k": // kill
+		return "", true
+	case payload[0] == 'X' || payload[0] == 'M':
+		// Memory writes: the visualizer never writes; refuse politely.
+		return errorReply(0x0d), false // EACCES
+	case payload[0] == 'c' || payload[0] == 's':
+		// Continue/step: the simulated machine is permanently stopped.
+		return "S05", false
+	default:
+		return "", false // unsupported -> empty reply per RSP
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func stringsRepeat(s string, n int) string {
+	out := make([]byte, 0, n*len(s))
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return string(out)
+}

@@ -1,0 +1,346 @@
+// Package graph defines the simplified kernel object graph that ViewCL
+// extraction produces and ViewQL customization operates on (the paper's
+// G(V,E)): vertices are Boxes (objects, possibly virtual), edges are Links
+// (pointer-derived relations). Boxes carry Views (alternative layouts) and
+// display attributes (view/trimmed/collapsed/direction) that the renderer
+// honors.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Well-known attribute names (paper §4.2).
+const (
+	AttrView      = "view"
+	AttrTrimmed   = "trimmed"
+	AttrCollapsed = "collapsed"
+	AttrDirection = "direction"
+)
+
+// DefaultView is the view used when the view attribute is absent.
+const DefaultView = "default"
+
+// ItemKind discriminates view items.
+type ItemKind int
+
+// Item kinds.
+const (
+	ItemText ItemKind = iota
+	ItemLink
+	ItemContainer
+	ItemBox // nested box, plotted inside the parent
+)
+
+func (k ItemKind) String() string {
+	switch k {
+	case ItemText:
+		return "text"
+	case ItemLink:
+		return "link"
+	case ItemContainer:
+		return "container"
+	case ItemBox:
+		return "box"
+	}
+	return "?"
+}
+
+// Item is one member of a view: a Text (rendered string plus the raw value
+// for ViewQL comparisons), a Link to another box, an embedded Container of
+// boxes, or a nested Box.
+type Item struct {
+	Kind ItemKind
+	Name string // member label, e.g. "pid" or "runqueue"
+
+	// Text payload.
+	Value string // rendered (decorated) text
+	Raw   uint64 // raw scalar for WHERE comparisons
+	IsNum bool   // Raw is meaningful
+	IsStr bool   // Value is a true string (compare as string)
+
+	// Link / nested box target (box ID; "" for NULL links).
+	TargetID string
+
+	// Container payload: ordered element box IDs ("" elements are NULL
+	// slots kept for positional fidelity).
+	Elems     []string
+	Direction string // container plotting direction override
+
+	// Attrs holds item-level display attributes (ViewQL can UPDATE a
+	// member selection like "maple_node.slots" with collapsed: true).
+	Attrs map[string]string
+}
+
+// SetAttr assigns an item-level attribute, allocating the map on demand;
+// "false"/"" clears.
+func (it *Item) SetAttr(key, value string) {
+	if value == "" || value == "false" {
+		delete(it.Attrs, key)
+		return
+	}
+	if it.Attrs == nil {
+		it.Attrs = make(map[string]string)
+	}
+	it.Attrs[key] = value
+}
+
+// Collapsed reports the item-level collapsed attribute.
+func (it *Item) Collapsed() bool { return it.Attrs[AttrCollapsed] == "true" }
+
+// View is a named layout of a box (paper §2.2).
+type View struct {
+	Name  string
+	Items []Item
+}
+
+// Clone deep-copies the view.
+func (v *View) Clone() *View {
+	nv := &View{Name: v.Name, Items: make([]Item, len(v.Items))}
+	copy(nv.Items, v.Items)
+	for i := range nv.Items {
+		if v.Items[i].Elems != nil {
+			nv.Items[i].Elems = append([]string(nil), v.Items[i].Elems...)
+		}
+	}
+	return nv
+}
+
+// Box is a vertex of the object graph. A box usually mirrors one kernel
+// object (TypeName+Addr); virtual boxes (containers, synthesized wrappers)
+// have Addr 0 or a synthetic label.
+type Box struct {
+	ID       string
+	Label    string // ViewCL box-type name, e.g. "Task"
+	TypeName string // C type name, e.g. "task_struct"; "" for virtual
+	Addr     uint64
+	Views    map[string]*View
+	ViewSeq  []string          // view declaration order
+	Attrs    map[string]string // display attributes
+}
+
+// NewBox constructs an empty box.
+func NewBox(id, label, typeName string, addr uint64) *Box {
+	return &Box{
+		ID: id, Label: label, TypeName: typeName, Addr: addr,
+		Views: make(map[string]*View),
+		Attrs: make(map[string]string),
+	}
+}
+
+// AddView installs a view, keeping declaration order.
+func (b *Box) AddView(v *View) {
+	if _, dup := b.Views[v.Name]; !dup {
+		b.ViewSeq = append(b.ViewSeq, v.Name)
+	}
+	b.Views[v.Name] = v
+}
+
+// CurrentView resolves the active view per the view attribute, falling back
+// to default, then to the first declared view.
+func (b *Box) CurrentView() *View {
+	name := b.Attrs[AttrView]
+	if name == "" {
+		name = DefaultView
+	}
+	if v, ok := b.Views[name]; ok {
+		return v
+	}
+	if v, ok := b.Views[DefaultView]; ok {
+		return v
+	}
+	if len(b.ViewSeq) > 0 {
+		return b.Views[b.ViewSeq[0]]
+	}
+	return &View{Name: DefaultView}
+}
+
+// Trimmed reports the trimmed attribute.
+func (b *Box) Trimmed() bool { return b.Attrs[AttrTrimmed] == "true" }
+
+// Collapsed reports the collapsed attribute.
+func (b *Box) Collapsed() bool { return b.Attrs[AttrCollapsed] == "true" }
+
+// SetAttr assigns a display attribute ("false"/"" clears boolean attrs).
+func (b *Box) SetAttr(key, value string) {
+	if value == "" || value == "false" {
+		delete(b.Attrs, key)
+		return
+	}
+	b.Attrs[key] = value
+}
+
+// Member returns the named item from the box's current view, searching
+// other views as a fallback (a WHERE clause may reference a field the
+// active view hides).
+func (b *Box) Member(name string) (Item, bool) {
+	for _, it := range b.CurrentView().Items {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	for _, vn := range b.ViewSeq {
+		for _, it := range b.Views[vn].Items {
+			if it.Name == name {
+				return it, true
+			}
+		}
+	}
+	return Item{}, false
+}
+
+// Stats summarizes an extraction for the performance harness (Table 4).
+type Stats struct {
+	Objects    int    // boxes extracted
+	Bytes      uint64 // target bytes transferred during extraction
+	Reads      uint64 // read transactions
+	DurationNS int64  // extraction wall/virtual time
+}
+
+// Graph is the extracted object graph.
+type Graph struct {
+	Name   string
+	RootID string   // primary root (first plot)
+	Roots  []string // all plotted roots, in plot order
+	Boxes  map[string]*Box
+	Order  []string // insertion order for deterministic rendering
+	Stats  Stats
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, Boxes: make(map[string]*Box)}
+}
+
+// BoxID builds the canonical box identifier for a typed object.
+func BoxID(label string, addr uint64) string {
+	return fmt.Sprintf("%s@0x%x", label, addr)
+}
+
+// Add inserts a box (no-op if the ID is already present) and returns the
+// canonical instance.
+func (g *Graph) Add(b *Box) *Box {
+	if exist, ok := g.Boxes[b.ID]; ok {
+		return exist
+	}
+	g.Boxes[b.ID] = b
+	g.Order = append(g.Order, b.ID)
+	return b
+}
+
+// Get looks up a box by ID.
+func (g *Graph) Get(id string) (*Box, bool) {
+	b, ok := g.Boxes[id]
+	return b, ok
+}
+
+// ByType returns all boxes whose TypeName or Label equals name, in
+// insertion order. ViewQL's "SELECT task_struct FROM *".
+func (g *Graph) ByType(name string) []*Box {
+	var out []*Box
+	for _, id := range g.Order {
+		b := g.Boxes[id]
+		if b.TypeName == name || b.Label == name {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// All returns every box in insertion order.
+func (g *Graph) All() []*Box {
+	out := make([]*Box, 0, len(g.Order))
+	for _, id := range g.Order {
+		out = append(out, g.Boxes[id])
+	}
+	return out
+}
+
+// Neighbors returns the box IDs directly referenced by b's current view
+// (links, containers, nested boxes).
+func (g *Graph) Neighbors(b *Box) []string {
+	var out []string
+	for _, it := range b.CurrentView().Items {
+		switch it.Kind {
+		case ItemLink, ItemBox:
+			if it.TargetID != "" {
+				out = append(out, it.TargetID)
+			}
+		case ItemContainer:
+			for _, e := range it.Elems {
+				if e != "" {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reachable computes the set of box IDs reachable from the given seeds
+// (inclusive) following current-view edges. ViewQL's REACHABLE(v).
+func (g *Graph) Reachable(seeds []string) map[string]bool {
+	seen := make(map[string]bool)
+	stack := append([]string(nil), seeds...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		b, ok := g.Boxes[id]
+		if !ok {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.Neighbors(b)...)
+	}
+	return seen
+}
+
+// Types returns the distinct TypeNames present, sorted.
+func (g *Graph) Types() []string {
+	set := map[string]bool{}
+	for _, b := range g.Boxes {
+		if b.TypeName != "" {
+			set[b.TypeName] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders a one-line description, for logs and the pane list.
+func (g *Graph) Summary() string {
+	return fmt.Sprintf("%s: %d boxes, %d types, root=%s", g.Name, len(g.Boxes), len(g.Types()), g.RootID)
+}
+
+// TextValue formats a raw scalar the way WHERE literals are written, so
+// string comparisons against rendered text behave predictably.
+func TextValue(raw uint64, signed bool) string {
+	if signed {
+		return strconv.FormatInt(int64(raw), 10)
+	}
+	return strconv.FormatUint(raw, 10)
+}
+
+// ParseBoxAddr extracts the address from a canonical box ID; 0 if the ID is
+// not canonical.
+func ParseBoxAddr(id string) uint64 {
+	i := strings.LastIndex(id, "@0x")
+	if i < 0 {
+		return 0
+	}
+	v, err := strconv.ParseUint(id[i+3:], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

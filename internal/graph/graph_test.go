@@ -1,0 +1,146 @@
+package graph_test
+
+import (
+	"testing"
+
+	"visualinux/internal/graph"
+)
+
+func box(g *graph.Graph, id string, links ...string) *graph.Box {
+	b := graph.NewBox(id, id, "t", 0)
+	var items []graph.Item
+	for _, l := range links {
+		items = append(items, graph.Item{Kind: graph.ItemLink, Name: "to_" + l, TargetID: l})
+	}
+	b.AddView(&graph.View{Name: "default", Items: items})
+	return g.Add(b)
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	g := graph.New("g")
+	a := box(g, "a")
+	a2 := g.Add(graph.NewBox("a", "other", "t2", 7))
+	if a2 != a {
+		t.Error("duplicate ID created a second box")
+	}
+	if len(g.Order) != 1 {
+		t.Errorf("order = %v", g.Order)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := graph.New("g")
+	box(g, "d")
+	box(g, "c", "d")
+	box(g, "b")
+	box(g, "a", "b", "c")
+	box(g, "island")
+	r := g.Reachable([]string{"a"})
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if !r[id] {
+			t.Errorf("%s unreachable", id)
+		}
+	}
+	if r["island"] {
+		t.Error("island reachable")
+	}
+	// Cycles terminate.
+	ca, _ := g.Get("d")
+	ca.Views["default"].Items = append(ca.Views["default"].Items,
+		graph.Item{Kind: graph.ItemLink, Name: "back", TargetID: "a"})
+	r = g.Reachable([]string{"a"})
+	if len(r) != 4 {
+		t.Errorf("cycle reach = %d", len(r))
+	}
+}
+
+func TestViewsAndMember(t *testing.T) {
+	b := graph.NewBox("x", "X", "t", 1)
+	b.AddView(&graph.View{Name: "default", Items: []graph.Item{
+		{Kind: graph.ItemText, Name: "pid", Value: "1", Raw: 1, IsNum: true},
+	}})
+	b.AddView(&graph.View{Name: "deep", Items: []graph.Item{
+		{Kind: graph.ItemText, Name: "extra", Value: "9"},
+	}})
+	if b.CurrentView().Name != "default" {
+		t.Errorf("current = %s", b.CurrentView().Name)
+	}
+	b.SetAttr(graph.AttrView, "deep")
+	if b.CurrentView().Name != "deep" {
+		t.Errorf("current = %s", b.CurrentView().Name)
+	}
+	// Member search spans non-current views.
+	if it, ok := b.Member("pid"); !ok || it.Raw != 1 {
+		t.Errorf("member pid = %+v, %v", it, ok)
+	}
+	// Unknown view falls back to default.
+	b.SetAttr(graph.AttrView, "ghost")
+	if b.CurrentView().Name != "default" {
+		t.Errorf("fallback = %s", b.CurrentView().Name)
+	}
+	// Attribute clear semantics.
+	b.SetAttr(graph.AttrTrimmed, "true")
+	if !b.Trimmed() {
+		t.Error("trim set failed")
+	}
+	b.SetAttr(graph.AttrTrimmed, "false")
+	if b.Trimmed() {
+		t.Error("trim clear failed")
+	}
+}
+
+func TestItemAttrs(t *testing.T) {
+	it := graph.Item{Kind: graph.ItemContainer, Name: "c"}
+	if it.Collapsed() {
+		t.Error("zero item collapsed")
+	}
+	it.SetAttr(graph.AttrCollapsed, "true")
+	if !it.Collapsed() {
+		t.Error("set failed")
+	}
+	it.SetAttr(graph.AttrCollapsed, "")
+	if it.Collapsed() {
+		t.Error("clear failed")
+	}
+}
+
+func TestByTypeAndTypes(t *testing.T) {
+	g := graph.New("g")
+	g.Add(graph.NewBox("a", "Task", "task_struct", 1))
+	g.Add(graph.NewBox("b", "Task", "task_struct", 2))
+	g.Add(graph.NewBox("c", "MM", "mm_struct", 3))
+	if n := len(g.ByType("task_struct")); n != 2 {
+		t.Errorf("by C type = %d", n)
+	}
+	if n := len(g.ByType("Task")); n != 2 {
+		t.Errorf("by label = %d", n)
+	}
+	types := g.Types()
+	if len(types) != 2 || types[0] != "mm_struct" {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestBoxIDAndParse(t *testing.T) {
+	id := graph.BoxID("Task", 0xffff888000001000)
+	if id != "Task@0xffff888000001000" {
+		t.Errorf("id = %s", id)
+	}
+	if a := graph.ParseBoxAddr(id); a != 0xffff888000001000 {
+		t.Errorf("parse = %#x", a)
+	}
+	if a := graph.ParseBoxAddr("cell#5"); a != 0 {
+		t.Errorf("non-canonical = %#x", a)
+	}
+}
+
+func TestCloneView(t *testing.T) {
+	v := &graph.View{Name: "v", Items: []graph.Item{
+		{Kind: graph.ItemContainer, Name: "c", Elems: []string{"a", "b"}},
+	}}
+	c := v.Clone()
+	c.Items[0].Elems[0] = "changed"
+	if v.Items[0].Elems[0] != "a" {
+		t.Error("clone shares element slice")
+	}
+}

@@ -1,0 +1,211 @@
+package kernelsim
+
+// buildKobjects constructs a device-model slice (ULK Fig 13-3): a bus, a
+// driver, devices with kobjects chained into a kset.
+func (k *Kernel) buildKobjects() {
+	ktype := k.Alloc("kobj_type")
+	ktype.Set("release", k.Func("device_release"))
+	k.Symbol("device_ktype", ktype)
+
+	devicesKset := k.Alloc("kset")
+	devicesKset.Field("kobj").SetStrPtr("name", "devices")
+	devicesKset.Field("kobj").Set("kref.refcount.refs", 1)
+	devicesKset.Field("kobj").Set("state_initialized", 1)
+	k.InitList(devicesKset.FieldAddr("list"))
+	k.Symbol("devices_kset", devicesKset)
+
+	pciBus := k.Alloc("bus_type")
+	pciBus.SetStrPtr("name", "pci")
+	pciBus.Set("match", k.Func("pci_bus_match"))
+	pciBus.Set("probe", k.Func("pci_device_probe"))
+	k.Symbol("pci_bus_type", pciBus)
+
+	e1000 := k.Alloc("device_driver")
+	e1000.SetStrPtr("name", "e1000")
+	e1000.SetObj("bus", pciBus)
+	e1000.Set("probe", k.Func("e1000_probe"))
+	e1000.Set("remove", k.Func("e1000_remove"))
+	k.Symbol("e1000_driver", e1000)
+
+	ahci := k.Alloc("device_driver")
+	ahci.SetStrPtr("name", "ahci")
+	ahci.SetObj("bus", pciBus)
+	ahci.Set("probe", k.Func("ahci_probe"))
+
+	var parent Obj
+	for i, spec := range []struct {
+		name   string
+		driver Obj
+	}{
+		{"pci0000:00", Obj{}},
+		{"0000:00:02.0", e1000},
+		{"0000:00:1f.2", ahci},
+	} {
+		d := k.Alloc("device")
+		kobj := d.Field("kobj")
+		kobj.SetStrPtr("name", spec.name)
+		kobj.SetObj("kset", devicesKset)
+		kobj.SetObj("ktype", ktype)
+		kobj.Set("kref.refcount.refs", uint64(2+i))
+		kobj.Set("state_initialized", 1)
+		kobj.Set("state_in_sysfs", 1)
+		if !parent.IsNil() {
+			kobj.Set("parent", parent.FieldAddr("kobj"))
+			d.SetObj("parent", parent)
+		}
+		k.ListAddTail(devicesKset.FieldAddr("list"), kobj.FieldAddr("entry"))
+		d.SetObj("bus", pciBus)
+		if !spec.driver.IsNil() {
+			d.SetObj("driver", spec.driver)
+		}
+		d.Set("devt", uint64(8<<20|16*i))
+		if parent.IsNil() {
+			parent = d
+		}
+	}
+}
+
+// buildBlock constructs gendisk/block_device descriptors (ULK Fig 14-3)
+// and attaches sda1 to the ext4 superblock.
+func (k *Kernel) buildBlock() {
+	disk := k.Alloc("gendisk")
+	disk.Set("major", 8)
+	disk.Set("minors", 16)
+	disk.SetStr("disk_name", "sda")
+	k.Symbol("sda_disk", disk)
+
+	whole := k.Alloc("block_device")
+	whole.Set("bd_dev", 8<<20|0)
+	whole.Set("bd_nr_sectors", 500118192)
+	whole.SetObj("bd_disk", disk)
+	whole.Set("bd_openers", 1)
+	disk.SetObj("part0", whole)
+	bdevIno := k.MkInode(k.vfs().sbExt4, SIFBLK|0o600, 0)
+	whole.SetObj("bd_inode", bdevIno)
+
+	part1 := k.Alloc("block_device")
+	part1.Set("bd_dev", 8<<20|1)
+	part1.Set("bd_partno", 1)
+	part1.Set("bd_start_sect", 2048)
+	part1.Set("bd_nr_sectors", 500116144)
+	part1.SetObj("bd_disk", disk)
+	part1.Set("bd_openers", 1)
+	p1Ino := k.MkInode(k.vfs().sbExt4, SIFBLK|0o600, 0)
+	part1.SetObj("bd_inode", p1Ino)
+	part1.SetObj("bd_super", k.vfs().sbExt4)
+	k.vfs().sbExt4.SetObj("s_bdev", part1)
+	k.vfs().sbExt4.Set("s_dev", 8<<20|1)
+	k.Symbol("sda1_bdev", part1)
+}
+
+// buildSwap constructs swap area descriptors (ULK Fig 17-6).
+func (k *Kernel) buildSwap() {
+	const maxSwapfiles = 4
+	siT := k.typeOf("swap_info_struct")
+	arr := k.AllocRaw(8*maxSwapfiles, 8)
+	k.SymbolAddr("swap_info", arr, siT.PointerTo().ArrayOf(maxSwapfiles))
+	nr := k.AllocRaw(4, 4)
+	k.Mem.WriteU32(nr, 1)
+	k.SymbolAddr("nr_swapfiles", nr, k.typeOf("int"))
+
+	si := k.Alloc("swap_info_struct")
+	si.Set("flags", 1|2) // SWP_USED|SWP_WRITEOK
+	si.Set("prio", uint64(0xFFFE))
+	si.Set("max", 131072)
+	si.Set("pages", 131071)
+	si.Set("inuse_pages", 2048)
+	si.Set("lowest_bit", 3)
+	si.Set("highest_bit", 131071)
+	swapFile := k.MkRegularFile("swapfile", 2)
+	si.SetObj("swap_file", swapFile)
+	// swap_map: one byte per slot; allocate a prefix with a few counts.
+	sm := k.AllocRaw(64, 8)
+	for i := 0; i < 16; i++ {
+		k.Mem.WriteU8(sm+uint64(i), uint8(i%3))
+	}
+	si.Set("swap_map", sm)
+	k.Mem.WriteU64(arr, si.Addr)
+	k.Symbol("swap_info_0", si)
+}
+
+// buildIPC constructs System V IPC state (ULK Fig 19-1/19-2): semaphore
+// arrays and message queues registered in an ipc namespace's IDRs.
+func (k *Kernel) buildIPC(opts Options) {
+	ns := k.Alloc("ipc_namespace")
+	k.Symbol("init_ipc_ns", ns)
+
+	semItems := make(map[uint64]uint64)
+	// One semaphore array per pair of workload processes.
+	nsems := opts.Processes/2 + 1
+	semT := k.typeOf("sem")
+	for i := 0; i < nsems; i++ {
+		// sem_array has a flexible array member: allocate header + sems.
+		saT := k.typeOf("sem_array")
+		cnt := uint64(2 + i%3)
+		addr := k.AllocRaw(saT.Size()+cnt*semT.Size(), 8)
+		sa := Obj{B: k.Builder, Addr: addr, Type: saT}
+		sa.Set("sem_perm.id", uint64(i))
+		sa.Set("sem_perm.key", uint64(0x5feed+i))
+		sa.Set("sem_perm.mode", 0o600)
+		sa.Set("sem_perm.seq", uint64(i))
+		sa.Set("sem_nsems", cnt)
+		sa.Set("sem_ctime", 1_700_000_000+uint64(i))
+		k.InitList(sa.FieldAddr("pending_alter"))
+		k.InitList(sa.FieldAddr("pending_const"))
+		k.InitList(sa.FieldAddr("list_id"))
+		for s := uint64(0); s < cnt; s++ {
+			sem := Obj{B: k.Builder, Addr: addr + saT.Size() + s*semT.Size(), Type: semT}
+			sem.Set("semval", s%2)
+			sem.Set("sempid", uint64(100+i*2))
+			k.InitList(sem.FieldAddr("pending_alter"))
+			k.InitList(sem.FieldAddr("pending_const"))
+			// A waiting queue entry on busy semaphores.
+			if s == 0 && i%2 == 0 {
+				q := k.Alloc("sem_queue")
+				if t, ok := k.ByPID[101+i*2]; ok {
+					q.SetObj("sleeper", t)
+					q.Set("pid", t.Get("pid"))
+				}
+				q.Set("nsops", 1)
+				q.Set("alter", 1)
+				k.ListAddTail(sem.FieldAddr("pending_alter"), q.FieldAddr("list"))
+			}
+		}
+		semItems[uint64(i)] = sa.Addr
+		if i == 0 {
+			k.Symbol("sem_array_0", sa)
+		}
+	}
+	k.BuildXArray(ns.Field("ids").Index(0).Field("ipcs_idr.idr_rt"), semItems)
+	ns.Field("ids").Index(0).Set("in_use", uint64(len(semItems)))
+
+	msgItems := make(map[uint64]uint64)
+	for i := 0; i < 2; i++ {
+		mq := k.Alloc("msg_queue")
+		mq.Set("q_perm.id", uint64(i))
+		mq.Set("q_perm.key", uint64(0xbeef+i))
+		mq.Set("q_perm.mode", 0o644)
+		mq.Set("q_qbytes", 16384)
+		k.InitList(mq.FieldAddr("q_messages"))
+		k.InitList(mq.FieldAddr("q_receivers"))
+		k.InitList(mq.FieldAddr("q_senders"))
+		nmsg := 3 + i*2
+		bytes := uint64(0)
+		for m := 0; m < nmsg; m++ {
+			msg := k.Alloc("msg_msg")
+			msg.Set("m_type", uint64(1+m%2))
+			msg.Set("m_ts", uint64(64+m*16))
+			bytes += uint64(64 + m*16)
+			k.ListAddTail(mq.FieldAddr("q_messages"), msg.FieldAddr("m_list"))
+		}
+		mq.Set("q_qnum", uint64(nmsg))
+		mq.Set("q_cbytes", bytes)
+		mq.Set("q_lspid", 100)
+		msgItems[uint64(i)] = mq.Addr
+		if i == 0 {
+			k.Symbol("msg_queue_0", mq)
+		}
+	}
+	k.BuildXArray(ns.Field("ids").Index(1).Field("ipcs_idr.idr_rt"), msgItems)
+	ns.Field("ids").Index(1).Set("in_use", uint64(len(msgItems)))
+}

@@ -1,0 +1,190 @@
+package kernelsim
+
+import "fmt"
+
+// buildIRQ populates the irq_desc array (ULK Fig 4-5). A few IRQs have
+// configured actions (some chained), the rest are unconfigured.
+func (k *Kernel) buildIRQ() {
+	descs := k.AllocArray("irq_desc", NrIRQs)
+	k.SymbolAddr("irq_desc", descs.Addr, k.typeOf("irq_desc").ArrayOf(NrIRQs))
+
+	chip := k.Alloc("irq_chip")
+	chip.SetStrPtr("name", "IO-APIC")
+	chip.Set("irq_startup", k.Func("irq_startup_default"))
+	chip.Set("irq_enable", k.Func("apic_irq_enable"))
+	chip.Set("irq_disable", k.Func("apic_irq_disable"))
+
+	actions := map[int][]string{
+		1:  {"i8042_interrupt"},
+		4:  {"serial8250_interrupt"},
+		8:  {"rtc_interrupt"},
+		11: {"e1000_intr", "ahci_interrupt"}, // shared line
+		14: {"ata_bmdma_interrupt"},
+	}
+	for i := 0; i < NrIRQs; i++ {
+		d := descs.Index(uint64(i))
+		d.Set("irq_data.irq", uint64(i))
+		d.Set("irq_data.hwirq", uint64(i))
+		d.SetObj("irq_data.chip", chip)
+		d.Set("handle_irq", k.Func("handle_edge_irq"))
+		d.SetStrPtr("name", fmt.Sprintf("edge-%d", i))
+		if handlers, ok := actions[i]; ok {
+			var prev Obj
+			for _, h := range handlers {
+				a := k.Alloc("irqaction")
+				a.Set("handler", k.Func(h))
+				a.Set("irq", uint64(i))
+				a.SetStrPtr("name", h)
+				if prev.IsNil() {
+					d.SetObj("action", a)
+				} else {
+					prev.SetObj("next", a)
+				}
+				prev = a
+			}
+		} else {
+			d.Set("depth", 1) // disabled, no action
+		}
+	}
+}
+
+// buildTimers populates per-CPU timer wheels (ULK Fig 6-1).
+func (k *Kernel) buildTimers() {
+	bases := k.AllocArray("timer_base", NrCPUs)
+	k.SymbolAddr("timer_bases", bases.Addr, k.typeOf("timer_base").ArrayOf(NrCPUs))
+	jiffies := uint64(4_295_000_000)
+	jc := k.AllocRaw(8, 8)
+	k.Mem.WriteU64(jc, jiffies)
+	k.SymbolAddr("jiffies", jc, k.typeOf("unsigned long"))
+
+	timerFns := []string{
+		"process_timeout", "delayed_work_timer_fn", "tcp_keepalive_timer",
+		"neigh_timer_handler", "commit_timeout", "blk_rq_timed_out_timer",
+		"writeout_period", "mce_timer_fn", "dev_watchdog",
+	}
+	const wheelSize = 64
+	fn := 0
+	for cpu := uint64(0); cpu < NrCPUs; cpu++ {
+		base := bases.Index(cpu)
+		base.Set("cpu", cpu)
+		base.Set("clk", jiffies)
+		base.Set("next_expiry", jiffies+12)
+		// Scatter timers across a few buckets; some buckets get chains.
+		for b := 0; b < 10; b++ {
+			bucket := base.FieldAddr("vectors") + uint64(b*3%wheelSize)*8
+			n := 1 + (b % 3)
+			for j := 0; j < n; j++ {
+				tl := k.Alloc("timer_list")
+				tl.Set("expires", jiffies+uint64(b*3+j+1))
+				tl.Set("function", k.Func(timerFns[fn%len(timerFns)]))
+				tl.Set("flags", cpu|uint64(b)<<22)
+				k.HListAddHead(bucket, tl.FieldAddr("entry"))
+				fn++
+			}
+		}
+	}
+}
+
+// buildBuddy populates one NUMA node with zones and buddy free lists
+// (ULK Fig 8-2), backing the free lists with real struct pages flagged
+// PGBuddy whose buddy_order records their order.
+func (k *Kernel) buildBuddy() {
+	node := k.Alloc("pglist_data")
+	k.NodeData = node
+	k.Symbol("node_data0", node)
+	node.Set("nr_zones", MaxNrZones)
+	node.Set("node_start_pfn", 1)
+
+	pageT := k.typeOf("page")
+	k.SymbolAddr("vmemmap", vmemmapBase, pageT.PointerTo())
+
+	zoneNames := []string{"DMA", "DMA32", "Normal"}
+	present := []uint64{4096, 1_044_480, 262_144}
+	for zi := 0; zi < MaxNrZones; zi++ {
+		z := node.Field("node_zones").Index(uint64(zi))
+		z.SetStrPtr("name", zoneNames[zi])
+		z.Set("zone_start_pfn", 1+uint64(zi)*4096)
+		z.Set("present_pages", present[zi])
+		z.Set("spanned_pages", present[zi])
+		z.Set("managed_pages", present[zi]*95/100)
+		totalFree := uint64(0)
+		for order := 0; order < MaxOrder; order++ {
+			fa := z.Field("free_area").Index(uint64(order))
+			for mt := 0; mt < MigrateTypes; mt++ {
+				head := fa.FieldAddr("free_list") + uint64(mt)*16
+				k.InitList(head)
+				// A couple of free blocks on the interesting lists.
+				nblocks := 0
+				if zi == 2 { // ZONE_NORMAL gets the visible population
+					nblocks = (order+mt)%3 + 1
+				}
+				for bi := 0; bi < nblocks; bi++ {
+					pg, _ := k.AllocPage()
+					pg.Set("buddy_flags", PGBuddy)
+					pg.Set("buddy_order", uint64(order))
+					k.ListAddTail(head, pg.FieldAddr("buddy_list"))
+					totalFree += 1 << order
+				}
+			}
+			fa.Set("nr_free", totalFree)
+		}
+	}
+}
+
+// buildSlab populates the slab_caches list with SLUB caches and partial
+// slabs (ULK Fig 8-4).
+func (k *Kernel) buildSlab() {
+	head := k.AllocRaw(16, 8)
+	k.InitList(head)
+	k.SymbolAddr("slab_caches", head, k.typeOf("list_head"))
+
+	caches := []struct {
+		name    string
+		objSize uint64
+		perSlab int
+		partial int
+	}{
+		{"kmalloc-64", 64, 64, 2},
+		{"kmalloc-256", 256, 16, 1},
+		{"task_struct", k.typeOf("task_struct").Size(), 8, 1},
+		{"vm_area_struct", k.typeOf("vm_area_struct").Size(), 16, 2},
+		{"maple_node", 256, 16, 1},
+		{"dentry", k.typeOf("dentry").Size(), 16, 1},
+		{"inode_cache", k.typeOf("inode").Size(), 8, 0},
+	}
+	for _, c := range caches {
+		kc := k.Alloc("kmem_cache")
+		kc.SetStrPtr("name", c.name)
+		kc.Set("object_size", c.objSize)
+		kc.Set("size", (c.objSize+63)&^63)
+		kc.Set("oo", uint64(c.perSlab))
+		kc.Set("min_partial", 5)
+		k.ListAddTail(head, kc.FieldAddr("list"))
+
+		cpuSlab := k.Alloc("kmem_cache_cpu")
+		kc.SetObj("cpu_slab", cpuSlab)
+		nodeC := k.Alloc("kmem_cache_node")
+		k.InitList(nodeC.FieldAddr("partial"))
+		nodeC.Set("nr_partial", uint64(c.partial))
+		k.Mem.WriteU64(kc.FieldAddr("node"), nodeC.Addr)
+
+		mkSlab := func(inuse int) Obj {
+			s := k.Alloc("slab") // stands in for the page-embedded slab
+			s.SetObj("slab_cache", kc)
+			s.Set("objects", uint64(c.perSlab))
+			s.Set("inuse", uint64(inuse))
+			if inuse < c.perSlab {
+				s.Set("freelist", k.AllocRaw(c.objSize, 8))
+			}
+			k.InitList(s.FieldAddr("slab_list"))
+			return s
+		}
+		active := mkSlab(c.perSlab / 2)
+		cpuSlab.SetObj("slab", active)
+		cpuSlab.Set("freelist", active.Get("freelist"))
+		for i := 0; i < c.partial; i++ {
+			ps := mkSlab(c.perSlab - 1 - i)
+			k.ListAddTail(nodeC.FieldAddr("partial"), ps.FieldAddr("slab_list"))
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package kernelsim
+
+import (
+	"visualinux/internal/ctypes"
+	"visualinux/internal/target"
+)
+
+// Kernel is a fully built simulated kernel state plus handles to the key
+// objects, so tests and examples can locate what they plot without
+// searching memory.
+type Kernel struct {
+	*Builder
+
+	// Process management.
+	InitTask  Obj
+	Tasks     []Obj       // all tasks in creation order (incl. init)
+	ByPID     map[int]Obj // pid -> task_struct
+	InitPidNS Obj         // struct pid_namespace with the pid IDR
+	Runqueues Obj         // per-cpu array of struct rq
+
+	// Memory management.
+	NodeData Obj // struct pglist_data (single NUMA node)
+
+	// VFS and files.
+	SuperBlocks Obj   // list_head symbol handle
+	Files       []Obj // all struct file objects
+	RootSB      Obj   // the ext4-ish root superblock
+
+	// Case-study handles.
+	DirtyPipe      Obj // pipe_inode_info sharing a page with DirtyFile
+	DirtyFile      Obj // struct file whose page cache is shared
+	SharedPage     Obj // the shared struct page
+	StackRotMM     Obj // mm_struct whose maple node is pending RCU free
+	StackRotNode   Obj // the maple_node on the RCU waiting list
+	StackRotVictim Obj // the vm_area_struct reachable through the dead node
+	MMPercpuWQ     Obj // workqueue_struct for Fig 6
+	RCUData        Obj // per-cpu rcu_data array
+
+	// internal builder state shared between subsystem files
+	vfsSt      *vfsState
+	immapNodes map[uint64][]uint64 // address_space -> vma shared_rb nodes
+
+	// mmVMAs tracks each mm's live mappings so mutations (MapRegion /
+	// UnmapRegion) can rebuild the maple tree consistently.
+	mmVMAs map[uint64][]mappedVMA
+}
+
+// mappedVMA pairs a mapping's interval with its vm_area_struct object.
+type mappedVMA struct {
+	start, end uint64
+	vma        Obj
+}
+
+// Options tune the synthetic workload. The zero value requests the paper's
+// Table 4 population: 5 processes × 2 threads plus kernel housekeeping.
+type Options struct {
+	Processes        int // user processes (default 5)
+	ThreadsPerProc   int // threads per process (default 2)
+	VMAsPerProcess   int // memory-mapped regions per process (default 12)
+	PagesPerFile     int // page-cache pages per file (default 16)
+	DisableStackRot  bool
+	DisableDirtyPipe bool
+	// Churn ages the built state through N rounds of live transitions
+	// (map/unmap, fork/exit, signals, pipe traffic), the equivalent of
+	// letting the paper's workload run before breaking in: maple trees
+	// fragment and the RCU lists fill up.
+	Churn int
+}
+
+func (o *Options) fill() {
+	if o.Processes == 0 {
+		o.Processes = 5
+	}
+	if o.ThreadsPerProc == 0 {
+		o.ThreadsPerProc = 2
+	}
+	if o.VMAsPerProcess == 0 {
+		o.VMAsPerProcess = 12
+	}
+	if o.PagesPerFile == 0 {
+		o.PagesPerFile = 16
+	}
+}
+
+// Build constructs the complete simulated kernel state.
+func Build(opts Options) *Kernel {
+	opts.fill()
+	k := &Kernel{
+		Builder:    NewBuilder(),
+		ByPID:      make(map[int]Obj),
+		immapNodes: make(map[uint64][]uint64),
+		mmVMAs:     make(map[uint64][]mappedVMA),
+	}
+
+	// Order matters only where subsystems reference each other; each
+	// builder registers its own symbols.
+	k.buildSched()
+	k.buildPidNamespace()
+	k.buildBuddy()
+	k.buildSlab()
+	k.buildVFSCore()
+	k.buildProcesses(opts)
+	k.buildIRQ()
+	k.buildTimers()
+	k.buildKobjects()
+	k.buildBlock()
+	k.buildSwap()
+	k.buildIPC(opts)
+	k.buildWorkqueues()
+	k.buildRCU()
+	k.buildSockets(opts)
+	if !opts.DisableDirtyPipe {
+		k.buildDirtyPipe()
+	}
+	if !opts.DisableStackRot {
+		k.buildStackRot()
+	}
+	k.finalizeSched()
+	k.finalizePidIDR()
+	k.churn(opts.Churn)
+	// max_pfn reflects every page frame handed out during the build, so
+	// helpers can scan the vmemmap like the kernel does.
+	cell := k.AllocRaw(8, 8)
+	k.Mem.WriteU64(cell, k.pfn)
+	k.SymbolAddr("max_pfn", cell, k.Reg.MustLookup("unsigned long"))
+	return k
+}
+
+// Target returns the simulated debug target (the "GDB (QEMU)" personality).
+func (k *Kernel) Target() *target.Sim { return k.Tgt }
+
+// KGDBTarget returns a latency-wrapped view of the same kernel (the
+// "KGDB (rpi-400)" personality of Table 4).
+func (k *Kernel) KGDBTarget() *target.Latency {
+	return target.WithLatency(k.Tgt, target.DefaultKGDB)
+}
+
+// typeSize is a small helper for symbol registration of arrays.
+func (k *Kernel) typeOf(name string) *ctypes.Type { return k.Reg.MustLookup(name) }

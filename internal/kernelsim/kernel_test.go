@@ -1,0 +1,274 @@
+package kernelsim
+
+import (
+	"testing"
+
+	"visualinux/internal/expr"
+)
+
+func buildTest(t *testing.T) *Kernel {
+	t.Helper()
+	return Build(Options{})
+}
+
+func env(k *Kernel) *expr.Env {
+	e := expr.NewEnv(k.Target())
+	RegisterHelpers(e)
+	return e
+}
+
+func evalU(t *testing.T, e *expr.Env, src string) uint64 {
+	t.Helper()
+	ex, err := expr.Parse(src, e.Types())
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := ex.Eval(e)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v.Uint()
+}
+
+func evalS(t *testing.T, e *expr.Env, src string) string {
+	t.Helper()
+	ex, err := expr.Parse(src, e.Types())
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := ex.Eval(e)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	if v.IsStr {
+		return v.Str
+	}
+	s, err := expr.ReadString(e, v, 64)
+	if err != nil {
+		t.Fatalf("string %q: %v", src, err)
+	}
+	return s
+}
+
+func TestBuildSmoke(t *testing.T) {
+	k := buildTest(t)
+	if len(k.Tasks) < 15 {
+		t.Fatalf("too few tasks: %d", len(k.Tasks))
+	}
+	if k.ByPID[1].IsNil() || k.ByPID[100].IsNil() {
+		t.Fatalf("missing key pids")
+	}
+	pages, bytes := k.Mem.Footprint()
+	if pages == 0 || bytes == 0 {
+		t.Fatalf("empty memory image")
+	}
+}
+
+func TestExprOverKernel(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+
+	if got := evalU(t, e, "init_task.pid"); got != 0 {
+		t.Errorf("init_task.pid = %d", got)
+	}
+	if got := evalS(t, e, "init_task.comm"); got != "swapper/0" {
+		t.Errorf("init_task.comm = %q", got)
+	}
+	// Walk the process tree: init's first child via list_head arithmetic.
+	firstChild := evalU(t, e, "container_of(init_task.children.next, task_struct, sibling)")
+	if firstChild == 0 {
+		t.Fatalf("no first child")
+	}
+	e.Vars["c"] = expr.MakePointer(e.Types().MustLookup("task_struct"), firstChild)
+	if pid := evalU(t, e, "@c->pid"); pid != 1 {
+		t.Errorf("first child pid = %d, want 1 (systemd)", pid)
+	}
+	if s := evalS(t, e, "task_state(@c)"); s != "INTERRUPTIBLE" {
+		t.Errorf("task_state = %q", s)
+	}
+
+	// Scheduler: cpu_rq and the CFS tree.
+	if n := evalU(t, e, "cpu_rq(0)->cfs.nr_running"); n == 0 {
+		t.Errorf("cpu 0 has empty run queue")
+	}
+	left := evalU(t, e, "cpu_rq(0)->cfs.tasks_timeline.rb_leftmost")
+	if left == 0 {
+		t.Fatalf("no leftmost rb node")
+	}
+	lt := evalU(t, e, "container_of(cpu_rq(0)->cfs.tasks_timeline.rb_leftmost, task_struct, se.run_node)")
+	e.Vars["lt"] = expr.MakePointer(e.Types().MustLookup("task_struct"), lt)
+	if v := evalU(t, e, "@lt->se.vruntime"); v == 0 {
+		t.Errorf("leftmost task has zero vruntime")
+	}
+}
+
+func TestMapleTreeShape(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+	task := k.ByPID[100]
+	e.Vars["t"] = expr.MakePointer(e.Types().MustLookup("task_struct"), task.Addr)
+
+	root := evalU(t, e, "@t->mm->mm_mt.ma_root")
+	if root == 0 {
+		t.Fatalf("empty maple root")
+	}
+	if !XaIsNode(root) {
+		t.Fatalf("root %#x is not an encoded node", root)
+	}
+	if evalU(t, e, "xa_is_node(@t->mm->mm_mt.ma_root)") != 1 {
+		t.Errorf("xa_is_node helper disagrees")
+	}
+	nodeAddr := evalU(t, e, "mte_to_node(@t->mm->mm_mt.ma_root)")
+	if nodeAddr%mapleNodeAlign != 0 {
+		t.Errorf("node %#x not 256-aligned", nodeAddr)
+	}
+	typ := MtNodeType(root)
+	if typ != MapleArange64 && typ != MapleLeaf64 {
+		t.Errorf("unexpected root type %d", typ)
+	}
+	// Walk to a leaf and check a VMA looks sane.
+	enode := root
+	for MtNodeType(enode) != MapleLeaf64 {
+		child := evalU(t, e, "mte_to_node("+hex(enode)+")->ma64.slot[0]")
+		if !XaIsNode(child) {
+			t.Fatalf("internal child %#x is not a node", child)
+		}
+		enode = child
+	}
+	vma := uint64(0)
+	for s := 0; s < MapleR64Slots && vma == 0; s++ {
+		vma = evalU(t, e, "mte_to_node("+hex(enode)+")->mr64.slot["+itoa(s)+"]")
+	}
+	if vma == 0 {
+		t.Fatalf("leaf has no entries")
+	}
+	e.Vars["v"] = expr.MakePointer(e.Types().MustLookup("vm_area_struct"), vma)
+	start, end := evalU(t, e, "@v->vm_start"), evalU(t, e, "@v->vm_end")
+	if start >= end {
+		t.Errorf("vma range [%#x,%#x) inverted", start, end)
+	}
+	if mm := evalU(t, e, "@v->vm_mm"); mm != task.Get("mm") {
+		t.Errorf("vma->vm_mm mismatch")
+	}
+}
+
+func TestDirtyPipeState(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+	flags := evalU(t, e, "dirty_pipe.bufs[1].flags")
+	if flags&PipeBufFlagCanMerge == 0 {
+		t.Fatalf("CVE state missing CAN_MERGE on the spliced buffer")
+	}
+	pipePage := evalU(t, e, "dirty_pipe.bufs[1].page")
+	if pipePage != k.SharedPage.Addr {
+		t.Errorf("pipe page %#x != shared page %#x", pipePage, k.SharedPage.Addr)
+	}
+	// The same page must be reachable from test.txt's page cache.
+	mapping := evalU(t, e, "dirty_pipe.bufs[1].page->mapping")
+	if mapping != k.DirtyFile.Get("f_mapping") {
+		t.Errorf("shared page mapping %#x is not test.txt's address_space", mapping)
+	}
+}
+
+func TestStackRotState(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+	head := evalU(t, e, "rcu_data[0].cblist.head")
+	if head == 0 {
+		t.Fatalf("no RCU callback queued")
+	}
+	if head != k.StackRotNode.FieldAddr("rcu") {
+		t.Errorf("queued rcu_head %#x is not the dying maple node's", head)
+	}
+	fn := evalU(t, e, "rcu_data[0].cblist.head->func")
+	if name, _ := k.Target().SymbolAt(fn); name != "mt_free_rcu" {
+		t.Errorf("callback is %q, want mt_free_rcu", name)
+	}
+	if evalU(t, e, "stackrot_mm.mmap_lock.count") != 2 {
+		t.Errorf("mmap_lock should show two readers")
+	}
+	if k.StackRotVictim.IsNil() {
+		t.Errorf("no victim VMA recorded")
+	}
+}
+
+func TestPageCacheXArray(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+	// test.txt has 4 pages; its xarray head must be a single leaf node
+	// (shift 0) with 4 slots.
+	e.Vars["f"] = expr.MakePointer(e.Types().MustLookup("file"), k.DirtyFile.Addr)
+	head := evalU(t, e, "@f->f_mapping->i_pages.xa_head")
+	if !XaIsNode(head) {
+		t.Fatalf("xa_head %#x not a node", head)
+	}
+	if sh := evalU(t, e, "xa_to_node(@f->f_mapping->i_pages.xa_head)->shift"); sh != 0 {
+		t.Errorf("shift = %d, want 0", sh)
+	}
+	if cnt := evalU(t, e, "xa_to_node(@f->f_mapping->i_pages.xa_head)->count"); cnt != 4 {
+		t.Errorf("count = %d, want 4", cnt)
+	}
+	pg := evalU(t, e, "xa_to_node(@f->f_mapping->i_pages.xa_head)->slots[2]")
+	if idx := evalU(t, e, "((page *)"+hex(pg)+")->index"); idx != 2 {
+		t.Errorf("page index = %d, want 2", idx)
+	}
+}
+
+func TestSuperBlockList(t *testing.T) {
+	k := buildTest(t)
+	e := env(k)
+	// Count superblocks by walking the list.
+	head, _ := k.Target().LookupSymbol("super_blocks")
+	cur := evalU(t, e, "super_blocks.next")
+	n := 0
+	ids := map[string]bool{}
+	for cur != head.Addr {
+		e.Vars["sb"] = expr.MakePointer(e.Types().MustLookup("list_head"), cur)
+		sb := evalU(t, e, "container_of(@sb, super_block, s_list)")
+		e.Vars["sbp"] = expr.MakePointer(e.Types().MustLookup("super_block"), sb)
+		ids[evalS(t, e, "@sbp->s_id")] = true
+		cur = evalU(t, e, "@sb->next") // @sb is really the list_head pointer
+		n++
+		if n > 32 {
+			t.Fatalf("runaway list")
+		}
+	}
+	if n != 5 {
+		t.Errorf("superblocks = %d, want 5", n)
+	}
+	if !ids["sda1"] || !ids["pipefs:"] {
+		t.Errorf("missing expected superblocks: %v", ids)
+	}
+	if bdev := evalU(t, e, "sda1_bdev.bd_dev"); bdev != 8<<20|1 {
+		t.Errorf("sda1 dev = %#x", bdev)
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 0, 18)
+	buf = append(buf, '0', 'x')
+	started := false
+	for i := 60; i >= 0; i -= 4 {
+		d := (v >> uint(i)) & 0xF
+		if d != 0 || started || i == 0 {
+			buf = append(buf, digits[d])
+			started = true
+		}
+	}
+	return string(buf)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,158 @@
+package kernelsim
+
+// Maple tree construction. The layout mirrors Linux 6.1's lib/maple_tree.c
+// mechanics as observed by a debugger:
+//
+//   - nodes are 256-byte-aligned maple_node unions;
+//   - an encoded node pointer ("enode") carries the node type in bits 3..6
+//     and the xarray "internal" tag 0b10 in bits 0..1;
+//   - leaf (maple_leaf_64) slots hold object pointers directly, with
+//     pivot[i] = last index covered by slot i; NULL slots encode gaps;
+//   - internal nodes are maple_arange_64 (the mm tree tracks allocation
+//     gaps), whose slots hold child enodes and whose gap array holds the
+//     largest gap below each child.
+//
+// A tree with zero entries has ma_root == NULL; a tree with exactly one
+// entry stores the object pointer directly in ma_root (untagged).
+
+// MapleEntry is one interval to store: [First,Last] -> Ptr.
+type MapleEntry struct {
+	First, Last uint64
+	Ptr         uint64
+}
+
+// MtEncode builds an enode from a node address and maple type.
+func MtEncode(node uint64, mtype uint64) uint64 {
+	return node | (mtype << mapleTypeShift) | xaInternalTag
+}
+
+// MtToNode decodes the node address of an enode.
+func MtToNode(enode uint64) uint64 { return enode &^ uint64(mapleNodeAlign-1) }
+
+// MtNodeType decodes the maple type of an enode.
+func MtNodeType(enode uint64) uint64 { return (enode >> mapleTypeShift) & mapleTypeMask }
+
+// XaIsNode reports whether an entry is an internal (node) entry rather than
+// a plain object pointer. Mirrors xa_is_node(): internal tag plus a sanity
+// floor so small internal constants aren't mistaken for nodes.
+func XaIsNode(entry uint64) bool {
+	return entry&3 == xaInternalTag && entry > 4096
+}
+
+// BuildMapleTree fills the maple_tree object mt with the given entries
+// (sorted by First, non-overlapping) and returns the root enode (0 for an
+// empty tree). Gaps between entries become NULL slots with their own
+// pivots, as in the real tree.
+func (k *Kernel) BuildMapleTree(mt Obj, entries []MapleEntry) uint64 {
+	const mtFlagsAllocRange = 0x02
+	mt.Set("ma_flags", mtFlagsAllocRange)
+	if len(entries) == 0 {
+		mt.Set("ma_root", 0)
+		return 0
+	}
+	if len(entries) == 1 && entries[0].First == 0 {
+		// Single-entry trees store the pointer directly in ma_root.
+		mt.Set("ma_root", entries[0].Ptr)
+		return entries[0].Ptr
+	}
+
+	// Expand entries into (pivot, ptr) runs including gap runs, then chunk
+	// into leaves.
+	type run struct {
+		last uint64 // pivot: last index covered
+		ptr  uint64 // 0 for a gap
+	}
+	var runs []run
+	cursor := uint64(0)
+	for _, e := range entries {
+		if e.First > cursor {
+			runs = append(runs, run{last: e.First - 1, ptr: 0})
+		}
+		runs = append(runs, run{last: e.Last, ptr: e.Ptr})
+		cursor = e.Last + 1
+	}
+	// Trailing gap to the end of the address space.
+	runs = append(runs, run{last: ^uint64(0), ptr: 0})
+
+	// Leaves: up to MapleR64Slots runs per node (keep 2 spare like a tree
+	// that has seen splits).
+	perLeaf := MapleR64Slots - 2
+	type child struct {
+		enode uint64
+		last  uint64 // max index covered by this subtree
+		gap   uint64 // largest gap in this subtree
+	}
+	var children []child
+	for i := 0; i < len(runs); i += perLeaf {
+		j := i + perLeaf
+		if j > len(runs) {
+			j = len(runs)
+		}
+		leaf := k.AllocAligned("maple_node", mapleNodeAlign)
+		maxGap := uint64(0)
+		prevLast := uint64(0)
+		if i > 0 {
+			prevLast = runs[i-1].last + 1
+		}
+		for s, rn := range runs[i:j] {
+			si := uint64(s)
+			if si < MapleR64Slots-1 {
+				k.Mem.WriteU64(leaf.Field("mr64.pivot").Addr+si*8, rn.last)
+			}
+			k.Mem.WriteU64(leaf.Field("mr64.slot").Addr+si*8, rn.ptr)
+			if rn.ptr == 0 {
+				g := rn.last - prevLast + 1
+				if g > maxGap {
+					maxGap = g
+				}
+			}
+			prevLast = rn.last + 1
+		}
+		children = append(children, child{
+			enode: MtEncode(leaf.Addr, MapleLeaf64),
+			last:  runs[j-1].last,
+			gap:   maxGap,
+		})
+	}
+
+	// Internal levels: maple_arange_64 fan-in of up to MapleA64Slots.
+	parentOf := make(map[uint64]uint64) // node addr -> parent enode (set later)
+	for len(children) > 1 {
+		var next []child
+		for i := 0; i < len(children); i += MapleA64Slots {
+			j := i + MapleA64Slots
+			if j > len(children) {
+				j = len(children)
+			}
+			node := k.AllocAligned("maple_node", mapleNodeAlign)
+			maxGap := uint64(0)
+			for s, c := range children[i:j] {
+				si := uint64(s)
+				if si < MapleA64Slots-1 {
+					k.Mem.WriteU64(node.Field("ma64.pivot").Addr+si*8, c.last)
+				}
+				k.Mem.WriteU64(node.Field("ma64.slot").Addr+si*8, c.enode)
+				k.Mem.WriteU64(node.Field("ma64.gap").Addr+si*8, c.gap)
+				parentOf[MtToNode(c.enode)] = MtEncode(node.Addr, MapleArange64)
+				if c.gap > maxGap {
+					maxGap = c.gap
+				}
+			}
+			next = append(next, child{
+				enode: MtEncode(node.Addr, MapleArange64),
+				last:  children[j-1].last,
+				gap:   maxGap,
+			})
+		}
+		children = next
+	}
+	root := children[0].enode
+	// Wire parent pointers (the root's parent points back at the tree with
+	// a tag, like ma_parent; we store the maple_tree address | 1).
+	k.Mem.WriteU64(MtToNode(root), mt.Addr|1)
+	for nodeAddr, parent := range parentOf {
+		k.Mem.WriteU64(nodeAddr, parent)
+	}
+	mt.Set("ma_root", root)
+	return root
+}

@@ -1,0 +1,221 @@
+package kernelsim
+
+import "testing"
+
+func TestSpawnAndExit(t *testing.T) {
+	k := Build(Options{})
+	before := len(k.Tasks)
+	nt, err := k.SpawnTask(500, "newproc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Tasks) != before+1 || k.ByPID[500].Addr != nt.Addr {
+		t.Fatal("task not registered")
+	}
+	if nt.Get("on_rq") != 1 {
+		t.Error("spawned task not runnable")
+	}
+	// Its run_node must be in CPU 0's tree.
+	rq := k.Runqueues.Index(0)
+	found := false
+	var walk func(addr uint64)
+	walk = func(addr uint64) {
+		if addr == 0 {
+			return
+		}
+		if addr == nt.FieldAddr("se.run_node") {
+			found = true
+		}
+		r, _ := k.Mem.ReadU64(addr + 8)
+		l, _ := k.Mem.ReadU64(addr + 16)
+		walk(l)
+		walk(r)
+	}
+	root, _ := k.Mem.ReadU64(rq.FieldAddr("cfs.tasks_timeline"))
+	walk(root)
+	if !found {
+		t.Error("spawned task not on the run queue")
+	}
+	// Duplicate pid rejected.
+	if _, err := k.SpawnTask(500, "dup", 1); err == nil {
+		t.Error("duplicate pid accepted")
+	}
+
+	// Exit: dequeued, zombie.
+	if err := k.ExitTask(500); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Get("exit_state") != ExitZombie {
+		t.Error("not zombie")
+	}
+	found = false
+	root, _ = k.Mem.ReadU64(rq.FieldAddr("cfs.tasks_timeline"))
+	walk(root)
+	if found {
+		t.Error("zombie still enqueued")
+	}
+}
+
+func TestMapUnmapWithRCUDeferredFree(t *testing.T) {
+	k := Build(Options{})
+	mm := k.At("mm_struct", k.ByPID[100].Get("mm"))
+	mapsBefore := len(k.mmVMAs[mm.Addr])
+	rcuBefore := k.RCUData.Index(0).Get("cblist.len")
+
+	vma, err := k.MapRegion(100, 0x7000_0000_0000, 0x7000_0002_0000, VMRead|VMWrite, Obj{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(k.mmVMAs[mm.Addr]); got != mapsBefore+1 {
+		t.Fatalf("maps = %d", got)
+	}
+	if mm.Get("map_count") != uint64(mapsBefore+1) {
+		t.Errorf("map_count = %d", mm.Get("map_count"))
+	}
+	// The new mapping is findable in the rebuilt maple tree.
+	if got := mapleLookup(k, mm.Field("mm_mt"), 0x7000_0001_0000); got != vma.Addr {
+		t.Errorf("lookup after map = %#x, want %#x", got, vma.Addr)
+	}
+	// The rebuild queued the replaced nodes on RCU (the StackRot
+	// mechanism): cblist grew.
+	rcuAfterMap := k.RCUData.Index(0).Get("cblist.len")
+	if rcuAfterMap <= rcuBefore {
+		t.Errorf("no deferred frees after rebuild: %d -> %d", rcuBefore, rcuAfterMap)
+	}
+
+	// Overlap rejected.
+	if _, err := k.MapRegion(100, 0x7000_0001_0000, 0x7000_0003_0000, VMRead, Obj{}); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	// Unaligned rejected.
+	if _, err := k.MapRegion(100, 0x7000_1000_0123, 0x7000_1000_2000, VMRead, Obj{}); err == nil {
+		t.Error("unaligned map accepted")
+	}
+
+	// Unmap: gone from the tree.
+	if err := k.UnmapRegion(100, 0x7000_0000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if got := mapleLookup(k, mm.Field("mm_mt"), 0x7000_0001_0000); got != 0 {
+		t.Errorf("lookup after unmap = %#x", got)
+	}
+	if err := k.UnmapRegion(100, 0xdead_0000); err == nil {
+		t.Error("bogus unmap accepted")
+	}
+}
+
+func TestSendSignal(t *testing.T) {
+	k := Build(Options{})
+	if err := k.SendSignal(100, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	tsk := k.ByPID[100]
+	sig, _ := k.Mem.ReadU64(tsk.FieldAddr("pending.signal.sig"))
+	if sig&(1<<9) == 0 {
+		t.Errorf("SIGUSR1 bit not set: %#x", sig)
+	}
+	// The queue holds one sigqueue whose si_signo is 10.
+	head := tsk.FieldAddr("pending.list")
+	first, _ := k.Mem.ReadU64(head)
+	if first == head {
+		t.Fatal("pending list empty")
+	}
+	q := k.At("sigqueue", first) // list field is at offset 0
+	if q.Get("si_signo") != 10 || q.Get("si_pid") != 1 {
+		t.Errorf("sigqueue = signo %d from %d", q.Get("si_signo"), q.Get("si_pid"))
+	}
+	if err := k.SendSignal(99999, 9, 1); err == nil {
+		t.Error("signal to missing pid accepted")
+	}
+}
+
+// TestDirtyPipeDynamics replays the CVE step by step: a clean pipe, a
+// buggy splice, then a write that merges into the file's page and dirties
+// it — the corruption becoming visible in the state.
+func TestDirtyPipeDynamics(t *testing.T) {
+	k := Build(Options{DisableDirtyPipe: true})
+	pipe := k.MakePipe()
+	file := k.DirtyFile // test.txt
+
+	// Step 1: a normal write occupies slot 0 with CAN_MERGE (legit).
+	if err := k.PipeWrite(pipe, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Step 2: buggy splice of test.txt page 0.
+	if err := k.SpliceToPipe(file, 0, pipe, 512, true); err != nil {
+		t.Fatal(err)
+	}
+	bufT := k.typeOf("pipe_buffer")
+	spliced := k.At("pipe_buffer", pipe.Get("bufs")+1*bufT.Size())
+	if spliced.Get("flags")&PipeBufFlagCanMerge == 0 {
+		t.Fatal("bug flag missing")
+	}
+	pg := k.At("page", spliced.Get("page"))
+	if pg.Get("mapping") != file.Get("f_mapping") {
+		t.Fatal("spliced page is not the file's")
+	}
+	if pg.Get("flags")&PGDirty != 0 {
+		t.Fatal("page dirty too early")
+	}
+	// Step 3: the attacker's pipe write merges into the shared page.
+	if err := k.PipeWrite(pipe, 64); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Get("flags")&PGDirty == 0 {
+		t.Error("corruption did not reach the page cache (PG_dirty missing)")
+	}
+
+	// Counterfactual: a correct splice (flags cleared) does not corrupt.
+	k2 := Build(Options{DisableDirtyPipe: true})
+	p2 := k2.MakePipe()
+	if err := k2.PipeWrite(p2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.SpliceToPipe(k2.DirtyFile, 0, p2, 512, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.PipeWrite(p2, 64); err != nil {
+		t.Fatal(err)
+	}
+	b1 := k2.At("pipe_buffer", p2.Get("bufs")+1*k2.typeOf("pipe_buffer").Size())
+	pg2 := k2.At("page", b1.Get("page"))
+	if pg2.Get("flags")&PGDirty != 0 {
+		t.Error("fixed kernel still corrupts")
+	}
+	// The write landed in a fresh slot instead.
+	if p2.Get("head") != 3 {
+		t.Errorf("head = %d, want 3 (new slot used)", p2.Get("head"))
+	}
+}
+
+// TestChurnAgesState: churned kernels stay consistent and still extract.
+func TestChurnAgesState(t *testing.T) {
+	k := Build(Options{Churn: 16})
+	// RCU lists populated by the rebuilds.
+	total := uint64(0)
+	for cpu := uint64(0); cpu < NrCPUs; cpu++ {
+		total += k.RCUData.Index(cpu).Get("cblist.len")
+	}
+	if total == 0 {
+		t.Error("churn produced no deferred frees")
+	}
+	// Spawned churn tasks registered.
+	if _, ok := k.ByPID[903]; !ok {
+		t.Error("churn did not spawn tasks")
+	}
+	// Maple trees still internally consistent for every workload mm.
+	for mmAddr, vmas := range k.mmVMAs {
+		mm := k.At("mm_struct", mmAddr)
+		for _, mv := range vmas {
+			got := mapleLookup(k, mm.Field("mm_mt"), mv.start)
+			if got != mv.vma.Addr {
+				t.Fatalf("mm %#x: lookup(%#x) = %#x, want %#x", mmAddr, mv.start, got, mv.vma.Addr)
+			}
+		}
+	}
+	// Pending signals accumulated.
+	sig, _ := k.Mem.ReadU64(k.ByPID[100].FieldAddr("pending.signal.sig"))
+	if sig == 0 {
+		t.Error("no pending signals after churn")
+	}
+}

@@ -1,0 +1,393 @@
+package kernelsim
+
+import "fmt"
+
+// Process management: task_structs, the process tree (ULK Fig 3-4), the pid
+// IDR (Fig 3-6's modern descendant), signal structures (Fig 11-1), fd
+// tables (Fig 12-3), and per-process address spaces (Fig 9-2) with anon
+// reverse maps (Fig 17-1) and file mappings (Fig 16-2).
+
+func (k *Kernel) buildPidNamespace() {
+	ns := k.Alloc("pid_namespace")
+	k.InitPidNS = ns
+	k.Symbol("init_pid_ns", ns)
+}
+
+// MkPid allocates a struct pid for number nr.
+func (k *Kernel) MkPid(nr int) Obj {
+	p := k.Alloc("pid")
+	p.Set("count.refs", 1)
+	n0 := p.Field("numbers").Index(0)
+	n0.Set("nr", uint64(uint32(nr)))
+	n0.SetObj("ns", k.InitPidNS)
+	return p
+}
+
+// TaskSpec configures NewTask.
+type TaskSpec struct {
+	PID      int
+	TGID     int // 0: same as PID (group leader)
+	Comm     string
+	Parent   Obj // empty for init
+	State    uint64
+	Prio     int
+	VRuntime uint64
+	Kthread  bool
+}
+
+// NewTask allocates a task_struct, wiring identity, parenthood, the global
+// task list and pid linkage. Scheduling linkage happens in finalizeSched.
+func (k *Kernel) NewTask(sp TaskSpec) Obj {
+	t := k.Alloc("task_struct")
+	if sp.TGID == 0 {
+		sp.TGID = sp.PID
+	}
+	t.Set("pid", uint64(uint32(sp.PID)))
+	t.Set("tgid", uint64(uint32(sp.TGID)))
+	t.SetStr("comm", sp.Comm)
+	t.Set("__state", sp.State)
+	if sp.Prio == 0 {
+		sp.Prio = 120
+	}
+	t.Set("prio", uint64(sp.Prio))
+	t.Set("static_prio", uint64(sp.Prio))
+	t.Set("normal_prio", uint64(sp.Prio))
+	t.Set("usage.refs", 2)
+	t.Set("se.vruntime", sp.VRuntime)
+	t.Set("se.load.weight", 1024)
+	t.Set("se.sum_exec_runtime", sp.VRuntime*3/2)
+	t.Set("start_time", 1_000_000_000+uint64(sp.PID)*7_000_000)
+	t.Set("utime", uint64(sp.PID)*1_000_000)
+	t.Set("stime", uint64(sp.PID)*400_000)
+	if sp.Kthread {
+		t.Set("flags", 0x00200000) // PF_KTHREAD
+	}
+	k.InitList(t.FieldAddr("children"))
+	k.InitList(t.FieldAddr("sibling"))
+	k.InitList(t.FieldAddr("tasks"))
+	k.InitList(t.FieldAddr("thread_group"))
+	k.InitList(t.FieldAddr("thread_node"))
+	k.InitList(t.FieldAddr("pending.list"))
+
+	if sp.Parent.IsNil() {
+		t.SetObj("parent", t)
+		t.SetObj("real_parent", t)
+		t.SetObj("group_leader", t)
+	} else {
+		t.SetObj("parent", sp.Parent)
+		t.SetObj("real_parent", sp.Parent)
+		k.ListAddTail(sp.Parent.FieldAddr("children"), t.FieldAddr("sibling"))
+		if sp.TGID == sp.PID {
+			t.SetObj("group_leader", t)
+		} else {
+			leader := k.ByPID[sp.TGID]
+			t.SetObj("group_leader", leader)
+			k.ListAddTail(leader.FieldAddr("thread_group"), t.FieldAddr("thread_group"))
+		}
+		// Global task list threads through init_task.tasks; only thread
+		// group leaders are on it (like for_each_process).
+		if sp.TGID == sp.PID {
+			k.ListAddTail(k.InitTask.FieldAddr("tasks"), t.FieldAddr("tasks"))
+		}
+	}
+
+	// pid linkage
+	p := k.MkPid(sp.PID)
+	t.SetObj("thread_pid", p)
+	k.HListAddHead(p.FieldAddr("tasks"), t.FieldAddr("pid_links")) // PIDTYPE_PID
+
+	k.Tasks = append(k.Tasks, t)
+	k.ByPID[sp.PID] = t
+	return t
+}
+
+// MkSignalStructs allocates shared signal_struct + sighand_struct for a
+// thread group, with a few configured handlers (Fig 11-1).
+func (k *Kernel) MkSignalStructs(nthreads int, configured map[int]string) (sig, hand Obj) {
+	sig = k.Alloc("signal_struct")
+	sig.Set("sigcnt.refs", uint64(nthreads))
+	sig.Set("live", uint64(nthreads))
+	sig.Set("nr_threads", uint64(nthreads))
+	k.InitList(sig.FieldAddr("thread_head"))
+	k.InitList(sig.FieldAddr("shared_pending.list"))
+
+	hand = k.Alloc("sighand_struct")
+	hand.Set("count.refs", uint64(nthreads))
+	for signo, fn := range configured {
+		act := hand.Field("action").Index(uint64(signo - 1))
+		act.Set("sa.sa_handler", k.Func(fn))
+		act.Set("sa.sa_flags", 0x10000000) // SA_RESTART
+	}
+	return sig, hand
+}
+
+// MkFiles allocates a files_struct whose fdtable points at the embedded
+// fdtab/fd_array (the common small-table case), with fds 0-2 at the console
+// and the given extra files appended.
+func (k *Kernel) MkFiles(extra []Obj) Obj {
+	fs := k.Alloc("files_struct")
+	fs.Set("count", 1)
+	fdt := fs.Field("fdtab")
+	fdt.Set("max_fds", NFDBits)
+	fdt.Set("fd", fs.FieldAddr("fd_array"))
+	fdt.Set("open_fds", fs.FieldAddr("open_fds_init"))
+	fdt.Set("close_on_exec", fs.FieldAddr("close_on_exec_init"))
+	fs.Set("fdt", fdt.Addr)
+	cons := k.vfs().consoleFile
+	open := uint64(0)
+	setFD := func(i int, f Obj) {
+		k.Mem.WriteU64(fs.FieldAddr("fd_array")+uint64(i)*8, f.Addr)
+		open |= 1 << uint(i)
+	}
+	setFD(0, cons)
+	setFD(1, cons)
+	setFD(2, cons)
+	for i, f := range extra {
+		setFD(3+i, f)
+	}
+	fs.Set("next_fd", uint64(3+len(extra)))
+	k.Mem.WriteU64(fs.FieldAddr("open_fds_init"), open)
+	return fs
+}
+
+// VMASpec describes one mapping for MkMM.
+type VMASpec struct {
+	Start, End uint64
+	Flags      uint64
+	File       Obj // file-backed if set
+	Pgoff      uint64
+	Anon       bool // attach to the process anon_vma
+}
+
+// MkMM builds an mm_struct with the given mappings: the maple tree, the
+// anon_vma reverse map for anonymous areas, and i_mmap interval trees for
+// file-backed areas.
+func (k *Kernel) MkMM(owner Obj, vmas []VMASpec) Obj {
+	mm := k.Alloc("mm_struct")
+	mm.Set("mm_users", 1)
+	mm.Set("mm_count", 1)
+	mm.SetObj("owner", owner)
+	mm.Set("mmap_base", 0x7f00_0000_0000)
+	mm.Set("task_size", 0x7fff_ffff_f000)
+	mm.Set("pgd", k.AllocRaw(pageSize, pageSize))
+	k.InitList(mm.FieldAddr("mmlist"))
+
+	// One anon_vma per process for its anonymous areas.
+	av := k.Alloc("anon_vma")
+	av.SetObj("root", av)
+	av.Set("refcount", 1)
+
+	var entries []MapleEntry
+	var anonNodes []uint64
+	totalVM := uint64(0)
+	for _, sp := range vmas {
+		vma := k.Alloc("vm_area_struct")
+		vma.Set("vm_start", sp.Start)
+		vma.Set("vm_end", sp.End)
+		vma.Set("vm_flags", sp.Flags)
+		vma.Set("vm_page_prot", sp.Flags&7)
+		vma.SetObj("vm_mm", mm)
+		vma.Set("vm_pgoff", sp.Pgoff)
+		k.InitList(vma.FieldAddr("anon_vma_chain"))
+		if !sp.File.IsNil() {
+			vma.SetObj("vm_file", sp.File)
+			// Interval-tree linkage in the file's address_space.
+			mapping := k.At("address_space", sp.File.Get("f_mapping"))
+			k.attachIMmap(mapping, vma)
+		}
+		if sp.Anon {
+			vma.SetObj("anon_vma", av)
+			avc := k.Alloc("anon_vma_chain")
+			avc.SetObj("vma", vma)
+			avc.SetObj("anon_vma", av)
+			k.InitList(avc.FieldAddr("same_vma"))
+			k.ListAddTail(vma.FieldAddr("anon_vma_chain"), avc.FieldAddr("same_vma"))
+			anonNodes = append(anonNodes, avc.FieldAddr("rb"))
+			av.Set("num_active_vmas", av.Get("num_active_vmas")+1)
+			// Back the area with an anonymous page whose mapping carries
+			// the PAGE_MAPPING_ANON-tagged anon_vma (Fig 17-1 state).
+			pg, _ := k.AllocPage()
+			pg.Set("flags", PGAnon|PGUptodate|PGLRU)
+			pg.Set("mapping", av.Addr|pageMappingAnon)
+			pg.Set("index", sp.Start>>pageShift&0xffff)
+			pg.Set("_refcount", 1)
+			pg.Set("_mapcount", 0)
+		}
+		entries = append(entries, MapleEntry{First: sp.Start, Last: sp.End - 1, Ptr: vma.Addr})
+		totalVM += (sp.End - sp.Start) >> pageShift
+	}
+	k.BuildRBTree(av.FieldAddr("rb_root"), anonNodes, true)
+	k.BuildMapleTree(mm.Field("mm_mt"), entries)
+	for _, e := range entries {
+		k.mmVMAs[mm.Addr] = append(k.mmVMAs[mm.Addr], mappedVMA{
+			start: e.First, end: e.Last + 1, vma: k.At("vm_area_struct", e.Ptr),
+		})
+	}
+	mm.Set("map_count", uint64(len(vmas)))
+	mm.Set("total_vm", totalVM)
+	if len(vmas) > 0 {
+		mm.Set("start_code", vmas[0].Start)
+		mm.Set("end_code", vmas[0].End)
+		last := vmas[len(vmas)-1]
+		mm.Set("start_stack", last.End-0x1000)
+	}
+	return mm
+}
+
+// attachIMmap inserts vma into mapping->i_mmap. We accumulate nodes per
+// address_space and rebuild the balanced tree each time (builder-time cost
+// only).
+func (k *Kernel) attachIMmap(mapping Obj, vma Obj) {
+	k.immapNodes[mapping.Addr] = append(k.immapNodes[mapping.Addr], vma.FieldAddr("shared_rb"))
+	k.BuildRBTree(mapping.FieldAddr("i_mmap"), k.immapNodes[mapping.Addr], true)
+	mapping.Set("i_mmap_writable", 1)
+}
+
+// standardVMAs lays out a realistic process address space: code, data, heap,
+// file mappings, anonymous arenas, libc, stack.
+func (k *Kernel) standardVMAs(binary, libc, data Obj, extraAnon int) []VMASpec {
+	base := uint64(0x0000_5555_5555_0000)
+	specs := []VMASpec{
+		{Start: base, End: base + 0x8000, Flags: VMRead | VMExec, File: binary, Pgoff: 0},
+		{Start: base + 0x8000, End: base + 0xa000, Flags: VMRead, File: binary, Pgoff: 8},
+		{Start: base + 0xa000, End: base + 0xc000, Flags: VMRead | VMWrite, File: binary, Pgoff: 10},
+		{Start: base + 0x20000, End: base + 0x61000, Flags: VMRead | VMWrite, Anon: true}, // heap
+	}
+	m := uint64(0x7f00_0000_0000)
+	if !data.IsNil() {
+		specs = append(specs, VMASpec{Start: m, End: m + 0x4000, Flags: VMRead | VMWrite | VMShared, File: data})
+		m += 0x10000
+	}
+	for i := 0; i < extraAnon; i++ {
+		specs = append(specs, VMASpec{Start: m, End: m + 0x21000, Flags: VMRead | VMWrite, Anon: true})
+		m += 0x40000
+	}
+	if !libc.IsNil() {
+		specs = append(specs,
+			VMASpec{Start: m, End: m + 0x28000, Flags: VMRead | VMExec, File: libc},
+			VMASpec{Start: m + 0x28000, End: m + 0x2c000, Flags: VMRead, File: libc, Pgoff: 0x28},
+			VMASpec{Start: m + 0x2c000, End: m + 0x2e000, Flags: VMRead | VMWrite, File: libc, Pgoff: 0x2c})
+	}
+	specs = append(specs, VMASpec{
+		Start: 0x7ffd_0000_0000, End: 0x7ffd_0002_1000,
+		Flags: VMRead | VMWrite | VMGrowsDown, Anon: true}) // stack
+	return specs
+}
+
+// buildProcesses creates init (pid 1), kernel threads, and the Table-4
+// workload: opts.Processes processes × opts.ThreadsPerProc threads, each
+// with files, sockets and mapped regions.
+func (k *Kernel) buildProcesses(opts Options) {
+	// init_task (swapper, pid 0) is static in the kernel; give it a symbol.
+	k.InitTask = k.NewTask(TaskSpec{PID: 0, Comm: "swapper/0", State: TaskRunning, Kthread: true})
+	k.Symbol("init_task", k.InitTask)
+
+	// Shared libraries/binaries with page caches (Fig 15-1 / 16-2 fodder).
+	libc := k.MkRegularFile("libc.so.6", opts.PagesPerFile*2)
+	busybox := k.MkRegularFile("busybox", opts.PagesPerFile)
+	logfile := k.MkRegularFile("syslog", opts.PagesPerFile)
+	testTxt := k.MkRegularFile("test.txt", 4)
+	k.DirtyFile = testTxt
+
+	// pid 1: init.
+	sig1, hand1 := k.MkSignalStructs(1, map[int]string{2: "init_sigint", 15: "init_sigterm", 17: "init_sigchld"})
+	initT := k.NewTask(TaskSpec{PID: 1, Comm: "systemd", Parent: k.InitTask, State: TaskInterruptible, VRuntime: 1_200_000})
+	initT.SetObj("signal", sig1)
+	initT.SetObj("sighand", hand1)
+	mm1 := k.MkMM(initT, k.standardVMAs(busybox, libc, Obj{}, 2))
+	initT.SetObj("mm", mm1)
+	initT.SetObj("active_mm", mm1)
+	initT.SetObj("files", k.MkFiles([]Obj{logfile}))
+
+	// Kernel threads.
+	for i, name := range []string{"kthreadd", "rcu_preempt", "kworker/0:1", "kworker/1:2", "ksoftirqd/0"} {
+		kt := k.NewTask(TaskSpec{PID: 2 + i, Comm: name, Parent: k.InitTask,
+			State: TaskInterruptible, Kthread: true, VRuntime: uint64(400_000 * (i + 1))})
+		kt.SetObj("active_mm", mm1)
+	}
+
+	// Workload processes (the paper's ~500 LOC benchmark program).
+	pid := 100
+	for p := 0; p < opts.Processes; p++ {
+		comm := fmt.Sprintf("workload-%d", p)
+		nthreads := opts.ThreadsPerProc
+		sig, hand := k.MkSignalStructs(nthreads, map[int]string{
+			10: "workload_sigusr1", 14: "workload_alarm",
+		})
+		var dataFile Obj
+		if p%2 == 0 {
+			dataFile = logfile
+		} else {
+			dataFile = testTxt
+		}
+		leader := k.NewTask(TaskSpec{
+			PID: pid, Comm: comm, Parent: k.ByPID[1],
+			State: TaskRunning, VRuntime: uint64(2_000_000 + 150_000*p),
+		})
+		leader.SetObj("signal", sig)
+		leader.SetObj("sighand", hand)
+		extraAnon := opts.VMAsPerProcess - 9 // standardVMAs adds ~9 besides anon arenas
+		if extraAnon < 1 {
+			extraAnon = 1
+		}
+		mm := k.MkMM(leader, k.standardVMAs(busybox, libc, dataFile, extraAnon))
+		leader.SetObj("mm", mm)
+		leader.SetObj("active_mm", mm)
+		leader.SetObj("files", k.MkFiles([]Obj{dataFile}))
+		// signal->pids[PIDTYPE_PID] points at the leader's struct pid.
+		k.Mem.WriteU64(sig.FieldAddr("pids"), leader.Get("thread_pid"))
+		k.ListAddTail(sig.FieldAddr("thread_head"), leader.FieldAddr("thread_node"))
+		pid++
+		for th := 1; th < nthreads; th++ {
+			tt := k.NewTask(TaskSpec{
+				PID: pid, TGID: leader.taskPID(), Comm: comm, Parent: k.ByPID[1],
+				State: TaskRunning, VRuntime: uint64(2_050_000 + 150_000*p + 40_000*th),
+			})
+			tt.SetObj("signal", sig)
+			tt.SetObj("sighand", hand)
+			tt.SetObj("mm", mm)
+			tt.SetObj("active_mm", mm)
+			tt.Set("files", leader.Get("files")) // threads share the files_struct
+			k.ListAddTail(sig.FieldAddr("thread_head"), tt.FieldAddr("thread_node"))
+			pid++
+		}
+	}
+
+	// A few sleeping daemons to diversify states.
+	for i, d := range []struct {
+		comm  string
+		state uint64
+	}{{"sshd", TaskInterruptible}, {"cron", TaskInterruptible}, {"jbd2/sda1-8", TaskUninterruptible}} {
+		dt := k.NewTask(TaskSpec{PID: 50 + i, Comm: d.comm, Parent: k.ByPID[1], State: d.state,
+			VRuntime: uint64(900_000 * (i + 1))})
+		sig, hand := k.MkSignalStructs(1, map[int]string{1: "daemon_sighup"})
+		dt.SetObj("signal", sig)
+		dt.SetObj("sighand", hand)
+		mm := k.MkMM(dt, k.standardVMAs(busybox, libc, Obj{}, 1))
+		dt.SetObj("mm", mm)
+		dt.SetObj("active_mm", mm)
+		dt.SetObj("files", k.MkFiles(nil))
+	}
+}
+
+func (t Obj) taskPID() int { return int(int32(t.Get("pid"))) }
+
+// finalizePidIDR fills init_pid_ns.idr with pid-number -> struct pid
+// mappings for every task, reproducing the modern Fig 3-6 structure.
+func (k *Kernel) finalizePidIDR() {
+	items := make(map[uint64]uint64)
+	maxPid := 0
+	for pid, t := range k.ByPID {
+		if pid == 0 {
+			continue
+		}
+		items[uint64(pid)] = t.Get("thread_pid")
+		if pid > maxPid {
+			maxPid = pid
+		}
+	}
+	k.BuildXArray(k.InitPidNS.Field("idr.idr_rt"), items)
+	k.InitPidNS.Set("idr.idr_next", uint64(maxPid+1))
+	k.InitPidNS.Set("pid_allocated", uint64(len(items)))
+	k.InitPidNS.SetObj("child_reaper", k.ByPID[1])
+}

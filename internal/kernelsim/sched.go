@@ -1,0 +1,65 @@
+package kernelsim
+
+import "sort"
+
+// buildSched allocates the per-CPU run queues (symbol "runqueues") before
+// any task exists; finalizeSched later enqueues runnable tasks into the CFS
+// red-black trees, reproducing ULK Fig 7-1 state.
+func (k *Kernel) buildSched() {
+	rqT := k.typeOf("rq")
+	arr := k.AllocArray("rq", NrCPUs)
+	k.Runqueues = arr
+	k.SymbolAddr("runqueues", arr.Addr, rqT.ArrayOf(NrCPUs))
+	for cpu := uint64(0); cpu < NrCPUs; cpu++ {
+		rq := arr.Index(cpu)
+		rq.Set("cpu", cpu)
+		rq.Set("clock", 1_000_000_000*(cpu+1))
+		rq.Set("cfs.min_vruntime", 3_000_000)
+		k.InitList(rq.FieldAddr("cfs.tasks_timeline")) // placeholder; rebuilt below
+	}
+}
+
+// finalizeSched distributes runnable tasks round-robin over the CPUs and
+// builds each CPU's CFS timeline red-black tree keyed by vruntime.
+func (k *Kernel) finalizeSched() {
+	type entry struct {
+		node     uint64
+		vruntime uint64
+		task     Obj
+	}
+	percpu := make([][]entry, NrCPUs)
+	for i, t := range k.Tasks {
+		if t.Get("__state") != TaskRunning || t.Get("pid") == 0 {
+			continue
+		}
+		cpu := i % NrCPUs
+		t.Set("cpu", uint64(cpu))
+		t.Set("on_rq", 1)
+		t.Set("se.on_rq", 1)
+		percpu[cpu] = append(percpu[cpu], entry{
+			node:     t.FieldAddr("se.run_node"),
+			vruntime: t.Get("se.vruntime"),
+			task:     t,
+		})
+	}
+	for cpu := 0; cpu < NrCPUs; cpu++ {
+		es := percpu[cpu]
+		sort.Slice(es, func(i, j int) bool { return es[i].vruntime < es[j].vruntime })
+		nodes := make([]uint64, len(es))
+		for i, e := range es {
+			nodes[i] = e.node
+		}
+		rq := k.Runqueues.Index(uint64(cpu))
+		k.BuildRBTree(rq.FieldAddr("cfs.tasks_timeline"), nodes, true)
+		rq.Set("cfs.nr_running", uint64(len(es)))
+		rq.Set("cfs.h_nr_running", uint64(len(es)))
+		rq.Set("nr_running", uint64(len(es)))
+		if len(es) > 0 {
+			cur := es[len(es)-1].task
+			rq.SetObj("curr", cur)
+			rq.Set("cfs.curr", cur.FieldAddr("se"))
+			cur.Set("on_cpu", 1)
+		}
+		rq.Set("cfs.load.weight", 1024*uint64(len(es)))
+	}
+}

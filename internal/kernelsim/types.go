@@ -1,0 +1,1038 @@
+// Package kernelsim builds a simulated Linux kernel state: a memory image
+// populated with Linux-6.1-shaped data structures that the Visualinux engine
+// debugs through the target interface. It replaces the live QEMU/KGDB kernel
+// of the paper while preserving everything ViewCL can observe — struct
+// layouts, pointer topology, container_of embedding, tagged pointers, and
+// per-CPU indirection.
+//
+// The layouts below follow Linux 6.1 field names and nesting. Field *sets*
+// are pruned to the members that any ULK figure, case study, or helper
+// touches (plus padding-relevant neighbors); offsets therefore differ from a
+// real vmlinux, which is irrelevant because the type registry is the single
+// source of truth for both the builder and the evaluator — exactly the
+// DWARF contract.
+package kernelsim
+
+import (
+	"visualinux/internal/ctypes"
+)
+
+// Tunables of the simulated machine (kept small enough to plot, mirroring
+// the paper's 2-vCPU QEMU setup).
+const (
+	NrCPUs        = 2
+	NrIRQs        = 16
+	NSig          = 64
+	MaxOrder      = 11 // buddy allocator orders 0..10
+	MigrateTypes  = 3
+	MaxNrZones    = 3
+	XAChunkSize   = 64 // xarray fan-out
+	MapleR64Slots = 16 // maple_range_64 / leaf_64 slots
+	MapleA64Slots = 10 // maple_arange_64 slots
+	PipeRingSize  = 8
+	NFDBits       = 64
+)
+
+// Maple node type enumerators (mirroring enum maple_type).
+const (
+	MapleDense = iota
+	MapleLeaf64
+	MapleRange64
+	MapleArange64
+)
+
+// Pointer tagging schemes, documented here once:
+//
+// maple enode: nodes are 256-byte aligned; an encoded node pointer is
+// node | (type << 3) | 2. The |2 makes it an xarray-style "internal" entry,
+// so xa_is_node() distinguishes internal nodes from plain object pointers
+// stored in leaf slots.
+const (
+	mapleNodeAlign  = 256
+	mapleTypeShift  = 3
+	mapleTypeMask   = 0xF
+	xaInternalTag   = 2
+	pageMappingAnon = 1 // page->mapping low bit: anon_vma pointer
+)
+
+// VM flag bits (subset of Linux's vm_flags).
+const (
+	VMRead      = 0x0001
+	VMWrite     = 0x0002
+	VMExec      = 0x0004
+	VMShared    = 0x0008
+	VMMayRead   = 0x0010
+	VMMayWrite  = 0x0020
+	VMGrowsDown = 0x0100
+	VMAnon      = 0 // anonymous mappings are simply file-less
+)
+
+// Pipe buffer flags.
+const (
+	PipeBufFlagLRU      = 0x01
+	PipeBufFlagAtomic   = 0x02
+	PipeBufFlagGift     = 0x04
+	PipeBufFlagPacket   = 0x08
+	PipeBufFlagCanMerge = 0x10
+)
+
+// Page flag bits (subset).
+const (
+	PGLocked    = 1 << 0
+	PGDirty     = 1 << 1
+	PGLRU       = 1 << 2
+	PGUptodate  = 1 << 3
+	PGSlab      = 1 << 4
+	PGBuddy     = 1 << 5
+	PGAnon      = 1 << 6
+	PGSwapCache = 1 << 7
+)
+
+// Task state bits (Linux __state values).
+const (
+	TaskRunning         = 0x0000
+	TaskInterruptible   = 0x0001
+	TaskUninterruptible = 0x0002
+	TaskStopped         = 0x0004
+	TaskTraced          = 0x0008
+	ExitDead            = 0x0010
+	ExitZombie          = 0x0020
+	TaskDead            = 0x0080
+	TaskWakeKill        = 0x0100
+	TaskNew             = 0x0800
+)
+
+// RegisterTypes declares every simulated kernel type into r and returns r.
+func RegisterTypes(r *ctypes.Registry) *ctypes.Registry {
+	u8 := r.MustLookup("u8")
+	u16 := r.MustLookup("u16")
+	u32 := r.MustLookup("u32")
+	u64 := r.MustLookup("u64")
+	s64 := r.MustLookup("s64")
+	cint := r.MustLookup("int")
+	uint_ := r.MustLookup("unsigned int")
+	long_ := r.MustLookup("long")
+	ulong := r.MustLookup("unsigned long")
+	short_ := r.MustLookup("short")
+	charT := r.MustLookup("char")
+	pidT := r.MustLookup("pid_t")
+	atomicT := r.MustLookup("atomic_t")
+	atomic64 := r.MustLookup("atomic64_t")
+	atomicLong := r.MustLookup("atomic_long_t")
+	loffT := r.MustLookup("loff_t")
+	devT := r.MustLookup("dev_t")
+	sectorT := r.MustLookup("sector_t")
+	voidp := ctypes.VoidPtr
+	fptr := ctypes.FuncPtr
+	charp := charT.PointerTo()
+
+	F := ctypes.F
+	BF := ctypes.BF
+
+	// ---- forward declarations for every cyclic struct --------------------
+	shell := func(name string) *ctypes.Type { return r.Register(ctypes.NewShell(name)) }
+	taskStruct := shell("task_struct")
+	mmStruct := shell("mm_struct")
+	vmArea := shell("vm_area_struct")
+	filesStruct := shell("files_struct")
+	file := shell("file")
+	dentry := shell("dentry")
+	inode := shell("inode")
+	superBlock := shell("super_block")
+	addressSpace := shell("address_space")
+	anonVma := shell("anon_vma")
+	signalStruct := shell("signal_struct")
+	sighandStruct := shell("sighand_struct")
+	pidStruct := shell("pid")
+	pidNamespace := shell("pid_namespace")
+	sock := shell("sock")
+	socket := shell("socket")
+	skBuff := shell("sk_buff")
+	blockDevice := shell("block_device")
+	gendisk := shell("gendisk")
+	kobject := shell("kobject")
+	kset := shell("kset")
+	kobjType := shell("kobj_type")
+	device := shell("device")
+	deviceDriver := shell("device_driver")
+	busType := shell("bus_type")
+	kmemCache := shell("kmem_cache")
+	slab := shell("slab")
+	xaNode := shell("xa_node")
+	mapleNode := shell("maple_node")
+	page := shell("page")
+	pipeInode := shell("pipe_inode_info")
+	irqaction := shell("irqaction")
+	irqChip := shell("irq_chip")
+	fsType := shell("file_system_type")
+	workqueueStruct := shell("workqueue_struct")
+	workerPool := shell("worker_pool")
+	swapInfo := shell("swap_info_struct")
+	rcuHead := shell("rcu_head")
+	timerList := shell("timer_list")
+	msgMsg := shell("msg_msg")
+	vfsmount := shell("vfsmount")
+	protoOps := shell("proto_ops")
+	fileOperations := shell("file_operations")
+	pipeBufOperations := shell("pipe_buf_operations")
+	vmOperations := shell("vm_operations_struct")
+	schedEntity := shell("sched_entity")
+	cfsRq := shell("cfs_rq")
+	rq := shell("rq")
+
+	// ---- enums ------------------------------------------------------------
+	r.Register(ctypes.NewEnum("maple_type",
+		ctypes.EnumVal{Name: "maple_dense", Value: MapleDense},
+		ctypes.EnumVal{Name: "maple_leaf_64", Value: MapleLeaf64},
+		ctypes.EnumVal{Name: "maple_range_64", Value: MapleRange64},
+		ctypes.EnumVal{Name: "maple_arange_64", Value: MapleArange64},
+	))
+	r.Register(ctypes.NewEnum("pid_type",
+		ctypes.EnumVal{Name: "PIDTYPE_PID", Value: 0},
+		ctypes.EnumVal{Name: "PIDTYPE_TGID", Value: 1},
+		ctypes.EnumVal{Name: "PIDTYPE_PGID", Value: 2},
+		ctypes.EnumVal{Name: "PIDTYPE_SID", Value: 3},
+		ctypes.EnumVal{Name: "PIDTYPE_MAX", Value: 4},
+	))
+	socketState := r.Register(ctypes.NewEnum("socket_state",
+		ctypes.EnumVal{Name: "SS_FREE", Value: 0},
+		ctypes.EnumVal{Name: "SS_UNCONNECTED", Value: 1},
+		ctypes.EnumVal{Name: "SS_CONNECTING", Value: 2},
+		ctypes.EnumVal{Name: "SS_CONNECTED", Value: 3},
+		ctypes.EnumVal{Name: "SS_DISCONNECTING", Value: 4},
+	))
+	r.Register(ctypes.NewEnum("tcp_state",
+		ctypes.EnumVal{Name: "TCP_ESTABLISHED", Value: 1},
+		ctypes.EnumVal{Name: "TCP_SYN_SENT", Value: 2},
+		ctypes.EnumVal{Name: "TCP_SYN_RECV", Value: 3},
+		ctypes.EnumVal{Name: "TCP_FIN_WAIT1", Value: 4},
+		ctypes.EnumVal{Name: "TCP_FIN_WAIT2", Value: 5},
+		ctypes.EnumVal{Name: "TCP_TIME_WAIT", Value: 6},
+		ctypes.EnumVal{Name: "TCP_CLOSE", Value: 7},
+		ctypes.EnumVal{Name: "TCP_CLOSE_WAIT", Value: 8},
+		ctypes.EnumVal{Name: "TCP_LAST_ACK", Value: 9},
+		ctypes.EnumVal{Name: "TCP_LISTEN", Value: 10},
+		ctypes.EnumVal{Name: "TCP_CLOSING", Value: 11},
+	))
+	zoneType := r.Register(ctypes.NewEnum("zone_type",
+		ctypes.EnumVal{Name: "ZONE_DMA", Value: 0},
+		ctypes.EnumVal{Name: "ZONE_DMA32", Value: 1},
+		ctypes.EnumVal{Name: "ZONE_NORMAL", Value: 2},
+	))
+	_ = zoneType
+
+	// ---- primitive kernel wrappers ----------------------------------------
+	spinlock := r.Register(ctypes.StructOf("spinlock_t", F("raw_lock", u32), F("owner_cpu", u32)))
+	r.Register(ctypes.Typedef("raw_spinlock_t", spinlock))
+	refcount := r.Register(ctypes.StructOf("refcount_t", F("refs", atomicT)))
+	kref := r.Register(ctypes.StructOf("kref", F("refcount", refcount)))
+	rwsem := r.Register(ctypes.StructOf("rw_semaphore",
+		F("count", atomicLong), F("owner", atomicLong), F("wait_lock", spinlock)))
+	seqcount := r.Register(ctypes.StructOf("seqcount_t", F("sequence", uint_)))
+	mutexT := r.Register(ctypes.StructOf("mutex", F("owner", atomicLong), F("wait_lock", spinlock)))
+	sigsetT := r.Register(ctypes.StructOf("sigset_t", F("sig", u64.ArrayOf(1))))
+	kuidT := r.Register(ctypes.StructOf("kuid_t", F("val", u32)))
+	kgidT := r.Register(ctypes.StructOf("kgid_t", F("val", u32)))
+	waitQueueHead := shell("wait_queue_head")
+
+	listHead := shell("list_head")
+	listHead.Complete(F("next", listHead.PointerTo()), F("prev", listHead.PointerTo()))
+	hlistNode := shell("hlist_node")
+	hlistNode.Complete(F("next", hlistNode.PointerTo()), F("pprev", hlistNode.PointerTo().PointerTo()))
+	hlistHead := r.Register(ctypes.StructOf("hlist_head", F("first", hlistNode.PointerTo())))
+	r.Register(listHead)
+	r.Register(hlistNode)
+
+	waitQueueHead.Complete(F("lock", spinlock), F("head", listHead))
+	r.Register(waitQueueHead)
+
+	rbNode := shell("rb_node")
+	rbNode.Complete(
+		F("__rb_parent_color", ulong),
+		F("rb_right", rbNode.PointerTo()),
+		F("rb_left", rbNode.PointerTo()))
+	r.Register(rbNode)
+	rbRoot := r.Register(ctypes.StructOf("rb_root", F("rb_node", rbNode.PointerTo())))
+	rbRootCached := r.Register(ctypes.StructOf("rb_root_cached",
+		F("rb_root", rbRoot), F("rb_leftmost", rbNode.PointerTo())))
+
+	rcuHead.Complete(F("next", rcuHead.PointerTo()), F("func", fptr))
+
+	qstr := r.Register(ctypes.StructOf("qstr", F("hash_len", u64), F("name", charp)))
+
+	// ---- xarray / idr -------------------------------------------------------
+	xarray := r.Register(ctypes.StructOf("xarray",
+		F("xa_lock", spinlock), F("xa_flags", uint_), F("xa_head", voidp)))
+	xaNode.Complete(
+		F("shift", u8), F("offset", u8), F("count", u8), F("nr_values", u8),
+		F("parent", xaNode.PointerTo()),
+		F("array", xarray.PointerTo()),
+		F("slots", voidp.ArrayOf(XAChunkSize)))
+	idr := r.Register(ctypes.StructOf("idr",
+		F("idr_rt", xarray), F("idr_base", uint_), F("idr_next", uint_)))
+
+	// ---- maple tree ---------------------------------------------------------
+	mapleTree := r.Register(ctypes.StructOf("maple_tree",
+		F("ma_lock", spinlock),
+		F("ma_flags", uint_),
+		F("ma_root", voidp)))
+	mapleRange64 := r.Register(ctypes.StructOf("maple_range_64",
+		F("parent", voidp),
+		F("pivot", ulong.ArrayOf(MapleR64Slots-1)),
+		F("slot", voidp.ArrayOf(MapleR64Slots))))
+	mapleArange64 := r.Register(ctypes.StructOf("maple_arange_64",
+		F("parent", voidp),
+		F("pivot", ulong.ArrayOf(MapleA64Slots-1)),
+		F("slot", voidp.ArrayOf(MapleA64Slots)),
+		F("gap", ulong.ArrayOf(MapleA64Slots)),
+		F("meta", u64)))
+	mapleNode.CompleteUnion(
+		ctypes.FieldSpec{Name: "", Type: ctypes.StructOf("",
+			F("pad", voidp),
+			F("rcu", rcuHead))},
+		F("mr64", mapleRange64),
+		F("ma64", mapleArange64))
+	// Maple nodes are 256-byte aligned slab objects; pad the union to the
+	// allocation size so tagged-pointer arithmetic is honest.
+	_ = mapleNode
+
+	// ---- scheduler ----------------------------------------------------------
+	loadWeight := r.Register(ctypes.StructOf("load_weight",
+		F("weight", ulong), F("inv_weight", u32)))
+	schedEntity.Complete(
+		F("load", loadWeight),
+		F("run_node", rbNode),
+		F("group_node", listHead),
+		F("on_rq", uint_),
+		F("exec_start", u64),
+		F("sum_exec_runtime", u64),
+		F("vruntime", u64),
+		F("prev_sum_exec_runtime", u64))
+	r.Register(schedEntity)
+	cfsRq.Complete(
+		F("load", loadWeight),
+		F("nr_running", uint_),
+		F("h_nr_running", uint_),
+		F("exec_clock", u64),
+		F("min_vruntime", u64),
+		F("tasks_timeline", rbRootCached),
+		F("curr", schedEntity.PointerTo()),
+		F("next", schedEntity.PointerTo()))
+	r.Register(cfsRq)
+	rq.Complete(
+		F("__lock", spinlock),
+		F("nr_running", uint_),
+		F("cpu", cint),
+		F("cfs", cfsRq),
+		F("curr", taskStruct.PointerTo()),
+		F("idle", taskStruct.PointerTo()),
+		F("clock", u64))
+	r.Register(rq)
+
+	// ---- pids ---------------------------------------------------------------
+	upid := r.Register(ctypes.StructOf("upid",
+		F("nr", cint), F("ns", pidNamespace.PointerTo())))
+	pidStruct.Complete(
+		F("count", refcount),
+		F("level", uint_),
+		F("tasks", hlistHead.ArrayOf(4)), // PIDTYPE_MAX
+		F("inodes", hlistHead),
+		F("numbers", upid.ArrayOf(1)))
+	r.Register(pidStruct)
+	pidNamespace.Complete(
+		F("idr", idr),
+		F("pid_allocated", uint_),
+		F("level", uint_),
+		F("child_reaper", taskStruct.PointerTo()),
+		F("parent", pidNamespace.PointerTo()))
+	r.Register(pidNamespace)
+
+	// ---- signals --------------------------------------------------------------
+	sigaction := r.Register(ctypes.StructOf("sigaction",
+		F("sa_handler", fptr),
+		F("sa_flags", ulong),
+		F("sa_restorer", fptr),
+		F("sa_mask", sigsetT)))
+	kSigaction := r.Register(ctypes.StructOf("k_sigaction", F("sa", sigaction)))
+	sigpending := r.Register(ctypes.StructOf("sigpending",
+		F("list", listHead), F("signal", sigsetT)))
+	sigqueue := r.Register(ctypes.StructOf("sigqueue",
+		F("list", listHead),
+		F("flags", cint),
+		F("si_signo", cint), // flattened siginfo essentials
+		F("si_code", cint),
+		F("si_pid", pidT)))
+	_ = sigqueue
+	sighandStruct.Complete(
+		F("count", refcount),
+		F("siglock", spinlock),
+		F("action", kSigaction.ArrayOf(NSig)))
+	r.Register(sighandStruct)
+	signalStruct.Complete(
+		F("sigcnt", refcount),
+		F("live", atomicT),
+		F("nr_threads", cint),
+		F("thread_head", listHead),
+		F("shared_pending", sigpending),
+		F("group_exit_code", cint),
+		F("pids", pidStruct.PointerTo().ArrayOf(4)))
+	r.Register(signalStruct)
+
+	// ---- memory management ------------------------------------------------------
+	page.CompleteUnion(
+		ctypes.FieldSpec{Name: "", Type: ctypes.StructOf("",
+			F("flags", ulong),
+			F("lru", listHead),
+			F("mapping", addressSpace.PointerTo()),
+			F("index", ulong),
+			F("private", ulong),
+			F("_mapcount", atomicT),
+			F("_refcount", atomicT))},
+		ctypes.FieldSpec{Name: "", Type: ctypes.StructOf("",
+			F("buddy_flags", ulong),
+			F("buddy_list", listHead),
+			F("__pad_bf", ulong.ArrayOf(2)),
+			F("buddy_order", ulong))},
+		ctypes.FieldSpec{Name: "", Type: ctypes.StructOf("",
+			F("slab_flags", ulong),
+			F("slab_list", listHead))})
+	r.Register(page)
+
+	freeArea := r.Register(ctypes.StructOf("free_area",
+		F("free_list", listHead.ArrayOf(MigrateTypes)),
+		F("nr_free", ulong)))
+	zone := r.Register(ctypes.StructOf("zone",
+		F("_watermark", ulong.ArrayOf(3)),
+		F("lock", spinlock),
+		F("name", charp),
+		F("zone_start_pfn", ulong),
+		F("managed_pages", atomicLong),
+		F("spanned_pages", ulong),
+		F("present_pages", ulong),
+		F("free_area", freeArea.ArrayOf(MaxOrder))))
+	pglistData := r.Register(ctypes.StructOf("pglist_data",
+		F("node_zones", zone.ArrayOf(MaxNrZones)),
+		F("nr_zones", cint),
+		F("node_id", cint),
+		F("node_start_pfn", ulong),
+		F("node_present_pages", ulong)))
+	_ = pglistData
+
+	vmOperations.Complete(F("open", fptr), F("close", fptr), F("fault", fptr))
+	r.Register(vmOperations)
+	vmArea.Complete(
+		F("vm_start", ulong),
+		F("vm_end", ulong),
+		F("vm_mm", mmStruct.PointerTo()),
+		F("vm_page_prot", ulong),
+		F("vm_flags", ulong),
+		F("shared_rb", rbNode), // interval-tree node in address_space->i_mmap
+		F("shared_rb_subtree_last", ulong),
+		F("anon_vma_chain", listHead),
+		F("anon_vma", anonVma.PointerTo()),
+		F("vm_ops", vmOperations.PointerTo()),
+		F("vm_pgoff", ulong),
+		F("vm_file", file.PointerTo()),
+		F("vm_private_data", voidp))
+	r.Register(vmArea)
+
+	mmStruct.Complete(
+		F("mm_mt", mapleTree),
+		F("mmap_base", ulong),
+		F("task_size", ulong),
+		F("pgd", ulong),
+		F("mm_users", atomicT),
+		F("mm_count", atomicT),
+		F("map_count", cint),
+		F("mmap_lock", rwsem),
+		F("mmlist", listHead),
+		F("total_vm", ulong),
+		F("exec_vm", ulong),
+		F("stack_vm", ulong),
+		F("start_code", ulong), F("end_code", ulong),
+		F("start_data", ulong), F("end_data", ulong),
+		F("start_brk", ulong), F("brk", ulong),
+		F("start_stack", ulong),
+		F("arg_start", ulong), F("arg_end", ulong),
+		F("env_start", ulong), F("env_end", ulong),
+		F("owner", taskStruct.PointerTo()))
+	r.Register(mmStruct)
+
+	avc := r.Register(ctypes.StructOf("anon_vma_chain",
+		F("vma", vmArea.PointerTo()),
+		F("anon_vma", anonVma.PointerTo()),
+		F("same_vma", listHead),
+		F("rb", rbNode),
+		F("rb_subtree_last", ulong)))
+	_ = avc
+	anonVma.Complete(
+		F("root", anonVma.PointerTo()),
+		F("rwsem", rwsem),
+		F("refcount", atomicT),
+		F("num_children", ulong),
+		F("num_active_vmas", ulong),
+		F("parent", anonVma.PointerTo()),
+		F("rb_root", rbRootCached))
+	r.Register(anonVma)
+
+	swapInfo.Complete(
+		F("lock", spinlock),
+		F("flags", ulong),
+		F("prio", short_),
+		F("type", cint),
+		F("max", ulong),
+		F("swap_map", r.MustLookup("unsigned char").PointerTo()),
+		F("lowest_bit", ulong),
+		F("highest_bit", ulong),
+		F("pages", ulong),
+		F("inuse_pages", ulong),
+		F("bdev", blockDevice.PointerTo()),
+		F("swap_file", file.PointerTo()))
+	r.Register(swapInfo)
+
+	// ---- slab (SLUB) ---------------------------------------------------------
+	kmemCacheCPU := r.Register(ctypes.StructOf("kmem_cache_cpu",
+		F("freelist", voidp),
+		F("tid", ulong),
+		F("slab", slab.PointerTo()),
+		F("partial", slab.PointerTo())))
+	kmemCacheNode := r.Register(ctypes.StructOf("kmem_cache_node",
+		F("list_lock", spinlock),
+		F("nr_partial", ulong),
+		F("partial", listHead)))
+	slab.Complete(
+		F("slab_list", listHead),
+		F("slab_cache", kmemCache.PointerTo()),
+		F("freelist", voidp),
+		BF("inuse", u32, 16),
+		BF("objects", u32, 15),
+		BF("frozen", u32, 1))
+	r.Register(slab)
+	kmemCache.Complete(
+		F("cpu_slab", kmemCacheCPU.PointerTo()),
+		F("flags", ulong),
+		F("min_partial", ulong),
+		F("size", uint_),
+		F("object_size", uint_),
+		F("offset", uint_),
+		F("oo", u32),
+		F("name", charp),
+		F("list", listHead),
+		F("node", kmemCacheNode.PointerTo().ArrayOf(1)))
+	r.Register(kmemCache)
+
+	// ---- VFS ---------------------------------------------------------------
+	fileOperations.Complete(
+		F("owner", voidp), F("llseek", fptr), F("read", fptr), F("write", fptr),
+		F("read_iter", fptr), F("write_iter", fptr), F("mmap", fptr), F("open", fptr))
+	r.Register(fileOperations)
+
+	addressSpace.Complete(
+		F("host", inode.PointerTo()),
+		F("i_pages", xarray),
+		F("invalidate_lock", rwsem),
+		F("gfp_mask", u32),
+		F("i_mmap_writable", atomicT),
+		F("i_mmap", rbRootCached),
+		F("i_mmap_rwsem", rwsem),
+		F("nrpages", ulong),
+		F("writeback_index", ulong),
+		F("a_ops", voidp),
+		F("flags", ulong))
+	r.Register(addressSpace)
+
+	inode.Complete(
+		F("i_mode", u16),
+		F("i_opflags", u16),
+		F("i_uid", kuidT),
+		F("i_gid", kgidT),
+		F("i_flags", uint_),
+		F("i_sb", superBlock.PointerTo()),
+		F("i_mapping", addressSpace.PointerTo()),
+		F("i_ino", ulong),
+		F("i_nlink", uint_),
+		F("i_rdev", devT),
+		F("i_size", loffT),
+		F("i_blocks", u64),
+		F("i_state", ulong),
+		F("i_sb_list", listHead),
+		F("i_dentry", hlistHead),
+		F("i_count", atomicT),
+		F("i_data", addressSpace),
+		F("i_pipe", pipeInode.PointerTo()))
+	r.Register(inode)
+
+	dentry.Complete(
+		F("d_flags", uint_),
+		F("d_seq", seqcount),
+		F("d_hash", hlistNode),
+		F("d_parent", dentry.PointerTo()),
+		F("d_name", qstr),
+		F("d_inode", inode.PointerTo()),
+		F("d_iname", charT.ArrayOf(32)),
+		F("d_lockref_count", cint),
+		F("d_sb", superBlock.PointerTo()),
+		F("d_child", listHead),
+		F("d_subdirs", listHead))
+	r.Register(dentry)
+
+	vfsmount.Complete(
+		F("mnt_root", dentry.PointerTo()),
+		F("mnt_sb", superBlock.PointerTo()),
+		F("mnt_flags", cint))
+	r.Register(vfsmount)
+
+	path := r.Register(ctypes.StructOf("path",
+		F("mnt", vfsmount.PointerTo()),
+		F("dentry", dentry.PointerTo())))
+
+	file.Complete(
+		F("f_u_llist", listHead), // union fu: llist/rcuhead, modeled as list
+		F("f_lock", spinlock),
+		F("f_mode", uint_),
+		F("f_count", atomicLong),
+		F("f_pos_lock", mutexT),
+		F("f_pos", loffT),
+		F("f_flags", uint_),
+		F("f_path", path),
+		F("f_inode", inode.PointerTo()),
+		F("f_op", fileOperations.PointerTo()),
+		F("f_mapping", addressSpace.PointerTo()),
+		F("private_data", voidp))
+	r.Register(file)
+
+	fdtable := r.Register(ctypes.StructOf("fdtable",
+		F("max_fds", uint_),
+		F("fd", file.PointerTo().PointerTo()),
+		F("close_on_exec", ulong.PointerTo()),
+		F("open_fds", ulong.PointerTo()),
+		F("full_fds_bits", ulong.PointerTo()),
+		F("rcu", rcuHead)))
+	filesStruct.Complete(
+		F("count", atomicT),
+		F("fdt", fdtable.PointerTo()),
+		F("fdtab", fdtable),
+		F("file_lock", spinlock),
+		F("next_fd", uint_),
+		F("close_on_exec_init", ulong.ArrayOf(1)),
+		F("open_fds_init", ulong.ArrayOf(1)),
+		F("fd_array", file.PointerTo().ArrayOf(NFDBits)))
+	r.Register(filesStruct)
+
+	fsType.Complete(
+		F("name", charp),
+		F("fs_flags", cint),
+		F("init_fs_context", fptr),
+		F("mount", fptr),
+		F("kill_sb", fptr),
+		F("next", fsType.PointerTo()),
+		F("fs_supers", hlistHead))
+	r.Register(fsType)
+
+	superBlock.Complete(
+		F("s_list", listHead),
+		F("s_dev", devT),
+		F("s_blocksize_bits", u8),
+		F("s_blocksize", ulong),
+		F("s_maxbytes", loffT),
+		F("s_type", fsType.PointerTo()),
+		F("s_flags", ulong),
+		F("s_magic", ulong),
+		F("s_root", dentry.PointerTo()),
+		F("s_count", cint),
+		F("s_active", atomicT),
+		F("s_bdev", blockDevice.PointerTo()),
+		F("s_id", charT.ArrayOf(32)),
+		F("s_inodes", listHead))
+	r.Register(superBlock)
+
+	// ---- block layer -----------------------------------------------------------
+	blockDevice.Complete(
+		F("bd_start_sect", sectorT),
+		F("bd_nr_sectors", sectorT),
+		F("bd_dev", devT),
+		F("bd_inode", inode.PointerTo()),
+		F("bd_super", superBlock.PointerTo()),
+		F("bd_partno", u8),
+		F("bd_openers", atomicT),
+		F("bd_holder", voidp),
+		F("bd_disk", gendisk.PointerTo()))
+	r.Register(blockDevice)
+	gendisk.Complete(
+		F("major", cint),
+		F("first_minor", cint),
+		F("minors", cint),
+		F("disk_name", charT.ArrayOf(32)),
+		F("part0", blockDevice.PointerTo()),
+		F("state", ulong))
+	r.Register(gendisk)
+
+	// ---- kobject / device model -------------------------------------------------
+	kobject.Complete(
+		F("name", charp),
+		F("entry", listHead),
+		F("parent", kobject.PointerTo()),
+		F("kset", kset.PointerTo()),
+		F("ktype", kobjType.PointerTo()),
+		F("kref", kref),
+		BF("state_initialized", u32, 1),
+		BF("state_in_sysfs", u32, 1),
+		BF("state_add_uevent_sent", u32, 1),
+		BF("state_remove_uevent_sent", u32, 1),
+		BF("uevent_suppress", u32, 1))
+	r.Register(kobject)
+	kset.Complete(
+		F("list", listHead),
+		F("list_lock", spinlock),
+		F("kobj", kobject))
+	r.Register(kset)
+	kobjType.Complete(
+		F("release", fptr),
+		F("sysfs_ops", voidp))
+	r.Register(kobjType)
+	busType.Complete(
+		F("name", charp),
+		F("dev_name", charp),
+		F("match", fptr),
+		F("probe", fptr))
+	r.Register(busType)
+	deviceDriver.Complete(
+		F("name", charp),
+		F("bus", busType.PointerTo()),
+		F("probe", fptr),
+		F("remove", fptr))
+	r.Register(deviceDriver)
+	device.Complete(
+		F("kobj", kobject),
+		F("parent", device.PointerTo()),
+		F("init_name", charp),
+		F("bus", busType.PointerTo()),
+		F("driver", deviceDriver.PointerTo()),
+		F("devt", devT))
+	r.Register(device)
+
+	// ---- IRQ ----------------------------------------------------------------
+	irqChip.Complete(
+		F("name", charp),
+		F("irq_startup", fptr),
+		F("irq_shutdown", fptr),
+		F("irq_enable", fptr),
+		F("irq_disable", fptr))
+	r.Register(irqChip)
+	irqData := r.Register(ctypes.StructOf("irq_data",
+		F("mask", u32),
+		F("irq", uint_),
+		F("hwirq", ulong),
+		F("chip", irqChip.PointerTo())))
+	irqaction.Complete(
+		F("handler", fptr),
+		F("dev_id", voidp),
+		F("next", irqaction.PointerTo()),
+		F("irq", uint_),
+		F("flags", uint_),
+		F("thread_fn", fptr),
+		F("name", charp))
+	r.Register(irqaction)
+	r.Register(ctypes.StructOf("irq_desc",
+		F("irq_data", irqData),
+		F("handle_irq", fptr),
+		F("action", irqaction.PointerTo()),
+		F("depth", uint_),
+		F("irq_count", uint_),
+		F("lock", spinlock),
+		F("name", charp)))
+
+	// ---- timers ----------------------------------------------------------------
+	timerList.Complete(
+		F("entry", hlistNode),
+		F("expires", ulong),
+		F("function", fptr),
+		F("flags", u32))
+	r.Register(timerList)
+	const timerWheelSize = 64 // scaled-down LVL_SIZE*LVL_DEPTH
+	r.Register(ctypes.StructOf("timer_base",
+		F("lock", spinlock),
+		F("running_timer", timerList.PointerTo()),
+		F("clk", ulong),
+		F("next_expiry", ulong),
+		F("cpu", uint_),
+		F("vectors", hlistHead.ArrayOf(timerWheelSize))))
+
+	// ---- workqueues ---------------------------------------------------------------
+	workStruct := r.Register(ctypes.StructOf("work_struct",
+		F("data", atomicLong),
+		F("entry", listHead),
+		F("func", fptr)))
+	r.Register(ctypes.StructOf("delayed_work",
+		F("work", workStruct),
+		F("timer", timerList),
+		F("wq", workqueueStruct.PointerTo()),
+		F("cpu", cint)))
+	workerPool.Complete(
+		F("lock", spinlock),
+		F("cpu", cint),
+		F("node", cint),
+		F("id", cint),
+		F("flags", uint_),
+		F("worklist", listHead),
+		F("nr_workers", cint),
+		F("nr_idle", cint),
+		F("idle_list", listHead),
+		F("workers", listHead))
+	r.Register(workerPool)
+	poolWorkqueue := r.Register(ctypes.StructOf("pool_workqueue",
+		F("pool", workerPool.PointerTo()),
+		F("wq", workqueueStruct.PointerTo()),
+		F("refcnt", cint),
+		F("nr_active", cint),
+		F("max_active", cint),
+		F("inactive_works", listHead),
+		F("pwqs_node", listHead),
+		F("mayday_node", listHead)))
+	_ = poolWorkqueue
+	workqueueStruct.Complete(
+		F("pwqs", listHead),
+		F("list", listHead),
+		F("flags", uint_),
+		F("name", charT.ArrayOf(24)))
+	r.Register(workqueueStruct)
+	worker := r.Register(ctypes.StructOf("worker",
+		F("entry", listHead),
+		F("current_work", workStruct.PointerTo()),
+		F("current_func", fptr),
+		F("pool", workerPool.PointerTo()),
+		F("node", listHead),
+		F("id", cint),
+		F("desc", charT.ArrayOf(24))))
+	_ = worker
+	// Heterogeneous work items for Fig 6: each embeds work_struct.
+	r.Register(ctypes.StructOf("vmstat_work_item",
+		F("dwork", r.MustLookup("delayed_work")),
+		F("cpu", cint),
+		F("stat_threshold", cint)))
+	r.Register(ctypes.StructOf("lru_drain_work_item",
+		F("work", workStruct),
+		F("cpu", cint),
+		F("nr_pages", ulong)))
+	r.Register(ctypes.StructOf("mmu_gather_work_item",
+		F("work", workStruct),
+		F("mm", mmStruct.PointerTo()),
+		F("freed_tables", cint)))
+
+	// ---- RCU -----------------------------------------------------------------
+	rcuSegcblist := r.Register(ctypes.StructOf("rcu_segcblist",
+		F("head", rcuHead.PointerTo()),
+		F("tails", rcuHead.PointerTo().PointerTo().ArrayOf(4)),
+		F("gp_seq", ulong.ArrayOf(4)),
+		F("len", atomicLong)))
+	r.Register(ctypes.StructOf("rcu_data",
+		F("gp_seq", ulong),
+		F("gp_seq_needed", ulong),
+		F("cblist", rcuSegcblist),
+		F("cpu", cint)))
+	r.Register(rcuHead)
+
+	// ---- pipes ----------------------------------------------------------------
+	pipeBufOperations.Complete(
+		F("confirm", fptr),
+		F("release", fptr),
+		F("try_steal", fptr),
+		F("get", fptr))
+	r.Register(pipeBufOperations)
+	pipeBuffer := r.Register(ctypes.StructOf("pipe_buffer",
+		F("page", page.PointerTo()),
+		F("offset", uint_),
+		F("len", uint_),
+		F("ops", pipeBufOperations.PointerTo()),
+		F("flags", uint_),
+		F("private", ulong)))
+	pipeInode.Complete(
+		F("mutex", mutexT),
+		F("rd_wait", waitQueueHead),
+		F("wr_wait", waitQueueHead),
+		F("head", uint_),
+		F("tail", uint_),
+		F("max_usage", uint_),
+		F("ring_size", uint_),
+		F("readers", uint_),
+		F("writers", uint_),
+		F("r_counter", uint_),
+		F("w_counter", uint_),
+		F("bufs", pipeBuffer.PointerTo()))
+	r.Register(pipeInode)
+
+	// ---- sockets -----------------------------------------------------------------
+	protoOps.Complete(
+		F("family", cint),
+		F("bind", fptr),
+		F("connect", fptr),
+		F("sendmsg", fptr),
+		F("recvmsg", fptr))
+	r.Register(protoOps)
+	skBuffHead := r.Register(ctypes.StructOf("sk_buff_head",
+		F("next", skBuff.PointerTo()),
+		F("prev", skBuff.PointerTo()),
+		F("qlen", u32),
+		F("lock", spinlock)))
+	skBuff.Complete(
+		F("next", skBuff.PointerTo()),
+		F("prev", skBuff.PointerTo()),
+		F("sk", sock.PointerTo()),
+		F("len", uint_),
+		F("data_len", uint_),
+		F("protocol", u16),
+		F("head", voidp),
+		F("data", voidp),
+		F("tail", u32),
+		F("end", u32))
+	r.Register(skBuff)
+	sockCommon := r.Register(ctypes.StructOf("sock_common",
+		F("skc_daddr", u32),
+		F("skc_rcv_saddr", u32),
+		F("skc_dport", u16),
+		F("skc_num", u16),
+		F("skc_family", u16),
+		F("skc_state", u8),
+		F("skc_reuse", u8)))
+	sock.Complete(
+		F("__sk_common", sockCommon),
+		F("sk_lock_owned", cint),
+		F("sk_rcvbuf", atomicT),
+		F("sk_sndbuf", cint),
+		F("sk_receive_queue", skBuffHead),
+		F("sk_write_queue", skBuffHead),
+		F("sk_wmem_alloc", refcount),
+		F("sk_rmem_alloc", atomicT),
+		F("sk_socket", socket.PointerTo()))
+	r.Register(sock)
+	socket.Complete(
+		F("state", socketState),
+		F("type", short_),
+		F("flags", ulong),
+		F("file", file.PointerTo()),
+		F("sk", sock.PointerTo()),
+		F("ops", protoOps.PointerTo()))
+	r.Register(socket)
+	r.Register(ctypes.StructOf("socket_alloc",
+		F("socket", socket),
+		F("vfs_inode", inode)))
+
+	// ---- System V IPC -----------------------------------------------------------
+	kernIpcPerm := r.Register(ctypes.StructOf("kern_ipc_perm",
+		F("lock", spinlock),
+		F("deleted", ctypes.Bool8),
+		F("id", cint),
+		F("key", cint),
+		F("uid", kuidT),
+		F("gid", kgidT),
+		F("mode", u16),
+		F("seq", ulong)))
+	semT := r.Register(ctypes.StructOf("sem",
+		F("semval", cint),
+		F("sempid", pidT),
+		F("lock", spinlock),
+		F("pending_alter", listHead),
+		F("pending_const", listHead),
+		F("sem_otime", r.MustLookup("time64_t"))))
+	r.Register(ctypes.StructOf("sem_array",
+		F("sem_perm", kernIpcPerm),
+		F("sem_ctime", r.MustLookup("time64_t")),
+		F("pending_alter", listHead),
+		F("pending_const", listHead),
+		F("list_id", listHead),
+		F("sem_nsems", cint),
+		F("complex_count", cint),
+		F("sems", semT.ArrayOf(0)))) // flexible array member
+	r.Register(ctypes.StructOf("sem_queue",
+		F("list", listHead),
+		F("sleeper", taskStruct.PointerTo()),
+		F("pid", pidT),
+		F("status", cint),
+		F("nsops", cint),
+		F("alter", ctypes.Bool8)))
+	msgMsg.Complete(
+		F("m_list", listHead),
+		F("m_type", long_),
+		F("m_ts", r.MustLookup("size_t")),
+		F("next", voidp),
+		F("security", voidp))
+	r.Register(msgMsg)
+	r.Register(ctypes.StructOf("msg_queue",
+		F("q_perm", kernIpcPerm),
+		F("q_stime", r.MustLookup("time64_t")),
+		F("q_rtime", r.MustLookup("time64_t")),
+		F("q_ctime", r.MustLookup("time64_t")),
+		F("q_cbytes", ulong),
+		F("q_qnum", ulong),
+		F("q_qbytes", ulong),
+		F("q_lspid", pidT),
+		F("q_lrpid", pidT),
+		F("q_messages", listHead),
+		F("q_receivers", listHead),
+		F("q_senders", listHead)))
+	ipcIds := r.Register(ctypes.StructOf("ipc_ids",
+		F("in_use", cint),
+		F("seq", u16),
+		F("rwsem", rwsem),
+		F("ipcs_idr", idr),
+		F("max_idx", cint)))
+	r.Register(ctypes.StructOf("ipc_namespace",
+		F("ids", ipcIds.ArrayOf(3))))
+
+	// ---- fs_struct & ns ------------------------------------------------------------
+	r.Register(ctypes.StructOf("fs_struct",
+		F("users", cint),
+		F("lock", spinlock),
+		F("umask", cint),
+		F("root", path),
+		F("pwd", path)))
+
+	// ---- the task_struct (last: embeds sched_entity etc.) ---------------------------
+	taskStruct.Complete(
+		F("thread_info_flags", ulong),
+		F("__state", uint_),
+		F("stack", voidp),
+		F("usage", refcount),
+		F("flags", uint_),
+		F("on_cpu", cint),
+		F("cpu", uint_),
+		F("on_rq", cint),
+		F("prio", cint),
+		F("static_prio", cint),
+		F("normal_prio", cint),
+		F("se", schedEntity),
+		F("policy", uint_),
+		F("mm", mmStruct.PointerTo()),
+		F("active_mm", mmStruct.PointerTo()),
+		F("exit_state", cint),
+		F("exit_code", cint),
+		F("exit_signal", cint),
+		F("pid", pidT),
+		F("tgid", pidT),
+		F("real_parent", taskStruct.PointerTo()),
+		F("parent", taskStruct.PointerTo()),
+		F("children", listHead),
+		F("sibling", listHead),
+		F("group_leader", taskStruct.PointerTo()),
+		F("thread_pid", pidStruct.PointerTo()),
+		F("pid_links", hlistNode.ArrayOf(4)),
+		F("thread_group", listHead),
+		F("thread_node", listHead),
+		F("tasks", listHead),
+		F("utime", u64),
+		F("stime", u64),
+		F("start_time", u64),
+		F("comm", charT.ArrayOf(16)),
+		F("fs", r.MustLookup("fs_struct").PointerTo()),
+		F("files", filesStruct.PointerTo()),
+		F("signal", signalStruct.PointerTo()),
+		F("sighand", sighandStruct.PointerTo()),
+		F("blocked", sigsetT),
+		F("pending", sigpending))
+	r.Register(taskStruct)
+
+	_ = s64
+	_ = atomic64
+	_ = mapleTree
+	return r
+}

@@ -1,0 +1,226 @@
+package kernelsim
+
+// VFS core: filesystem types, superblocks, inodes, dentries, files and
+// their page caches. Reproduces the object topology behind ULK Fig 12-3
+// (fd array), Fig 14-3 (block device descriptors via super_block), Fig 15-1
+// (page-cache radix tree), Fig 16-2 (file memory mapping) and the
+// "from process to VFS" figure (#20).
+
+// File mode bits.
+const (
+	SIFIFO  = 0x1000
+	SIFCHR  = 0x2000
+	SIFDIR  = 0x4000
+	SIFBLK  = 0x6000
+	SIFREG  = 0x8000
+	SIFLNK  = 0xA000
+	SIFSOCK = 0xC000
+)
+
+// vfsState carries the VFS handles other builders need.
+type vfsState struct {
+	superBlocksHead uint64 // list_head symbol address
+	sbExt4          Obj
+	sbProc          Obj
+	sbTmpfs         Obj
+	sbPipefs        Obj
+	sbSockfs        Obj
+	rootDentry      Obj
+	nextIno         uint64
+	consoleFile     Obj
+	fileOps         Obj // shared file_operations for regular files
+	pipeOps         Obj
+	sockOps         Obj
+}
+
+var _ = SIFLNK
+
+func (k *Kernel) vfs() *vfsState { return k.vfsSt }
+
+func (k *Kernel) buildVFSCore() {
+	st := &vfsState{nextIno: 2}
+	k.vfsSt = st
+
+	// --- file_operations tables ----------------------------------------
+	st.fileOps = k.Alloc("file_operations")
+	st.fileOps.Set("read_iter", k.Func("generic_file_read_iter"))
+	st.fileOps.Set("write_iter", k.Func("generic_file_write_iter"))
+	st.fileOps.Set("mmap", k.Func("generic_file_mmap"))
+	st.fileOps.Set("open", k.Func("generic_file_open"))
+	st.fileOps.Set("llseek", k.Func("generic_file_llseek"))
+	k.Symbol("ext4_file_operations", st.fileOps)
+	st.pipeOps = k.Alloc("file_operations")
+	st.pipeOps.Set("read_iter", k.Func("pipe_read"))
+	st.pipeOps.Set("write_iter", k.Func("pipe_write"))
+	k.Symbol("pipefifo_fops", st.pipeOps)
+	st.sockOps = k.Alloc("file_operations")
+	st.sockOps.Set("read_iter", k.Func("sock_read_iter"))
+	st.sockOps.Set("write_iter", k.Func("sock_write_iter"))
+	k.Symbol("socket_file_ops", st.sockOps)
+
+	// --- registered filesystem types (symbol: file_systems) -------------
+	names := []string{"ext4", "proc", "tmpfs", "pipefs", "sockfs"}
+	var prev Obj
+	var first Obj
+	for _, n := range names {
+		ft := k.Alloc("file_system_type")
+		ft.SetStrPtr("name", n)
+		ft.Set("mount", k.Func(n+"_mount"))
+		ft.Set("kill_sb", k.Func("kill_block_super"))
+		if prev.IsNil() {
+			first = ft
+		} else {
+			prev.SetObj("next", ft)
+		}
+		prev = ft
+	}
+	// file_systems is a pointer variable: allocate a cell holding it.
+	cell := k.AllocRaw(8, 8)
+	k.Mem.WriteU64(cell, first.Addr)
+	k.SymbolAddr("file_systems", cell, k.typeOf("file_system_type").PointerTo())
+
+	// --- super_blocks list -----------------------------------------------
+	head := k.AllocRaw(16, 8)
+	k.InitList(head)
+	st.superBlocksHead = head
+	k.SymbolAddr("super_blocks", head, k.typeOf("list_head"))
+	k.SuperBlocks = k.At("list_head", head)
+
+	mkSB := func(id string, fsIdx int, magic uint64, blocksize uint64) Obj {
+		sb := k.Alloc("super_block")
+		sb.SetStr("s_id", id)
+		sb.Set("s_blocksize", blocksize)
+		sb.Set("s_blocksize_bits", 12)
+		sb.Set("s_magic", magic)
+		sb.Set("s_count", 1)
+		sb.Set("s_active", 1)
+		// find fs type by walking our chain again
+		ft := first
+		for i := 0; i < fsIdx; i++ {
+			ft = k.At("file_system_type", ft.Get("next"))
+		}
+		sb.SetObj("s_type", ft)
+		k.InitList(sb.FieldAddr("s_inodes"))
+		k.ListAddTail(head, sb.FieldAddr("s_list"))
+		return sb
+	}
+	st.sbExt4 = mkSB("sda1", 0, 0xEF53, 4096)
+	st.sbProc = mkSB("proc", 1, 0x9fa0, 4096)
+	st.sbTmpfs = mkSB("tmpfs", 2, 0x01021994, 4096)
+	st.sbPipefs = mkSB("pipefs:", 3, 0x50495045, 4096)
+	st.sbSockfs = mkSB("sockfs:", 4, 0x534F434B, 4096)
+	k.RootSB = st.sbExt4
+
+	// Root dentry for ext4.
+	rootIno := k.MkInode(st.sbExt4, SIFDIR|0o755, 4096)
+	st.rootDentry = k.MkDentry("/", Obj{}, rootIno)
+	st.sbExt4.SetObj("s_root", st.rootDentry)
+
+	// Console char device file shared by every task's fds 0-2.
+	consIno := k.MkInode(st.sbExt4, SIFCHR|0o620, 0)
+	consIno.Set("i_rdev", 5<<20|1) // MKDEV(5,1)
+	consDentry := k.MkDentry("console", st.rootDentry, consIno)
+	st.consoleFile = k.MkFile(consDentry, 2 /*O_RDWR*/)
+}
+
+// MkInode allocates an inode on sb with its own address_space.
+func (k *Kernel) MkInode(sb Obj, mode uint64, size uint64) Obj {
+	st := k.vfs()
+	ino := k.Alloc("inode")
+	ino.Set("i_mode", mode)
+	ino.Set("i_ino", st.nextIno)
+	st.nextIno++
+	ino.Set("i_size", size)
+	ino.Set("i_nlink", 1)
+	ino.Set("i_count", 1)
+	ino.SetObj("i_sb", sb)
+	// i_mapping points at the embedded i_data.
+	data := ino.Field("i_data")
+	data.Set("host", ino.Addr)
+	ino.Set("i_mapping", data.Addr)
+	k.InitList(ino.FieldAddr("i_sb_list"))
+	if !sb.IsNil() {
+		k.ListAddTail(sb.FieldAddr("s_inodes"), ino.FieldAddr("i_sb_list"))
+	}
+	return ino
+}
+
+// MkDentry allocates a dentry named name under parent (may be empty for the
+// root), pointing at ino.
+func (k *Kernel) MkDentry(name string, parent Obj, ino Obj) Obj {
+	d := k.Alloc("dentry")
+	d.SetStr("d_iname", name)
+	d.Set("d_name.hash_len", uint64(len(name))<<32)
+	d.Set("d_name.name", d.FieldAddr("d_iname"))
+	d.Set("d_lockref_count", 1)
+	if !ino.IsNil() {
+		d.SetObj("d_inode", ino)
+		d.SetObj("d_sb", k.At("super_block", ino.Get("i_sb")))
+		k.HListAddHead(ino.FieldAddr("i_dentry"), k.AllocRaw(16, 8)) // alias stub
+	}
+	k.InitList(d.FieldAddr("d_subdirs"))
+	k.InitList(d.FieldAddr("d_child"))
+	if !parent.IsNil() {
+		d.SetObj("d_parent", parent)
+		k.ListAddTail(parent.FieldAddr("d_subdirs"), d.FieldAddr("d_child"))
+	} else {
+		d.SetObj("d_parent", d) // root points at itself
+	}
+	return d
+}
+
+// MkFile opens a struct file over dentry.
+func (k *Kernel) MkFile(dentry Obj, flags uint64) Obj {
+	st := k.vfs()
+	f := k.Alloc("file")
+	ino := k.At("inode", dentry.Get("d_inode"))
+	f.SetObj("f_path.dentry", dentry)
+	f.SetObj("f_inode", ino)
+	f.Set("f_mapping", ino.Get("i_mapping"))
+	f.Set("f_flags", flags)
+	f.Set("f_mode", 0x1|0x2) // FMODE_READ|FMODE_WRITE
+	f.Set("f_count", 1)
+	mode := ino.Get("i_mode") & 0xF000
+	switch mode {
+	case SIFIFO:
+		f.SetObj("f_op", st.pipeOps)
+	case SIFSOCK:
+		f.SetObj("f_op", st.sockOps)
+	default:
+		f.SetObj("f_op", st.fileOps)
+	}
+	k.Files = append(k.Files, f)
+	return f
+}
+
+// MkRegularFile creates an ext4 file with a populated page cache and
+// returns the struct file. Pages get PGUptodate|PGLRU and sequential
+// indices; every page's mapping points back at the address_space.
+func (k *Kernel) MkRegularFile(name string, sizePages int) Obj {
+	st := k.vfs()
+	ino := k.MkInode(st.sbExt4, SIFREG|0o644, uint64(sizePages)*pageSize)
+	d := k.MkDentry(name, st.rootDentry, ino)
+	f := k.MkFile(d, 2)
+	k.PopulatePageCache(ino, sizePages)
+	return f
+}
+
+// PopulatePageCache fills ino's i_data xarray with sizePages pages.
+func (k *Kernel) PopulatePageCache(ino Obj, sizePages int) []Obj {
+	mapping := ino.Field("i_data")
+	items := make(map[uint64]uint64, sizePages)
+	pages := make([]Obj, 0, sizePages)
+	for i := 0; i < sizePages; i++ {
+		pg, _ := k.AllocPage()
+		pg.Set("flags", PGUptodate|PGLRU)
+		pg.Set("mapping", mapping.Addr)
+		pg.Set("index", uint64(i))
+		pg.Set("_refcount", 2)
+		pg.Set("_mapcount", ^uint64(0)&0xffffffff) // -1: not pte-mapped
+		items[uint64(i)] = pg.Addr
+		pages = append(pages, pg)
+	}
+	k.BuildXArray(mapping.Field("i_pages"), items)
+	mapping.Set("nrpages", uint64(sizePages))
+	return pages
+}

@@ -1,0 +1,361 @@
+package kernelsim
+
+import "fmt"
+
+// buildWorkqueues constructs the mm_percpu_wq heterogeneous work list of
+// the paper's Fig 6: worker pools whose worklists chain work_structs
+// embedded (container_of-style) in differently-typed owning objects, with
+// the node type recoverable only through the func pointer.
+func (k *Kernel) buildWorkqueues() {
+	wq := k.Alloc("workqueue_struct")
+	wq.SetStr("name", "mm_percpu_wq")
+	k.InitList(wq.FieldAddr("pwqs"))
+	k.InitList(wq.FieldAddr("list"))
+	k.MMPercpuWQ = wq
+	k.Symbol("mm_percpu_wq", wq)
+
+	wqList := k.AllocRaw(16, 8)
+	k.InitList(wqList)
+	k.SymbolAddr("workqueues", wqList, k.typeOf("list_head"))
+	k.ListAddTail(wqList, wq.FieldAddr("list"))
+
+	pools := k.AllocArray("worker_pool", NrCPUs)
+	k.SymbolAddr("cpu_worker_pools", pools.Addr, k.typeOf("worker_pool").ArrayOf(NrCPUs))
+
+	for cpu := uint64(0); cpu < NrCPUs; cpu++ {
+		pool := pools.Index(cpu)
+		pool.Set("cpu", cpu)
+		pool.Set("id", cpu*2)
+		k.InitList(pool.FieldAddr("worklist"))
+		k.InitList(pool.FieldAddr("idle_list"))
+		k.InitList(pool.FieldAddr("workers"))
+
+		pwq := k.Alloc("pool_workqueue")
+		pwq.SetObj("pool", pool)
+		pwq.SetObj("wq", wq)
+		pwq.Set("refcnt", 1)
+		pwq.Set("max_active", 256)
+		k.InitList(pwq.FieldAddr("inactive_works"))
+		k.InitList(pwq.FieldAddr("pwqs_node"))
+		k.ListAddTail(wq.FieldAddr("pwqs"), pwq.FieldAddr("pwqs_node"))
+
+		// Workers attached to the pool.
+		for w := 0; w < 2; w++ {
+			wk := k.Alloc("worker")
+			wk.SetObj("pool", pool)
+			wk.Set("id", uint64(w))
+			wk.SetStr("desc", fmt.Sprintf("kworker/%d:%d", cpu, w))
+			k.InitList(wk.FieldAddr("entry"))
+			k.InitList(wk.FieldAddr("node"))
+			k.ListAddTail(pool.FieldAddr("workers"), wk.FieldAddr("node"))
+		}
+
+		// Heterogeneous pending work: vmstat (delayed_work in a wrapper),
+		// lru drain, and an mmu-gather flush, all on one list.
+		vw := k.Alloc("vmstat_work_item")
+		vw.Set("cpu", cpu)
+		vw.Set("stat_threshold", 125)
+		vw.Set("dwork.work.func", k.Func("vmstat_update"))
+		vw.Set("dwork.cpu", cpu)
+		k.ListAddTail(pool.FieldAddr("worklist"), vw.FieldAddr("dwork.work.entry"))
+
+		lw := k.Alloc("lru_drain_work_item")
+		lw.Set("cpu", cpu)
+		lw.Set("nr_pages", 32+cpu*7)
+		lw.Set("work.func", k.Func("lru_add_drain_per_cpu"))
+		k.ListAddTail(pool.FieldAddr("worklist"), lw.FieldAddr("work.entry"))
+
+		if cpu == 0 {
+			mg := k.Alloc("mmu_gather_work_item")
+			if t, ok := k.ByPID[100]; ok {
+				mg.Set("mm", t.Get("mm"))
+			}
+			mg.Set("freed_tables", 1)
+			mg.Set("work.func", k.Func("tlb_remove_table_smp_sync"))
+			k.ListAddTail(pool.FieldAddr("worklist"), mg.FieldAddr("work.entry"))
+		}
+		pool.Set("nr_workers", 2)
+	}
+}
+
+// buildRCU allocates per-CPU rcu_data with empty callback lists; the
+// StackRot builder later enqueues the dying maple node's rcu_head.
+func (k *Kernel) buildRCU() {
+	rd := k.AllocArray("rcu_data", NrCPUs)
+	k.RCUData = rd
+	k.SymbolAddr("rcu_data", rd.Addr, k.typeOf("rcu_data").ArrayOf(NrCPUs))
+	for cpu := uint64(0); cpu < NrCPUs; cpu++ {
+		d := rd.Index(cpu)
+		d.Set("cpu", cpu)
+		d.Set("gp_seq", 0x100+cpu*8)
+		d.Set("gp_seq_needed", 0x108+cpu*8)
+	}
+}
+
+// rcuEnqueue appends an rcu_head with the given callback to cpu's cblist.
+// Enqueuing a head that is already on the list is a no-op (call_rcu on a
+// live head would be a kernel bug; here it can happen when successive
+// maple rebuilds retire overlapping node sets).
+func (k *Kernel) rcuEnqueue(cpu uint64, rcuHeadAddr uint64, fn string) {
+	d := k.RCUData.Index(cpu)
+	fnAddr := k.Func(fn)
+	head := d.Get("cblist.head")
+	if head == 0 {
+		k.Mem.WriteU64(rcuHeadAddr, 0)
+		k.Mem.WriteU64(rcuHeadAddr+8, fnAddr)
+		d.Set("cblist.head", rcuHeadAddr)
+		d.Set("cblist.len", d.Get("cblist.len")+1)
+		return
+	}
+	// Walk to the tail, bailing if the head is already queued.
+	cur := head
+	for i := 0; ; i++ {
+		if cur == rcuHeadAddr {
+			return // already on the list
+		}
+		next, _ := k.Mem.ReadU64(cur)
+		if next == 0 || i > 1<<20 {
+			break
+		}
+		cur = next
+	}
+	k.Mem.WriteU64(rcuHeadAddr, 0)
+	k.Mem.WriteU64(rcuHeadAddr+8, fnAddr)
+	k.Mem.WriteU64(cur, rcuHeadAddr)
+	d.Set("cblist.len", d.Get("cblist.len")+1)
+}
+
+// buildSockets constructs live socket connections (Table 2 figure #21):
+// socket_allocs (socket+inode via container_of), socks with skb queues,
+// attached to workload fd tables.
+func (k *Kernel) buildSockets(opts Options) {
+	mkSkb := func(sk Obj, length uint64) Obj {
+		skb := k.Alloc("sk_buff")
+		skb.SetObj("sk", sk)
+		skb.Set("len", length)
+		_, data := k.AllocPage()
+		skb.Set("head", data)
+		skb.Set("data", data+64)
+		skb.Set("tail", 64+length)
+		skb.Set("end", pageSize)
+		return skb
+	}
+	enqueue := func(qAddr uint64, skb Obj) {
+		// sk_buff_head acts as a list head over sk_buff next/prev at +0/+8.
+		prev, _ := k.Mem.ReadU64(qAddr + 8)
+		if prev == 0 { // empty: point head at itself first
+			k.Mem.WriteU64(qAddr, qAddr)
+			k.Mem.WriteU64(qAddr+8, qAddr)
+			prev = qAddr
+		}
+		k.Mem.WriteU64(skb.Addr, qAddr)
+		k.Mem.WriteU64(skb.Addr+8, prev)
+		k.Mem.WriteU64(prev, skb.Addr)
+		k.Mem.WriteU64(qAddr+8, skb.Addr)
+		qlen, _ := k.Mem.ReadU32(qAddr + 16)
+		k.Mem.WriteU32(qAddr+16, qlen+1)
+	}
+
+	nconns := opts.Processes
+	// all_socks / nr_socks let figure programs enumerate live sockets the
+	// way a GDB script would walk a global table.
+	sockT := k.typeOf("socket")
+	arr := k.AllocRaw(8*uint64(nconns), 8)
+	k.SymbolAddr("all_socks", arr, sockT.PointerTo().ArrayOf(uint64(nconns)))
+	nrCell := k.AllocRaw(4, 4)
+	k.Mem.WriteU32(nrCell, uint32(nconns))
+	k.SymbolAddr("nr_socks", nrCell, k.typeOf("int"))
+	for i := 0; i < nconns; i++ {
+		sa := k.Alloc("socket_alloc")
+		sock := sa.Field("socket")
+		ino := sa.Field("vfs_inode")
+		// Initialize the embedded inode like MkInode does.
+		ino.Set("i_mode", SIFSOCK|0o777)
+		ino.Set("i_ino", 7000+uint64(i))
+		ino.SetObj("i_sb", k.vfs().sbSockfs)
+		ino.Field("i_data").Set("host", ino.Addr)
+		ino.Set("i_mapping", ino.FieldAddr("i_data"))
+		k.InitList(ino.FieldAddr("i_sb_list"))
+
+		sk := k.Alloc("sock")
+		sk.Set("__sk_common.skc_family", 2) // AF_INET
+		sk.Set("__sk_common.skc_daddr", 0x0100007f+uint64(i)<<24)
+		sk.Set("__sk_common.skc_rcv_saddr", 0x0100007f)
+		sk.Set("__sk_common.skc_dport", uint64(0x5000+i))
+		sk.Set("__sk_common.skc_num", uint64(40000+i))
+		sk.Set("__sk_common.skc_state", 1) // TCP_ESTABLISHED
+		sk.Set("sk_rcvbuf", 212992)
+		sk.Set("sk_sndbuf", 212992)
+		sk.SetObj("sk_socket", sock)
+
+		sock.Set("state", 3) // SS_CONNECTED
+		sock.Set("type", 1)  // SOCK_STREAM
+		sock.SetObj("sk", sk)
+		protoOps := k.Alloc("proto_ops")
+		protoOps.Set("family", 2)
+		protoOps.Set("sendmsg", k.Func("inet_sendmsg"))
+		protoOps.Set("recvmsg", k.Func("inet_recvmsg"))
+		sock.SetObj("ops", protoOps)
+
+		// Buffers: even sockets have queued data, odd ones are idle (the
+		// Table 3 socket objective filters on this).
+		if i%2 == 0 {
+			for q := 0; q < 2+i%3; q++ {
+				enqueue(sk.FieldAddr("sk_receive_queue"), mkSkb(sk, uint64(512+128*q)))
+			}
+			enqueue(sk.FieldAddr("sk_write_queue"), mkSkb(sk, 1460))
+			sk.Set("sk_rmem_alloc", 4096)
+			sk.Set("sk_wmem_alloc.refs", 2048)
+		}
+
+		d := k.MkDentry(fmt.Sprintf("socket:[%d]", 7000+i), Obj{}, ino)
+		f := k.MkFile(d, 2)
+		f.Set("private_data", sock.Addr)
+		sock.SetObj("file", f)
+
+		// Install into the owning workload process's fd table.
+		if t, ok := k.ByPID[100+i*opts.ThreadsPerProc]; ok {
+			files := k.At("files_struct", t.Get("files"))
+			fd := files.Get("next_fd")
+			k.Mem.WriteU64(files.FieldAddr("fd_array")+fd*8, f.Addr)
+			open, _ := k.Mem.ReadU64(files.FieldAddr("open_fds_init"))
+			k.Mem.WriteU64(files.FieldAddr("open_fds_init"), open|1<<fd)
+			files.Set("next_fd", fd+1)
+		}
+		k.Mem.WriteU64(arr+uint64(i)*8, sock.Addr)
+		if i == 0 {
+			k.Symbol("sample_socket", sock)
+		}
+	}
+}
+
+// buildDirtyPipe stages the CVE-2022-0847 state (paper Fig 7): a pipe whose
+// ring references a page-cache page of test.txt, with the stale
+// PIPE_BUF_FLAG_CAN_MERGE making the shared page writable through the pipe.
+func (k *Kernel) buildDirtyPipe() {
+	pipeIno := k.MkInode(k.vfs().sbPipefs, SIFIFO|0o600, 0)
+	pi := k.Alloc("pipe_inode_info")
+	pipeIno.SetObj("i_pipe", pi)
+	pi.Set("ring_size", PipeRingSize)
+	pi.Set("max_usage", PipeRingSize)
+	pi.Set("readers", 1)
+	pi.Set("writers", 1)
+	bufs := k.AllocArray("pipe_buffer", PipeRingSize)
+	pi.Set("bufs", bufs.Addr)
+
+	anonOps := k.Alloc("pipe_buf_operations")
+	anonOps.Set("release", k.Func("anon_pipe_buf_release"))
+	anonOps.Set("try_steal", k.Func("anon_pipe_buf_try_steal"))
+	k.Symbol("anon_pipe_buf_ops", anonOps)
+	pageCacheOps := k.Alloc("pipe_buf_operations")
+	pageCacheOps.Set("release", k.Func("page_cache_pipe_buf_release"))
+	pageCacheOps.Set("confirm", k.Func("page_cache_pipe_buf_confirm"))
+	k.Symbol("page_cache_pipe_buf_ops", pageCacheOps)
+
+	// Slot 0: a normal anonymous pipe page.
+	anonPg, _ := k.AllocPage()
+	anonPg.Set("_refcount", 1)
+	b0 := bufs.Index(0)
+	b0.SetObj("page", anonPg)
+	b0.Set("len", 512)
+	b0.SetObj("ops", anonOps)
+	b0.Set("flags", PipeBufFlagCanMerge) // legitimate on anon buffers
+
+	// Slot 1: the bug — a splice()d page-cache page of test.txt carrying
+	// CAN_MERGE because copy_page_to_iter_pipe() forgot to clear flags.
+	mapping := k.At("address_space", k.DirtyFile.Get("f_mapping"))
+	ino := k.At("inode", mapping.Get("host"))
+	_ = ino
+	// First page of test.txt's cache:
+	xaHead := mapping.Field("i_pages").Get("xa_head")
+	var pg0 uint64
+	if XaIsNode(xaHead) {
+		node := k.At("xa_node", XaToNode(xaHead))
+		pg0, _ = k.Mem.ReadU64(node.FieldAddr("slots"))
+	} else {
+		pg0 = xaHead
+	}
+	shared := k.At("page", pg0)
+	shared.Set("_refcount", shared.Get("_refcount")+1)
+	b1 := bufs.Index(1)
+	b1.SetObj("page", shared)
+	b1.Set("offset", 0)
+	b1.Set("len", 1024)
+	b1.SetObj("ops", pageCacheOps)
+	b1.Set("flags", PipeBufFlagCanMerge) // THE BUG: must not be set here
+	pi.Set("head", 2)
+	pi.Set("tail", 0)
+
+	k.SharedPage = shared
+	k.DirtyPipe = pi
+	k.Symbol("dirty_pipe", pi)
+
+	// Give the pipe fds to workload process 107-ish: the paper's Fig 7
+	// shows pid 107 owning both test.txt and the pipe.
+	d := k.MkDentry("pipe:[9001]", Obj{}, pipeIno)
+	rf := k.MkFile(d, 0)
+	wf := k.MkFile(d, 1)
+	for _, t := range k.Tasks {
+		if t.Get("pid") == 107 {
+			files := k.At("files_struct", t.Get("files"))
+			fd := files.Get("next_fd")
+			k.Mem.WriteU64(files.FieldAddr("fd_array")+fd*8, rf.Addr)
+			k.Mem.WriteU64(files.FieldAddr("fd_array")+(fd+1)*8, wf.Addr)
+			// Also make sure test.txt itself is in this fd table (Fig 7
+			// plots both reachable from one process).
+			k.Mem.WriteU64(files.FieldAddr("fd_array")+(fd+2)*8, k.DirtyFile.Addr)
+			open, _ := k.Mem.ReadU64(files.FieldAddr("open_fds_init"))
+			k.Mem.WriteU64(files.FieldAddr("open_fds_init"), open|7<<fd)
+			files.Set("next_fd", fd+3)
+		}
+	}
+}
+
+// buildStackRot stages the CVE-2023-3269 state (paper §3.2/Fig 5): CPU 0
+// has freed a maple node under mm_read_lock; the node sits on the RCU
+// waiting list (ma_free_rcu -> call_rcu(&mt_free_rcu)) while CPU 1 still
+// holds a pointer into it — the classic deferred-free UAF window.
+func (k *Kernel) buildStackRot() {
+	victim, ok := k.ByPID[100]
+	if !ok {
+		return
+	}
+	mm := k.At("mm_struct", victim.Get("mm"))
+	k.StackRotMM = mm
+
+	// Find a leaf node in the mm's maple tree and detach it the way
+	// mas_store_prealloc does on stack expansion: replaced in the parent,
+	// then queued for RCU free.
+	root := mm.Field("mm_mt").Get("ma_root")
+	if !XaIsNode(root) {
+		return
+	}
+	node := k.At("maple_node", MtToNode(root))
+	var leaf Obj
+	if MtNodeType(root) == MapleLeaf64 {
+		leaf = node
+	} else {
+		// first child
+		child, _ := k.Mem.ReadU64(node.FieldAddr("ma64.slot"))
+		if !XaIsNode(child) {
+			return
+		}
+		leaf = k.At("maple_node", MtToNode(child))
+	}
+	// The VMA still reachable through the dead node: slot 0's first
+	// non-NULL entry.
+	for s := uint64(0); s < MapleR64Slots; s++ {
+		p, _ := k.Mem.ReadU64(leaf.FieldAddr("mr64.slot") + s*8)
+		if p != 0 && !XaIsNode(p) {
+			k.StackRotVictim = k.At("vm_area_struct", p)
+			break
+		}
+	}
+	k.StackRotNode = leaf
+	// mmap_lock is read-held by both CPUs (the paper's trace, lines 2-3).
+	mm.Set("mmap_lock.count", 2) // two readers
+	// Queue the node on CPU 0's RCU callback list with mt_free_rcu.
+	k.rcuEnqueue(0, leaf.FieldAddr("rcu"), "mt_free_rcu")
+	k.Symbol("stackrot_mm", mm)
+	k.Symbol("stackrot_node", leaf)
+}

@@ -1,0 +1,104 @@
+package kernelsim
+
+// XArray construction following Linux's lib/xarray.c entry encoding:
+//
+//   - internal entries (pointers to struct xa_node) are node|2;
+//   - value entries (tagged integers, used by the pid IDR) are (v<<1)|1;
+//   - everything else is a plain object pointer.
+//
+// xa_head points at a single entry for index 0, or at an internal entry for
+// a node whose shift says how many index bits each slot level consumes.
+
+// XaMkInternal tags a node pointer as internal.
+func XaMkInternal(node uint64) uint64 { return node | 2 }
+
+// XaToNode untags an internal entry.
+func XaToNode(entry uint64) uint64 { return entry - 2 }
+
+// XaMkValue builds a value entry from an integer.
+func XaMkValue(v uint64) uint64 { return v<<1 | 1 }
+
+// XaIsValue reports whether an entry is a tagged integer.
+func XaIsValue(entry uint64) bool { return entry&1 == 1 }
+
+// XaToValue untags a value entry.
+func XaToValue(entry uint64) uint64 { return entry >> 1 }
+
+const xaChunkShift = 6 // log2(XAChunkSize)
+
+// BuildXArray stores the given (index -> entry) pairs into the xarray
+// object xa, building the radix-tree node levels. Entries must be non-zero.
+func (k *Kernel) BuildXArray(xa Obj, items map[uint64]uint64) {
+	if len(items) == 0 {
+		xa.Set("xa_head", 0)
+		return
+	}
+	var maxIdx uint64
+	for idx := range items {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if maxIdx == 0 {
+		for _, e := range items {
+			xa.Set("xa_head", e)
+			return
+		}
+	}
+	// Height needed so that shift*levels covers maxIdx.
+	shift := uint64(0)
+	for maxIdx>>shift >= XAChunkSize {
+		shift += xaChunkShift
+	}
+	root := k.buildXaLevel(xa, nil, shift, 0, items)
+	xa.Set("xa_head", XaMkInternal(root))
+}
+
+// buildXaLevel creates the xa_node covering indices [base, base+range) at
+// the given shift and returns its address.
+func (k *Kernel) buildXaLevel(xa Obj, parent *Obj, shift, base uint64, items map[uint64]uint64) uint64 {
+	node := k.Alloc("xa_node")
+	node.Set("shift", shift)
+	node.SetObj("array", xa)
+	if parent != nil {
+		node.Set("parent", parent.Addr)
+	}
+	count := uint64(0)
+	nrValues := uint64(0)
+	slots := node.Field("slots")
+	for s := uint64(0); s < XAChunkSize; s++ {
+		lo := base + s<<shift
+		hi := lo + 1<<shift // exclusive
+		if shift == 0 {
+			if e, ok := items[lo]; ok {
+				k.Mem.WriteU64(slots.Addr+s*8, e)
+				count++
+				if XaIsValue(e) {
+					nrValues++
+				}
+			}
+			continue
+		}
+		// Does any item fall in [lo, hi)?
+		var sub map[uint64]uint64
+		for idx, e := range items {
+			if idx >= lo && idx < hi {
+				if sub == nil {
+					sub = make(map[uint64]uint64)
+				}
+				sub[idx] = e
+			}
+		}
+		if sub == nil {
+			continue
+		}
+		childAddr := k.buildXaLevel(xa, &node, shift-xaChunkShift, lo, sub)
+		child := k.At("xa_node", childAddr)
+		child.Set("offset", s)
+		k.Mem.WriteU64(slots.Addr+s*8, XaMkInternal(childAddr))
+		count++
+	}
+	node.Set("count", count)
+	node.Set("nr_values", nrValues)
+	return node.Addr
+}

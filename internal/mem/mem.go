@@ -1,0 +1,188 @@
+// Package mem implements a sparse, byte-addressable simulated physical
+// memory. It is the lowest substrate of the simulated debug target: the
+// kernel-state builder writes Linux-shaped data structures into it, and the
+// target layer reads them back for the expression evaluator, exactly as GDB
+// reads guest memory from QEMU or KGDB.
+//
+// Memory is organized in fixed-size pages allocated on demand, so a 64-bit
+// address space costs only what is actually touched. All multi-byte accessors
+// are little-endian (x86_64 / aarch64 guest byte order).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of backing allocation. 4 KiB matches the guest
+// page size, which keeps address arithmetic in tests intuitive.
+const PageSize = 4096
+
+// Memory is a sparse byte-addressable address space. The zero value is ready
+// to use. Memory is not safe for concurrent mutation; the debugger stops the
+// "machine" before reading, mirroring a stopped GDB inferior.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+// ErrUnmapped reports an access to an address with no backing page.
+type ErrUnmapped struct {
+	Addr uint64
+}
+
+func (e *ErrUnmapped) Error() string {
+	return fmt.Sprintf("mem: unmapped address %#x", e.Addr)
+}
+
+func (m *Memory) page(addr uint64, create bool) []byte {
+	base := addr &^ (PageSize - 1)
+	p, ok := m.pages[base]
+	if !ok && create {
+		if m.pages == nil {
+			m.pages = make(map[uint64][]byte)
+		}
+		p = make([]byte, PageSize)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// Mapped reports whether addr has a backing page.
+func (m *Memory) Mapped(addr uint64) bool {
+	return m.page(addr, false) != nil
+}
+
+// Read copies len(dst) bytes starting at addr into dst. It fails with
+// ErrUnmapped if any byte of the range has no backing page.
+func (m *Memory) Read(addr uint64, dst []byte) error {
+	for n := 0; n < len(dst); {
+		p := m.page(addr, false)
+		if p == nil {
+			return &ErrUnmapped{Addr: addr}
+		}
+		off := int(addr & (PageSize - 1))
+		c := copy(dst[n:], p[off:])
+		n += c
+		addr += uint64(c)
+	}
+	return nil
+}
+
+// Write copies src into memory starting at addr, allocating pages as needed.
+func (m *Memory) Write(addr uint64, src []byte) {
+	for n := 0; n < len(src); {
+		p := m.page(addr, true)
+		off := int(addr & (PageSize - 1))
+		c := copy(p[off:], src[n:])
+		n += c
+		addr += uint64(c)
+	}
+}
+
+// ReadU8 reads one byte.
+func (m *Memory) ReadU8(addr uint64) (uint8, error) {
+	var b [1]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// ReadU16 reads a little-endian 16-bit value.
+func (m *Memory) ReadU16(addr uint64) (uint16, error) {
+	var b [2]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// ReadU32 reads a little-endian 32-bit value.
+func (m *Memory) ReadU32(addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (m *Memory) ReadU64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU8 writes one byte.
+func (m *Memory) WriteU8(addr uint64, v uint8) { m.Write(addr, []byte{v}) }
+
+// WriteU16 writes a little-endian 16-bit value.
+func (m *Memory) WriteU16(addr uint64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// WriteU32 writes a little-endian 32-bit value.
+func (m *Memory) WriteU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (m *Memory) WriteU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes. If no NUL is found within max bytes the truncated prefix is
+// returned without error (debuggers display what they can).
+func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	buf := make([]byte, 0, 32)
+	for i := 0; i < max; i++ {
+		c, err := m.ReadU8(addr + uint64(i))
+		if err != nil {
+			if i > 0 {
+				break // partial string at a mapping edge: return what we have
+			}
+			return "", err
+		}
+		if c == 0 {
+			break
+		}
+		buf = append(buf, c)
+	}
+	return string(buf), nil
+}
+
+// WriteCString writes s plus a terminating NUL at addr.
+func (m *Memory) WriteCString(addr uint64, s string) {
+	m.Write(addr, append([]byte(s), 0))
+}
+
+// Footprint returns the number of mapped pages and total mapped bytes.
+func (m *Memory) Footprint() (pages int, bytes uint64) {
+	return len(m.pages), uint64(len(m.pages)) * PageSize
+}
+
+// MappedRanges returns the sorted list of mapped page base addresses. Useful
+// for tests and for the target's memory-map introspection.
+func (m *Memory) MappedRanges() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for base := range m.pages {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,143 @@
+package mem_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"visualinux/internal/mem"
+)
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	m := mem.New()
+	prop := func(addrSeed uint32, data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0xAB}
+		}
+		addr := 0x1000_0000 + uint64(addrSeed)
+		m.Write(addr, data)
+		got := make([]byte, len(data))
+		if err := m.Read(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := mem.New()
+	// A write spanning a page boundary must land contiguously.
+	addr := uint64(2*mem.PageSize - 3)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.Write(addr, data)
+	for i, want := range data {
+		got, err := m.ReadU8(addr + uint64(i))
+		if err != nil {
+			t.Fatalf("read +%d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+	v, err := m.ReadU64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x0807060504030201 {
+		t.Errorf("u64 = %#x", v)
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	m := mem.New()
+	m.WriteU16(0x100, 0xBEEF)
+	m.WriteU32(0x110, 0xDEADBEEF)
+	m.WriteU64(0x120, 0x0123456789ABCDEF)
+	if v, _ := m.ReadU16(0x100); v != 0xBEEF {
+		t.Errorf("u16 = %#x", v)
+	}
+	if v, _ := m.ReadU32(0x110); v != 0xDEADBEEF {
+		t.Errorf("u32 = %#x", v)
+	}
+	if v, _ := m.ReadU64(0x120); v != 0x0123456789ABCDEF {
+		t.Errorf("u64 = %#x", v)
+	}
+	// Little-endian byte order.
+	if b, _ := m.ReadU8(0x100); b != 0xEF {
+		t.Errorf("low byte = %#x", b)
+	}
+}
+
+func TestUnmappedRead(t *testing.T) {
+	m := mem.New()
+	var buf [8]byte
+	err := m.Read(0xdead0000, buf[:])
+	if err == nil {
+		t.Fatal("no error for unmapped read")
+	}
+	var um *mem.ErrUnmapped
+	if !errors.As(err, &um) {
+		t.Fatalf("error type %T", err)
+	}
+	if um.Addr != 0xdead0000 {
+		t.Errorf("fault addr %#x", um.Addr)
+	}
+	// A read straddling mapped->unmapped also faults.
+	m.Write(0x5000, []byte{1})
+	if err := m.Read(0x5000+mem.PageSize-4, buf[:]); err == nil {
+		t.Error("no error for straddling read")
+	}
+}
+
+func TestCStrings(t *testing.T) {
+	m := mem.New()
+	m.WriteCString(0x200, "hello, kernel")
+	s, err := m.ReadCString(0x200, 64)
+	if err != nil || s != "hello, kernel" {
+		t.Fatalf("got %q, %v", s, err)
+	}
+	// max truncation
+	s, _ = m.ReadCString(0x200, 5)
+	if s != "hello" {
+		t.Errorf("truncated = %q", s)
+	}
+	// empty string
+	m.WriteU8(0x300, 0)
+	if s, _ := m.ReadCString(0x300, 8); s != "" {
+		t.Errorf("empty = %q", s)
+	}
+}
+
+func TestFootprintAndRanges(t *testing.T) {
+	m := mem.New()
+	m.WriteU8(0, 1)
+	m.WriteU8(mem.PageSize*10, 1)
+	m.WriteU8(mem.PageSize*10+1, 1) // same page
+	pages, bytes := m.Footprint()
+	if pages != 2 {
+		t.Errorf("pages = %d", pages)
+	}
+	if bytes != 2*mem.PageSize {
+		t.Errorf("bytes = %d", bytes)
+	}
+	rs := m.MappedRanges()
+	if len(rs) != 2 || rs[0] != 0 || rs[1] != mem.PageSize*10 {
+		t.Errorf("ranges = %v", rs)
+	}
+	if !m.Mapped(5) || m.Mapped(mem.PageSize*5) {
+		t.Errorf("Mapped misreports")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := mem.New()
+	m.WriteU8(0x1000, 0xFF) // maps the page
+	// Untouched bytes of a mapped page read as zero.
+	if v, err := m.ReadU64(0x1008); err != nil || v != 0 {
+		t.Errorf("zero fill: %d, %v", v, err)
+	}
+}

@@ -1,0 +1,138 @@
+package panes_test
+
+import (
+	"strings"
+	"testing"
+
+	"visualinux/internal/graph"
+	"visualinux/internal/panes"
+	"visualinux/internal/viewql"
+)
+
+func mkGraph(name string, n int) *graph.Graph {
+	g := graph.New(name)
+	for i := 0; i < n; i++ {
+		b := graph.NewBox(graph.BoxID("T", uint64(0x1000+i*0x10)), "T", "t", uint64(0x1000+i*0x10))
+		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
+			{Kind: graph.ItemText, Name: "idx", Value: itoa(i), Raw: uint64(i), IsNum: true},
+		}})
+		g.Add(b)
+		if i == 0 {
+			g.RootID = b.ID
+			g.Roots = []string{b.ID}
+		}
+	}
+	return g
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestSplitAndLayout(t *testing.T) {
+	tree, p1 := panes.NewTree("main", mkGraph("g1", 3))
+	if p1.ID != 1 || p1.Kind != panes.Primary {
+		t.Fatalf("first pane: %+v", p1)
+	}
+	p2, err := tree.Split(p1.ID, panes.Horizontal, "second", mkGraph("g2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := tree.Split(p2.ID, panes.Vertical, "third", mkGraph("g3", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Panes()) != 3 {
+		t.Fatalf("panes = %d", len(tree.Panes()))
+	}
+	layout := tree.Layout()
+	for _, want := range []string{"hsplit", "vsplit", "pane 1", "pane 2", "pane 3"} {
+		if !strings.Contains(layout, want) {
+			t.Errorf("layout missing %q:\n%s", want, layout)
+		}
+	}
+	if _, err := tree.Split(99, panes.Horizontal, "x", mkGraph("g", 1)); err == nil {
+		t.Error("split of missing pane succeeded")
+	}
+	_ = p3
+}
+
+func TestSelectIntoSharesBoxes(t *testing.T) {
+	g := mkGraph("g", 5)
+	tree, p1 := panes.NewTree("main", g)
+	refs := []viewql.Ref{{BoxID: g.Order[1]}, {BoxID: g.Order[3]}}
+	sp, err := tree.SelectInto(p1.ID, refs, "picked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != panes.Secondary {
+		t.Errorf("kind = %v", sp.Kind)
+	}
+	if len(sp.Selection) != 2 {
+		t.Errorf("selection = %d", len(sp.Selection))
+	}
+	// Shared boxes: attribute set through the secondary engine shows in
+	// the primary graph.
+	if err := sp.Engine.Apply("a = SELECT t FROM *\nUPDATE a WITH collapsed: true"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.Get(g.Order[1])
+	if !b.Collapsed() {
+		t.Error("linked update not visible in primary")
+	}
+}
+
+func TestRefine(t *testing.T) {
+	tree, p1 := panes.NewTree("main", mkGraph("g", 4))
+	if err := tree.Refine(p1.ID, "a = SELECT t FROM * WHERE idx >= 2\nUPDATE a WITH trimmed: true"); err != nil {
+		t.Fatal(err)
+	}
+	trimmed := 0
+	for _, b := range p1.Graph.All() {
+		if b.Trimmed() {
+			trimmed++
+		}
+	}
+	if trimmed != 2 {
+		t.Errorf("trimmed = %d, want 2", trimmed)
+	}
+	if err := tree.Refine(999, "x = SELECT t FROM *"); err == nil {
+		t.Error("refine on missing pane")
+	}
+}
+
+func TestFocus(t *testing.T) {
+	g1, g2 := mkGraph("g1", 4), mkGraph("g2", 2)
+	tree, p1 := panes.NewTree("main", g1)
+	if _, err := tree.Split(p1.ID, panes.Horizontal, "other", g2); err != nil {
+		t.Fatal(err)
+	}
+	// idx 1 exists in both graphs.
+	hits := tree.FocusMember("idx", "", 1, true)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// idx 3 exists only in g1.
+	hits = tree.FocusMember("idx", "", 3, true)
+	if len(hits) != 1 || hits[0].PaneID != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+	// by address
+	hits = tree.FocusAddr(0x1010)
+	if len(hits) != 2 { // same synthetic addresses in both graphs
+		t.Errorf("addr hits = %v", hits)
+	}
+	// text match
+	hits = tree.FocusMember("idx", "0", 0, false)
+	if len(hits) != 2 {
+		t.Errorf("text hits = %v", hits)
+	}
+}

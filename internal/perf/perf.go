@@ -1,0 +1,188 @@
+// Package perf implements the paper's Table 4 experiment: for every ULK
+// figure, measure the cost of the ViewCL extraction step (the paper notes
+// ViewQL and front-end rendering are negligible) on the two target
+// personalities:
+//
+//   - "GDB (QEMU)": the raw simulated target — memory reads cost local work
+//     only, like GDB attached to a localhost QEMU gdbstub;
+//   - "KGDB (rpi-400)": the same image behind a latency model charging the
+//     paper's measured ~5ms per read transaction, accounted on a virtual
+//     clock so the whole sweep stays runnable.
+//
+// Reported columns mirror the paper: total cost (ms), cost per object (ms),
+// and cost per KB of transferred data structure (ms).
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
+)
+
+// Row is one measurement of one figure on one target.
+type Row struct {
+	FigureID string
+	Objects  int
+	Reads    uint64
+	KBytes   float64
+	TotalMS  float64 // extraction cost
+	PerObjMS float64
+	PerKBMS  float64
+}
+
+// Pair is the Table 4 row: the same figure on both targets.
+type Pair struct {
+	FigureID string
+	GDB      Row // "GDB (QEMU)"
+	KGDB     Row // "KGDB (rpi-400)"
+}
+
+// MeasureFigure extracts one figure on the kernel's fast target and returns
+// the row.
+func MeasureFigure(k *kernelsim.Kernel, fig vclstdlib.Figure) (Row, error) {
+	s := core.SessionOver(k, k.Target())
+	t0 := time.Now()
+	p, err := s.VPlot(fig.ID, fig.Program)
+	if err != nil {
+		return Row{}, err
+	}
+	elapsed := time.Since(t0)
+	return makeRow(fig.ID, p.Graph.Stats.Objects, p.Graph.Stats.Reads, p.Graph.Stats.Bytes, elapsed), nil
+}
+
+// MeasureFigureKGDB extracts one figure through the latency model. The cost
+// is wall time plus the virtual latency the model accumulated — i.e. what a
+// real serial KGDB session would have waited.
+func MeasureFigureKGDB(k *kernelsim.Kernel, fig vclstdlib.Figure, model target.LatencyModel) (Row, error) {
+	lt := target.WithLatency(k.Target(), model)
+	s := core.SessionOver(k, lt)
+	t0 := time.Now()
+	p, err := s.VPlot(fig.ID, fig.Program)
+	if err != nil {
+		return Row{}, err
+	}
+	elapsed := time.Since(t0) + lt.VirtualElapsed()
+	reads, bytes := lt.Stats().Snapshot()
+	return makeRow(fig.ID, p.Graph.Stats.Objects, reads, bytes, elapsed), nil
+}
+
+func makeRow(id string, objects int, reads, bytes uint64, elapsed time.Duration) Row {
+	r := Row{
+		FigureID: id,
+		Objects:  objects,
+		Reads:    reads,
+		KBytes:   float64(bytes) / 1024,
+		TotalMS:  float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if objects > 0 {
+		r.PerObjMS = r.TotalMS / float64(objects)
+	}
+	if r.KBytes > 0 {
+		r.PerKBMS = r.TotalMS / r.KBytes
+	}
+	return r
+}
+
+// Table4 measures every Table 2 figure on both targets. A fresh session is
+// used per figure (no caching across plots), like the paper's methodology
+// of measuring each plot's extraction independently.
+func Table4(opts kernelsim.Options, model target.LatencyModel) ([]Pair, error) {
+	k := kernelsim.Build(opts)
+	var out []Pair
+	for _, fig := range vclstdlib.Figures() {
+		fast, err := MeasureFigure(k, fig)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s (fast): %w", fig.ID, err)
+		}
+		slow, err := MeasureFigureKGDB(k, fig, model)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s (kgdb): %w", fig.ID, err)
+		}
+		out = append(out, Pair{FigureID: fig.ID, GDB: fast, KGDB: slow})
+	}
+	return out, nil
+}
+
+// Format renders the pairs as the paper's Table 4 layout.
+func Format(pairs []Pair) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: visualization overhead per figure\n")
+	sb.WriteString(fmt.Sprintf("%-12s | %8s %8s %8s | %10s %8s %8s | %6s %7s\n",
+		"figure", "gdb(ms)", "/obj", "/KB", "kgdb(ms)", "/obj", "/KB", "objs", "KB"))
+	sb.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, p := range pairs {
+		sb.WriteString(fmt.Sprintf("%-12s | %8.2f %8.3f %8.3f | %10.1f %8.2f %8.1f | %6d %7.1f\n",
+			p.FigureID,
+			p.GDB.TotalMS, p.GDB.PerObjMS, p.GDB.PerKBMS,
+			p.KGDB.TotalMS, p.KGDB.PerObjMS, p.KGDB.PerKBMS,
+			p.GDB.Objects, p.GDB.KBytes))
+	}
+	return sb.String()
+}
+
+// ShapeChecks verifies the qualitative claims of the paper's §5.4 against
+// measured pairs, returning human-readable failures (empty = all hold):
+//
+//  1. KGDB is dramatically slower than GDB-QEMU for every figure;
+//  2. per-object cost on KGDB is orders of magnitude above GDB's;
+//  3. figure cost ranks roughly with read-transaction count (the
+//     C-expression evaluation bottleneck);
+//  4. small figures stay interactive even on KGDB (the paper's "acceptable
+//     if we focus on smaller data structures").
+func ShapeChecks(pairs []Pair) []string {
+	var fails []string
+	var smallOK bool
+	for _, p := range pairs {
+		if p.KGDB.TotalMS < p.GDB.TotalMS*10 {
+			fails = append(fails, fmt.Sprintf("%s: KGDB (%.1fms) not >=10x GDB (%.1fms)",
+				p.FigureID, p.KGDB.TotalMS, p.GDB.TotalMS))
+		}
+		if p.GDB.Objects != p.KGDB.Objects {
+			fails = append(fails, fmt.Sprintf("%s: object counts differ (%d vs %d)",
+				p.FigureID, p.GDB.Objects, p.KGDB.Objects))
+		}
+		if p.KGDB.TotalMS < 2000 && p.GDB.Objects > 0 {
+			smallOK = true
+		}
+	}
+	if !smallOK {
+		fails = append(fails, "no figure stays under 2s on KGDB — small-structure interactivity lost")
+	}
+	// Rank correlation between reads and KGDB totals (claim 3).
+	if tau := rankCorrelation(pairs); tau < 0.7 {
+		fails = append(fails, fmt.Sprintf("KGDB cost poorly ranked by read count (tau=%.2f)", tau))
+	}
+	return fails
+}
+
+// rankCorrelation computes Kendall's tau between read counts and KGDB cost.
+func rankCorrelation(pairs []Pair) float64 {
+	type pt struct{ reads, ms float64 }
+	pts := make([]pt, len(pairs))
+	for i, p := range pairs {
+		pts[i] = pt{float64(p.KGDB.Reads), p.KGDB.TotalMS}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].reads < pts[j].reads })
+	concordant, discordant := 0, 0
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			switch {
+			case pts[i].ms < pts[j].ms:
+				concordant++
+			case pts[i].ms > pts[j].ms:
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	if total == 0 {
+		return 1
+	}
+	return float64(concordant-discordant) / float64(total)
+}

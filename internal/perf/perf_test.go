@@ -1,0 +1,73 @@
+package perf_test
+
+import (
+	"strings"
+	"testing"
+
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/perf"
+	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
+)
+
+func TestTable4Shapes(t *testing.T) {
+	pairs, err := perf.Table4(kernelsim.Options{}, target.DefaultKGDB)
+	if err != nil {
+		t.Fatalf("table4: %v", err)
+	}
+	if len(pairs) != 20 {
+		t.Fatalf("rows = %d, want 20", len(pairs))
+	}
+	for _, f := range perf.ShapeChecks(pairs) {
+		t.Errorf("shape check failed: %s", f)
+	}
+	out := perf.Format(pairs)
+	if !strings.Contains(out, "3-4") || !strings.Contains(out, "socketconn") {
+		t.Errorf("formatted table incomplete:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestLatencyDominates(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	fig := mustFigure(t, "3-4")
+	slow, err := perf.MeasureFigureKGDB(k, fig, target.DefaultKGDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 5ms round trip, total must be at least reads * 5ms.
+	if minMS := float64(slow.Reads) * 5.0; slow.TotalMS < minMS {
+		t.Errorf("KGDB total %.1fms below latency floor %.1fms", slow.TotalMS, minMS)
+	}
+}
+
+func TestPerObjectRatio(t *testing.T) {
+	// Paper §5.4: "retrieving an object is approximately 50 times slower"
+	// on KGDB. Our model should land in that order of magnitude (>= 20x).
+	k := kernelsim.Build(kernelsim.Options{})
+	fig := mustFigure(t, "7-1")
+	fast, err := perf.MeasureFigure(k, fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := perf.MeasureFigureKGDB(k, fig, target.DefaultKGDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.PerObjMS <= 0 {
+		t.Skip("fast path too fast to resolve; ratio unmeasurable")
+	}
+	ratio := slow.PerObjMS / fast.PerObjMS
+	if ratio < 20 {
+		t.Errorf("KGDB per-object only %.1fx slower", ratio)
+	}
+}
+
+func mustFigure(t *testing.T, id string) vclstdlib.Figure {
+	t.Helper()
+	fig, ok := vclstdlib.FigureByID(id)
+	if !ok {
+		t.Fatalf("no figure %s", id)
+	}
+	return fig
+}

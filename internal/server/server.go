@@ -1,0 +1,293 @@
+// Package server implements the visualizer front-end of the paper's §4.2 as
+// an HTTP service: v-commands executed against the session arrive as POST
+// requests (exactly how the paper's GDB extension talks to its TypeScript
+// front-end), pane state is queryable as JSON, and a small embedded HTML
+// page renders the panes for a browser. Pane/plot state can be exported and
+// re-imported, covering the paper's "persisting the state of panes and
+// plots for reuse across debugging sessions".
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"visualinux/internal/core"
+	"visualinux/internal/render"
+)
+
+// Server exposes a Session over HTTP.
+type Server struct {
+	mu      sync.Mutex
+	session *core.Session
+	mux     *http.ServeMux
+}
+
+// New wraps a session.
+func New(s *core.Session) *Server {
+	srv := &Server{session: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("/", srv.handleIndex)
+	srv.mux.HandleFunc("/api/vplot", srv.handleVPlot)
+	srv.mux.HandleFunc("/api/vctrl", srv.handleVCtrl)
+	srv.mux.HandleFunc("/api/vchat", srv.handleVChat)
+	srv.mux.HandleFunc("/api/panes", srv.handlePanes)
+	srv.mux.HandleFunc("/api/pane", srv.handlePane)
+	srv.mux.HandleFunc("/api/figures", srv.handleFigures)
+	srv.mux.HandleFunc("/api/session/export", srv.handleExport)
+	srv.mux.HandleFunc("/api/session/import", srv.handleImport)
+	return srv
+}
+
+// handleExport serializes the session's pane/plot state (paper §4.2
+// persistence).
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.session.Export()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleImport restores an exported session into a fresh one.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.session.Import(body); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// vplotReq is the body of POST /api/vplot.
+type vplotReq struct {
+	Name    string `json:"name"`
+	Program string `json:"program"` // ViewCL source; or empty with Figure set
+	Figure  string `json:"figure"`  // stdlib figure ID, e.g. "7-1"
+}
+
+func (s *Server) handleVPlot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req vplotReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	var paneID int
+	if req.Figure != "" {
+		p, e := s.session.VPlotFigure(req.Figure)
+		if e == nil {
+			paneID = p.ID
+		}
+		err = e
+	} else {
+		p, e := s.session.VPlot(req.Name, req.Program)
+		if e == nil {
+			paneID = p.ID
+		}
+		err = e
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pane": paneID})
+}
+
+// vctrlReq is the body of POST /api/vctrl.
+type vctrlReq struct {
+	Command string `json:"command"`
+}
+
+func (s *Server) handleVCtrl(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req vctrlReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.session.VCtrl(req.Command)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"output": out})
+}
+
+// vchatReq is the body of POST /api/vchat.
+type vchatReq struct {
+	Pane    int    `json:"pane"`
+	Message string `json:"message"`
+}
+
+func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req vchatReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Pane == 0 {
+		req.Pane = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prog, err := s.session.VChat(req.Pane, req.Message)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"viewql": prog})
+}
+
+func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type paneInfo struct {
+		ID      int    `json:"id"`
+		Kind    string `json:"kind"`
+		Title   string `json:"title"`
+		Boxes   int    `json:"boxes"`
+		Summary string `json:"summary"`
+	}
+	var out []paneInfo
+	if s.session.Tree != nil {
+		for _, p := range s.session.Tree.Panes() {
+			out = append(out, paneInfo{
+				ID: p.ID, Kind: p.Kind.String(), Title: p.Title,
+				Boxes: len(p.Graph.Boxes), Summary: p.Graph.Summary(),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var id int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id"))
+		return
+	}
+	if s.session.Tree == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no panes"))
+		return
+	}
+	p, ok := s.session.Tree.Pane(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no pane %d", id))
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, render.Text(p.Graph))
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, render.DOT(p.Graph))
+	default:
+		writeJSON(w, http.StatusOK, render.ToJSON(p.Graph))
+	}
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, core.FigureIDs())
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Visualinux</title>
+<style>
+body { font-family: monospace; margin: 1em; background: #10141a; color: #d8dee9; }
+pre { background: #161b22; padding: 1em; overflow: auto; border-radius: 6px; }
+input, button, textarea { font-family: monospace; background: #1f2630; color: #d8dee9; border: 1px solid #444; }
+.pane { border: 1px solid #333; margin: .6em 0; padding: .4em; }
+</style></head>
+<body>
+<h1>Visualinux</h1>
+<p>vplot a figure: <input id="fig" value="7-1" size="8"><button onclick="plot()">vplot</button>
+vchat (pane 1): <input id="chat" size="48" placeholder="shrink tasks that have no address space">
+<button onclick="chat()">send</button></p>
+<div id="panes"></div>
+<script>
+async function refresh() {
+  const panes = await (await fetch('/api/panes')).json() || [];
+  const div = document.getElementById('panes');
+  div.innerHTML = '';
+  for (const p of panes) {
+    const txt = await (await fetch('/api/pane?id='+p.id+'&format=text')).text();
+    const el = document.createElement('div');
+    el.className = 'pane';
+    el.innerHTML = '<b>pane '+p.id+' ('+p.kind+') '+p.title+'</b><pre></pre>';
+    el.querySelector('pre').textContent = txt;
+    div.appendChild(el);
+  }
+}
+async function plot() {
+  await fetch('/api/vplot', {method:'POST', body: JSON.stringify({figure: document.getElementById('fig').value})});
+  refresh();
+}
+async function chat() {
+  const r = await fetch('/api/vchat', {method:'POST', body: JSON.stringify({pane:1, message: document.getElementById('chat').value})});
+  const j = await r.json();
+  if (j.error) alert(j.error); else console.log(j.viewql);
+  refresh();
+}
+refresh();
+</script>
+</body></html>`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}

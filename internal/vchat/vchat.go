@@ -1,0 +1,751 @@
+// Package vchat synthesizes ViewQL programs from natural-language requests.
+// The paper delegates this to an LLM (DeepSeek-V2) with in-context ViewQL
+// examples; offline we substitute a deterministic rule engine that grounds
+// noun phrases against the pane's actual graph schema (available box types
+// and member names) and emits the same two-statement SELECT/UPDATE shapes.
+// The substitution preserves the claim under test: ViewQL is simple enough
+// that a textual request maps mechanically onto it (paper §2.4, §5.2).
+package vchat
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"visualinux/internal/graph"
+)
+
+// typeAliases maps normalized nouns to kernel type names. Grounding first
+// tries the graph's own type set; these aliases cover kernel jargon.
+var typeAliases = map[string]string{
+	"task": "task_struct", "tasks": "task_struct",
+	"process": "task_struct", "processes": "task_struct",
+	"thread": "task_struct", "threads": "task_struct",
+	"vma": "vm_area_struct", "vmas": "vm_area_struct",
+	"memoryarea": "vm_area_struct", "memoryareas": "vm_area_struct",
+	"superblock": "super_block", "superblocks": "super_block",
+	"socket": "sock", "sockets": "sock",
+	"irqdescriptor": "irq_desc", "irqdescriptors": "irq_desc",
+	"irqdesc": "irq_desc", "irqdescs": "irq_desc",
+	"sigaction": "k_sigaction", "sigactions": "k_sigaction",
+	"pidentry": "pid", "pidentries": "pid",
+	"pidhashtableentry": "pid", "pidhashtableentries": "pid",
+	"maplenode": "maple_node", "maplenodes": "maple_node",
+	"page": "page", "pages": "page",
+	"file": "file", "files": "file",
+	"pipebuffer": "pipe_buffer", "pipebuffers": "pipe_buffer",
+	"timer": "timer_list", "timers": "timer_list",
+	"workitem": "work_struct", "workitems": "work_struct",
+	"cache": "kmem_cache", "caches": "kmem_cache",
+	"inode": "inode", "inodes": "inode",
+	"dentry": "dentry", "dentries": "dentry",
+}
+
+// memberAliases maps member noun phrases to member names.
+var memberAliases = map[string]string{
+	"addressspace": "mm", "mm": "mm",
+	"action": "action", "handler": "sa_handler",
+	"blockdevice": "s_bdev",
+	"writebuffer": "tx_qlen", "receivebuffer": "rx_qlen",
+	"readbuffer":    "rx_qlen",
+	"memorymapping": "nr_mmap", "mapping": "nr_mmap",
+	"slotpointerlist": "slots", "slotlist": "slots", "slots": "slots",
+	"pagelist": "pages", "pageslist": "pages",
+	"pid": "pid", "pids": "pid", "nr": "nr",
+	"children": "children",
+}
+
+// Synthesize converts a natural-language request into a ViewQL program for
+// the given graph. It returns the program text (so the user can inspect
+// exactly what will run, as with the paper's LLM output).
+func Synthesize(g *graph.Graph, text string) (string, error) {
+	s := &synth{g: g}
+	clauses := splitClauses(text)
+	if len(clauses) == 0 {
+		return "", fmt.Errorf("vchat: empty request")
+	}
+	var out []string
+	for _, cl := range clauses {
+		stmts, err := s.clause(cl)
+		if err != nil {
+			return "", fmt.Errorf("vchat: %q: %w", cl, err)
+		}
+		out = append(out, stmts...)
+	}
+	if len(out) == 0 {
+		return "", fmt.Errorf("vchat: could not understand %q", text)
+	}
+	return strings.Join(out, "\n") + "\n", nil
+}
+
+type synth struct {
+	g       *graph.Graph
+	setN    int
+	lastSet string // antecedent for "them"/"these" anaphora
+}
+
+func (s *synth) fresh() string {
+	s.setN++
+	return fmt.Sprintf("a%d", s.setN)
+}
+
+// splitClauses breaks a request into independent actions.
+func splitClauses(text string) []string {
+	text = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), "."))
+	for _, sep := range []string{"; ", ", and ", ". "} {
+		text = strings.ReplaceAll(text, sep, "\x00")
+	}
+	var out []string
+	for _, c := range strings.Split(text, "\x00") {
+		c = strings.TrimSpace(c)
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func norm(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		if r == '_' || r == ' ' || r == '-' || r == '/' {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+// groundType resolves a noun phrase to a type present in the graph.
+func (s *synth) groundType(phrase string) (string, bool) {
+	cands := s.groundTypeAll(phrase)
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[0], true
+}
+
+// groundTypeAll returns every plausible type for a noun phrase, most exact
+// first; ambiguity (e.g. "sockets" → socket or sock) is resolved by the
+// caller against the rest of the request.
+func (s *synth) groundTypeAll(phrase string) []string {
+	n := norm(phrase)
+	if n == "" {
+		return nil
+	}
+	var out []string
+	add := func(t string) {
+		for _, have := range out {
+			if have == t {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	// exact kernel name as written ("vm_area_structs")
+	raw := strings.TrimSuffix(strings.TrimSpace(phrase), "s")
+	for _, cand := range []string{strings.TrimSpace(phrase), raw} {
+		for _, t := range s.typeNames() {
+			if cand == t {
+				add(t)
+			}
+		}
+	}
+	// fuzzy: normalized equality against the graph's types (with/without s)
+	for _, t := range s.typeNames() {
+		tn := norm(t)
+		if n == tn || n == tn+"s" || strings.TrimSuffix(n, "s") == tn {
+			add(t)
+		}
+	}
+	if t, ok := typeAliases[n]; ok {
+		add(t)
+	}
+	return out
+}
+
+func (s *synth) typeNames() []string {
+	set := map[string]bool{}
+	for _, b := range s.g.All() {
+		if b.TypeName != "" {
+			set[b.TypeName] = true
+		}
+		set[b.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groundMember resolves a member phrase against boxes of the given type.
+// Noise suffixes like "list"/"array" are tolerated ("slot pointer list").
+func (s *synth) groundMember(typeName, phrase string) (string, bool) {
+	members := s.membersOf(typeName)
+	n0 := norm(phrase)
+	variants := []string{n0}
+	for _, suf := range []string{"pointerlist", "pointerarray", "list", "array", "field", "member", "members"} {
+		if strings.HasSuffix(n0, suf) && len(n0) > len(suf) {
+			variants = append(variants, strings.TrimSuffix(n0, suf))
+		}
+	}
+	for _, n := range variants {
+		for _, m := range members {
+			if n == norm(m) || n == norm(m)+"s" || strings.TrimSuffix(n, "s") == norm(m) {
+				return m, true
+			}
+		}
+		if m, ok := memberAliases[n]; ok {
+			for _, have := range members {
+				if have == m {
+					return m, true
+				}
+			}
+		}
+		// "is <adj>" grounding: is_<adj>
+		for _, m := range members {
+			if norm(m) == "is"+n {
+				return m, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (s *synth) membersOf(typeName string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range s.g.All() {
+		if b.TypeName != typeName && b.Label != typeName {
+			continue
+		}
+		for _, vn := range b.ViewSeq {
+			for _, it := range b.Views[vn].Items {
+				if !seen[it.Name] {
+					seen[it.Name] = true
+					out = append(out, it.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// clause handles one action.
+func (s *synth) clause(cl string) ([]string, error) {
+	words := strings.Fields(cl)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("empty clause")
+	}
+	low := strings.ToLower(cl)
+
+	// --- direction: "display the X vertically / top-down / horizontally"
+	if dir, rest, ok := directionReq(low); ok {
+		tn, member, err := s.subject(rest)
+		if err != nil {
+			return nil, err
+		}
+		set := s.fresh()
+		sel := fmt.Sprintf("%s = SELECT %s FROM *", set, selSpec(tn, member))
+		s.lastSet = set
+		return []string{sel, fmt.Sprintf("UPDATE %s WITH direction: %s", set, dir)}, nil
+	}
+
+	// --- "display/show view X of T [and ...]" or "let T display the X view"
+	if view, rest, ok := viewReq(low); ok {
+		subj, condText := splitCondition(rest)
+		tn, _, err := s.subject(subj)
+		if err != nil {
+			return nil, err
+		}
+		set := s.fresh()
+		sel := fmt.Sprintf("%s = SELECT %s FROM *", set, tn)
+		if condText != "" {
+			cond, err := s.condition(tn, condText)
+			if err != nil {
+				return nil, err
+			}
+			sel += " WHERE " + cond
+		}
+		s.lastSet = set
+		return []string{sel, fmt.Sprintf("UPDATE %s WITH view: %s", set, view)}, nil
+	}
+
+	// --- "find/select ..." clauses establish a set ("them") without acting.
+	if hasAny(low, "find ", "select ") {
+		rest := low
+		for _, w := range []string{"find me", "find", "select", "please"} {
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, w))
+		}
+		subj, condText := splitCondition(stripActionWords(rest))
+		tn, member, err := s.subject(subj)
+		if err != nil {
+			return nil, err
+		}
+		set := s.fresh()
+		sel := fmt.Sprintf("%s = SELECT %s FROM * AS self", set, selSpec(tn, member))
+		if condText != "" {
+			cond, err := s.condition(tn, condText)
+			if err != nil {
+				return nil, err
+			}
+			sel += " WHERE " + cond
+		}
+		s.lastSet = set
+		return []string{sel}, nil
+	}
+
+	// --- shrink/collapse/trim/hide
+	attr := ""
+	switch {
+	case hasAny(low, "shrink", "collapse"):
+		attr = "collapsed"
+	case hasAny(low, "trim", "hide", "remove", "invisible", "make invisible"):
+		attr = "trimmed"
+	}
+	if attr == "" {
+		return nil, fmt.Errorf("no recognized action")
+	}
+	rest := stripActionWords(low)
+
+	// Anaphora: "hide them" / "collapse these" refers to the last SELECT.
+	if w := strings.TrimSpace(rest); w == "them" || w == "these" || w == "those" || w == "it" {
+		if s.lastSet == "" {
+			return nil, fmt.Errorf("%q has no antecedent", w)
+		}
+		return []string{fmt.Sprintf("UPDATE %s WITH %s: true", s.lastSet, attr)}, nil
+	}
+
+	// "except for" handling: A \ B
+	if idx := strings.Index(rest, "except"); idx >= 0 {
+		subj, exc := rest[:idx], rest[idx:]
+		tn, member, err := s.subject(subj)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := s.exceptCond(tn, exc)
+		if err != nil {
+			return nil, err
+		}
+		a, b := s.fresh(), s.fresh()
+		s.lastSet = a
+		return []string{
+			fmt.Sprintf("%s = SELECT %s FROM *", a, selSpec(tn, member)),
+			fmt.Sprintf("%s = SELECT %s FROM * WHERE %s", b, selSpec(tn, member), cond),
+			fmt.Sprintf("UPDATE %s \\ %s WITH %s: true", a, b, attr),
+		}, nil
+	}
+
+	// optional condition: whose/that/which/with/where ...
+	subj, condText := splitCondition(rest)
+	tn, member, cond, err := s.subjectWithCond(subj, condText)
+	if err != nil {
+		return nil, err
+	}
+	set := s.fresh()
+	sel := fmt.Sprintf("%s = SELECT %s FROM *", set, selSpec(tn, member))
+	if cond != "" {
+		sel += " WHERE " + cond
+	}
+	s.lastSet = set
+	return []string{sel, fmt.Sprintf("UPDATE %s WITH %s: true", set, attr)}, nil
+}
+
+// subjectWithCond grounds the subject, trying every type candidate until
+// the condition also grounds (resolving e.g. "sockets" → sock, whose boxes
+// actually carry the queue-length members the condition names).
+func (s *synth) subjectWithCond(subj, condText string) (tn, member, cond string, err error) {
+	cands, member0, err := s.subjectCandidates(subj)
+	if err != nil {
+		return "", "", "", err
+	}
+	if condText == "" {
+		return cands[0], member0, "", nil
+	}
+	var firstErr error
+	for _, cand := range cands {
+		c, err := s.condition(cand, condText)
+		if err == nil {
+			return cand, member0, c, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return "", "", "", firstErr
+}
+
+func selSpec(tn, member string) string {
+	if member != "" {
+		return tn + "." + member
+	}
+	return tn
+}
+
+func hasAny(s string, words ...string) bool {
+	for _, w := range words {
+		if strings.Contains(s, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func directionReq(low string) (dir, rest string, ok bool) {
+	switch {
+	case strings.Contains(low, "vertical") || strings.Contains(low, "top-down") || strings.Contains(low, "top down"):
+		dir = "vertical"
+	case strings.Contains(low, "horizontal") || strings.Contains(low, "left-to-right"):
+		dir = "horizontal"
+	default:
+		return "", "", false
+	}
+	if !hasAny(low, "display", "show", "plot", "draw") {
+		return "", "", false
+	}
+	rest = low
+	for _, w := range []string{"display", "show", "plot", "draw", "vertically", "vertical", "horizontally", "horizontal", "top-down", "top down", "the "} {
+		rest = strings.ReplaceAll(rest, w, " ")
+	}
+	return dir, strings.TrimSpace(rest), true
+}
+
+func viewReq(low string) (view, rest string, ok bool) {
+	// "display view X of T" / "display the X view of T" / "with the X view"
+	words := strings.Fields(low)
+	vi := indexWord(words, "view")
+	if vi < 0 || !hasAny(low, "display", "show", "let", "with") {
+		return "", "", false
+	}
+	if vi > 0 && vi+1 < len(words) && (words[vi-1] == "display" || words[vi-1] == "show") {
+		// pattern A: "display view X of T"
+		view = strings.Trim(words[vi+1], `"'`)
+		rest = strings.Join(words[vi+2:], " ")
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), "of ")
+		return view, rest, true
+	}
+	if vi > 0 {
+		// pattern B: "... the X view of T"
+		view = strings.Trim(words[vi-1], `"'`)
+		var parts []string
+		parts = append(parts, words[:vi-1]...)
+		parts = append(parts, words[vi+1:]...)
+		rest = " " + strings.Join(parts, " ") + " "
+		for _, del := range []string{"display", "show", "let", "with"} {
+			rest = strings.ReplaceAll(rest, " "+del+" ", " ")
+		}
+		rest = strings.TrimSpace(rest)
+		return view, rest, true
+	}
+	return "", "", false
+}
+
+func stripActionWords(low string) string {
+	out := low
+	for _, w := range []string{"shrink", "collapse", "trim", "hide", "remove", "make", "invisible", "all", "the", "extremely", "large", "please", "every"} {
+		out = strings.ReplaceAll(out, " "+w+" ", " ")
+		out = strings.TrimPrefix(out, w+" ")
+	}
+	return strings.TrimSpace(out)
+}
+
+// splitCondition separates "files that have no memory mapping" into subject
+// and condition text.
+func splitCondition(rest string) (subj, cond string) {
+	for _, marker := range []string{" whose ", " that ", " which ", " with ", " where ", " not "} {
+		if i := strings.Index(rest, marker); i >= 0 {
+			c := strings.TrimSpace(rest[i+len(marker):])
+			if marker == " not " {
+				c = "not " + c
+			}
+			return strings.TrimSpace(rest[:i]), c
+		}
+	}
+	return strings.TrimSpace(rest), ""
+}
+
+// fillerWords are dropped before grounding a subject phrase.
+var fillerWords = map[string]bool{
+	"all": true, "the": true, "a": true, "an": true, "every": true,
+	"objects": true, "object": true, "entries": true, "entry": true,
+	"boxes": true, "box": true, "please": true, "me": true,
+}
+
+func dropFiller(text string) []string {
+	var out []string
+	for _, w := range strings.Fields(strings.ToLower(text)) {
+		if !fillerWords[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// subject grounds a noun phrase into (type, optional member); see
+// subjectCandidates for the grammar.
+func (s *synth) subject(text string) (typeName, member string, err error) {
+	cands, m, err := s.subjectCandidates(text)
+	if err != nil {
+		return "", "", err
+	}
+	return cands[0], m, nil
+}
+
+// subjectCandidates grounds "maple_node slots" / "superblocks" / "pages
+// list in address_space objects" into candidate types plus an optional
+// member. "X of/in Y" prefers the member-of-type reading.
+func (s *synth) subjectCandidates(text string) (types []string, member string, err error) {
+	text = strings.ReplaceAll(strings.ToLower(strings.TrimSpace(text)), " in ", " of ")
+	words := dropFiller(text)
+	for len(words) > 0 && words[0] == "of" {
+		words = words[1:]
+	}
+	if len(words) == 0 {
+		return nil, "", fmt.Errorf("empty subject")
+	}
+
+	// "X of Y": member-of-type reading first.
+	if i := indexWord(words, "of"); i > 0 && i < len(words)-1 {
+		mp := strings.Join(words[:i], " ")
+		tp := strings.Join(words[i+1:], " ")
+		for _, tn := range s.groundTypeAll(tp) {
+			if m, ok := s.groundMember(tn, mp); ok {
+				return []string{tn}, m, nil
+			}
+		}
+	}
+
+	// "<type phrase> [member phrase]", longest type match first.
+	for cut := len(words); cut >= 1; cut-- {
+		tp := strings.Join(words[:cut], " ")
+		cands := s.groundTypeAll(tp)
+		if len(cands) == 0 {
+			continue
+		}
+		rest := strings.Join(words[cut:], " ")
+		if rest == "" {
+			return cands, "", nil
+		}
+		for _, tn := range cands {
+			if m, ok := s.groundMember(tn, rest); ok {
+				return []string{tn}, m, nil
+			}
+		}
+		return cands, "", nil
+	}
+
+	// "<member phrase> <type phrase>": member-first without "of".
+	for cut := 1; cut < len(words); cut++ {
+		mp := strings.Join(words[:cut], " ")
+		tp := strings.Join(words[cut:], " ")
+		for _, tn := range s.groundTypeAll(tp) {
+			if m, ok := s.groundMember(tn, mp); ok {
+				return []string{tn}, m, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("cannot ground subject %q", text)
+}
+
+func indexWord(words []string, w string) int {
+	for i, x := range words {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// condition translates a condition phrase into a WHERE expression.
+func (s *synth) condition(tn, text string) (string, error) {
+	text = strings.TrimSpace(text)
+	low := strings.ToLower(text)
+
+	// conjunctions: "X and Y are both empty", "a or b"
+	if strings.Contains(low, " are both empty") || strings.Contains(low, " is empty") || strings.Contains(low, "are empty") {
+		phrase := low
+		for _, cutw := range []string{" are both empty", " are empty", " is empty"} {
+			phrase = strings.ReplaceAll(phrase, cutw, "")
+		}
+		var members []string
+		for _, part := range strings.FieldsFunc(phrase, func(r rune) bool { return r == '/' }) {
+			part = strings.TrimSpace(strings.ReplaceAll(part, " and ", "/"))
+			for _, sub := range strings.Split(part, "/") {
+				sub = strings.TrimSpace(sub)
+				if sub == "" {
+					continue
+				}
+				// "write/receive buffer": distribute the head noun
+				if !strings.Contains(sub, "buffer") && strings.Contains(phrase, "buffer") {
+					sub += " buffer"
+				}
+				if m, ok := s.groundMember(tn, sub); ok {
+					members = append(members, m)
+				}
+			}
+		}
+		if len(members) == 0 {
+			return "", fmt.Errorf("cannot ground condition %q", text)
+		}
+		terms := make([]string, len(members))
+		for i, m := range members {
+			terms[i] = m + " == 0"
+		}
+		return strings.Join(terms, " AND "), nil
+	}
+
+	// "address is not 0x..." / "pid == N" numeric forms
+	if m, op, val, ok := numericCond(low); ok {
+		member := m
+		if member == "address" || member == "addr" {
+			member = "this"
+		} else if gm, ok2 := s.groundMember(tn, member); ok2 {
+			member = gm
+		}
+		return fmt.Sprintf("%s %s %s", member, op, val), nil
+	}
+
+	// "has no X" / "have no X" / "X is not configured" / "is not connected to any X"
+	for _, pat := range []struct {
+		marker string
+		op     string
+	}{
+		{"is not configured", "=="},
+		{"not configured", "=="},
+		{"is not set", "=="},
+		{"is null", "=="},
+		{"is not connected to any", "=="},
+		{"not connected to any", "=="},
+		{"is not null", "!="},
+		{"non-null", "!="},
+		{"is configured", "!="},
+		{"is set", "!="},
+	} {
+		if i := strings.Index(low, pat.marker); i >= 0 {
+			// The member phrase precedes the marker.
+			phrase := strings.TrimSpace(low[:i])
+			phrase = strings.TrimPrefix(phrase, "whose ")
+			phrase = strings.TrimPrefix(phrase, "are ")
+			if phrase == "" { // "... whose action is not configured" with
+				// the member carried in the trailing words
+				phrase = strings.TrimSpace(low[i+len(pat.marker):])
+			}
+			if m, ok := s.groundMember(tn, phrase); ok {
+				return fmt.Sprintf("%s %s NULL", m, pat.op), nil
+			}
+			return "", fmt.Errorf("cannot ground member %q", phrase)
+		}
+	}
+	for _, marker := range []string{"have no ", "has no ", "not ", "no "} {
+		if strings.HasPrefix(low, marker) || strings.Contains(low, " "+marker) {
+			phrase := low
+			if i := strings.Index(phrase, marker); i >= 0 {
+				phrase = phrase[i+len(marker):]
+			}
+			phrase = strings.TrimSpace(phrase)
+			if m, ok := s.groundMember(tn, phrase); ok {
+				return fmt.Sprintf("%s == NULL", m), nil
+			}
+		}
+	}
+	for _, marker := range []string{"have a ", "has a ", "have ", "has "} {
+		if strings.HasPrefix(low, marker) {
+			phrase := strings.TrimSpace(strings.TrimPrefix(low, marker))
+			if m, ok := s.groundMember(tn, phrase); ok {
+				return fmt.Sprintf("%s != NULL", m), nil
+			}
+		}
+	}
+
+	// adjectives: "is writable" / "are writable" / "writable"
+	adj := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(low, "are "), "is "))
+	negate := false
+	if strings.HasPrefix(adj, "not ") {
+		negate = true
+		adj = strings.TrimPrefix(adj, "not ")
+	}
+	if m, ok := s.groundMember(tn, "is "+adj); ok {
+		if negate {
+			return m + " != true", nil
+		}
+		return m + " == true", nil
+	}
+	if m, ok := s.groundMember(tn, adj); ok {
+		if negate {
+			return m + " == NULL", nil
+		}
+		return m + " != NULL", nil
+	}
+	return "", fmt.Errorf("cannot parse condition %q", text)
+}
+
+// numericCond matches "<member> (is|==|!=|is not|of) <number>".
+func numericCond(low string) (member, op, val string, ok bool) {
+	words := strings.Fields(low)
+	for i, w := range words {
+		if n, err := strconv.ParseUint(strings.TrimPrefix(w, "#"), 0, 64); err == nil {
+			val = fmt.Sprintf("%d", n)
+			if strings.HasPrefix(w, "0x") {
+				val = w
+			}
+			op = "=="
+			j := i
+			for j > 0 {
+				prev := words[j-1]
+				switch prev {
+				case "is", "equals", "==", "of":
+					j--
+					continue
+				case "not", "!=", "isn't":
+					op = "!="
+					j--
+					continue
+				}
+				break
+			}
+			if j == 0 {
+				return "", "", "", false
+			}
+			member = words[j-1]
+			return member, op, val, true
+		}
+	}
+	return "", "", "", false
+}
+
+// exceptCond builds the exception condition for "except for pids 1 and 100".
+func (s *synth) exceptCond(tn, exc string) (string, error) {
+	low := strings.ToLower(exc)
+	for _, w := range []string{"except", "for", "a", "set", "of", "specific", "the"} {
+		low = strings.ReplaceAll(low, " "+w+" ", " ")
+		low = strings.TrimPrefix(low, w+" ")
+	}
+	words := strings.Fields(low)
+	member := ""
+	var nums []string
+	for _, w := range words {
+		w = strings.Trim(w, ",")
+		if n, err := strconv.ParseUint(w, 0, 64); err == nil {
+			nums = append(nums, fmt.Sprintf("%d", n))
+			continue
+		}
+		if w == "and" || w == "or" {
+			continue
+		}
+		if member == "" {
+			if m, ok := s.groundMember(tn, w); ok {
+				member = m
+			}
+		}
+	}
+	if member == "" || len(nums) == 0 {
+		return "", fmt.Errorf("cannot parse exception %q", exc)
+	}
+	terms := make([]string, len(nums))
+	for i, n := range nums {
+		terms[i] = fmt.Sprintf("%s == %s", member, n)
+	}
+	return strings.Join(terms, " OR "), nil
+}

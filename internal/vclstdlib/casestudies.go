@@ -1,0 +1,196 @@
+package vclstdlib
+
+// Case-study programs: the paper's §3.1 maple-tree walkthrough (Figs 3/4),
+// §3.2/§5.3 StackRot (CVE-2023-3269), and §5.3 Dirty Pipe (CVE-2022-0847).
+
+// MapleTreeProgram is the §3.1 program: Fig9_2's extraction plus the
+// customization applied in the paper to obtain Fig 4.
+const MapleTreeProgram = Fig9_2
+
+// MapleTreeCustomization is the ViewQL the paper applies to reach Fig 4:
+// collapse the bulky slot arrays and hide writable areas (the hypothetical
+// objective focuses on read-only ones).
+const MapleTreeCustomization = `
+mm = SELECT mm_struct FROM *
+UPDATE mm WITH view: show_mt
+slots = SELECT maple_node.slots FROM *
+UPDATE slots WITH collapsed: true
+writable_vmas = SELECT vm_area_struct FROM * WHERE is_writable == true
+UPDATE writable_vmas WITH trimmed: true
+`
+
+// StackRotProgram plots the CVE-2023-3269 state: the victim mm's maple
+// tree side by side with CPU 0's RCU callback list. The maple node queued
+// for deferred free appears in BOTH structures — the visual signature of
+// the use-after-free window (paper Fig 5's aftermath). The rcu_head links
+// back to its embedding maple node via container_of, so the memoized node
+// box is literally shared between the two subgraphs.
+const StackRotProgram = `
+define FileRef as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+]
+
+define VMArea as Box<vm_area_struct> [
+    Text<u64:x> vm_start, vm_end
+    Text<flag:vm_flags> vm_flags: vm_flags
+    Link vm_file -> FileRef(${@this->vm_file})
+]
+
+define MapleLeaf as Box<maple_node> [
+    Text kind: "maple_leaf_64"
+    Container slots: Array(${@this->mr64.slot}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: VMArea(@s)
+        }
+    }
+]
+
+define MapleARange as Box<maple_node> [
+    Text kind: "maple_arange_64"
+    Container slots: Array(${@this->ma64.slot}).forEach |s| {
+        yield switch ${xa_is_node(@s)} {
+            case ${false}: NULL
+            otherwise: switch ${mte_is_leaf(@s)} {
+                case ${true}: MapleLeaf(${mte_to_node(@s)})
+                otherwise: MapleARange(${mte_to_node(@s)})
+            }
+        }
+    }
+]
+
+define MapleTree as Box<maple_tree> [
+    Text<u64:x> ma_flags
+    Link ma_root -> switch ${xa_is_node(@this->ma_root)} {
+        case ${true}: switch ${mte_is_leaf(@this->ma_root)} {
+            case ${true}: MapleLeaf(${mte_to_node(@this->ma_root)})
+            otherwise: MapleARange(${mte_to_node(@this->ma_root)})
+        }
+        otherwise: NULL
+    }
+]
+
+define MMStruct as Box<mm_struct> [
+    Text map_count
+    Text mmap_lock_readers: ${@this->mmap_lock.count}
+    Text<emoji:onoff> lock_held: ${@this->mmap_lock.count != 0}
+    Link mm_mt -> MapleTree(${&@this->mm_mt})
+]
+
+define RcuHead as Box<rcu_head> [
+    Text<fptr> func
+    Link next -> RcuHead(${@this->next})
+    Link embedded_in -> switch ${@this->func == mt_free_rcu} {
+        case ${true}: MapleLeaf(${container_of(@this, maple_node, rcu)})
+        otherwise: NULL
+    }
+]
+
+define RcuData as Box<rcu_data> [
+    Text cpu
+    Text<u64:x> gp_seq
+    Text cblist_len: ${@this->cblist.len}
+    Link cblist_head -> RcuHead(${@this->cblist.head})
+]
+
+mm = MMStruct(${&stackrot_mm})
+rcu0 = RcuData(${&rcu_data[0]})
+
+plot @mm
+plot @rcu0
+`
+
+// DirtyPipeProgram plots the CVE-2022-0847 state from the victim process's
+// fd table: regular files with their page caches, and pipes with their
+// ring buffers, flags decorated (paper Fig 7's extraction, ~60 LOC as the
+// paper reports).
+const DirtyPipeProgram = `
+define PageBox as Box<page> [
+    Text index
+    Text<flag:page_flags> flags: flags
+    Text refcount: ${@this->_refcount}
+]
+
+define AddressSpace as Box<address_space> [
+    Text nrpages
+    Container pages: XArray(${@this->i_pages}).forEach |e| {
+        yield PageBox(@e)
+    }
+]
+
+define PipeBuffer as Box<pipe_buffer> [
+    Text offset, len
+    Text<flag:pipe_buf_flags> flags: flags
+    Text<fptr> release: ${@this->ops->release}
+    Link page -> PageBox(${@this->page})
+]
+
+define Pipe as Box<pipe_inode_info> [
+    Text head, tail, ring_size, readers, writers
+    Container bufs: PipeRing(@this).forEach |b| {
+        yield PipeBuffer(@b)
+    }
+]
+
+define FileBox as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+    Link pagecache -> switch ${@this->f_inode->i_pipe == 0} {
+        case ${true}: AddressSpace(${@this->f_mapping})
+        otherwise: NULL
+    }
+    Link pipe -> switch ${@this->f_inode->i_pipe == 0} {
+        case ${true}: NULL
+        otherwise: Pipe(${@this->f_inode->i_pipe})
+    }
+]
+
+define Task as Box<task_struct> [
+    Text pid, comm
+    Container files: Array(${@this->files->fdt->fd}, ${@this->files->next_fd}).forEach |f| {
+        yield switch ${@f == 0} {
+            case ${true}: NULL
+            otherwise: FileBox(@f)
+        }
+    }
+]
+
+root = Task(${find_task(107)})
+plot @root
+`
+
+// DirtyPipeCustomization is the paper's §5.3 ViewQL: keep only the pages
+// shared between a file's page cache and a pipe ring.
+const DirtyPipeCustomization = `
+file_pgc = SELECT file->pagecache FROM *
+file_pgs = SELECT page FROM REACHABLE(file_pgc)
+pipe_buf = SELECT pipe_inode_info->bufs FROM *
+pipe_pgs = SELECT page FROM REACHABLE(pipe_buf)
+UPDATE pipe_pgs \ file_pgs WITH trimmed: true
+`
+
+// QuickstartProgram is the paper's §1 opening example: the CFS run queue
+// of CPU 0 as a red-black tree of pruned task boxes.
+const QuickstartProgram = `
+define Task as Box<task_struct> [
+    Text pid, comm
+    Text ppid: ${@this->parent->pid}
+    Text<string> state: ${task_state(@this)}
+    Text se.vruntime
+]
+
+root = ${cpu_rq(0)->cfs.tasks_timeline}
+
+sched_tree = RBTree(@root).forEach |node| {
+    yield Task<task_struct.se.run_node>(@node)
+}
+
+plot @sched_tree
+`
+
+// QuickstartCustomization is §1's follow-up ViewQL: focus on one pid and
+// its children.
+const QuickstartCustomization = `
+task_all = SELECT task_struct FROM *
+task_2 = SELECT task_struct FROM task_all WHERE pid == 100 OR ppid == 100
+UPDATE task_all \ task_2 WITH collapsed: true
+`

@@ -1,0 +1,344 @@
+package vclstdlib_test
+
+import (
+	"strings"
+	"testing"
+
+	"visualinux/internal/graph"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/vclstdlib"
+)
+
+// Content-level assertions per figure: not just "it extracts", but "it
+// shows what the kernel state actually contains".
+
+func extractFig(t *testing.T, k *kernelsim.Kernel, id string) *graph.Graph {
+	t.Helper()
+	fig, ok := vclstdlib.FigureByID(id)
+	if !ok {
+		t.Fatalf("no figure %s", id)
+	}
+	in := newInterp(t, k)
+	res, err := in.RunSource(id, fig.Program)
+	if err != nil {
+		t.Fatalf("extract %s: %v", id, err)
+	}
+	return res.Graph
+}
+
+func member(t *testing.T, g *graph.Graph, b *graph.Box, name string) graph.Item {
+	t.Helper()
+	it, ok := b.Member(name)
+	if !ok {
+		t.Fatalf("%s has no member %q", b.ID, name)
+	}
+	return it
+}
+
+func TestFig3_4Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "3-4")
+	// init_task's children: systemd plus the kernel threads.
+	root, _ := g.Get(g.RootID)
+	kids := member(t, g, root, "children")
+	if n := len(kids.Elems); n < 6 {
+		t.Errorf("init children = %d", n)
+	}
+	// systemd's children: the workload processes and daemons.
+	var systemd *graph.Box
+	for _, b := range g.ByType("task_struct") {
+		if member(t, g, b, "pid").Raw == 1 {
+			systemd = b
+		}
+	}
+	if systemd == nil {
+		t.Fatal("no systemd")
+	}
+	if n := len(member(t, g, systemd, "children").Elems); n < 8 {
+		t.Errorf("systemd children = %d", n)
+	}
+	// Each child's ppid is 0 (reparented tasks excluded in our build).
+	for _, id := range kids.Elems {
+		if id == "" {
+			continue
+		}
+		b, _ := g.Get(id)
+		if pp := member(t, g, b, "ppid"); pp.Raw != 0 {
+			t.Errorf("%s ppid = %d", id, pp.Raw)
+		}
+	}
+	// Kernel threads have NULL mm, user processes don't.
+	sawKthread, sawUser := false, false
+	for _, b := range g.ByType("task_struct") {
+		mm := member(t, g, b, "mm")
+		comm := member(t, g, b, "comm")
+		if strings.HasPrefix(comm.Value, "kworker") && mm.TargetID == "" {
+			sawKthread = true
+		}
+		if strings.HasPrefix(comm.Value, "workload") && mm.TargetID != "" {
+			sawUser = true
+		}
+	}
+	if !sawKthread || !sawUser {
+		t.Errorf("mm discrimination lost: kthread=%v user=%v", sawKthread, sawUser)
+	}
+}
+
+func TestFig4_5Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "4-5")
+	// IRQ 11 is a shared line: two chained irqactions.
+	var irq11 *graph.Box
+	for _, b := range g.ByType("irq_desc") {
+		if member(t, g, b, "irq").Raw == 11 {
+			irq11 = b
+		}
+	}
+	if irq11 == nil {
+		t.Fatal("no irq 11")
+	}
+	a1ID := member(t, g, irq11, "action").TargetID
+	if a1ID == "" {
+		t.Fatal("irq 11 has no action")
+	}
+	a1, _ := g.Get(a1ID)
+	if h := member(t, g, a1, "handler"); h.Value != "e1000_intr" {
+		t.Errorf("first handler = %q", h.Value)
+	}
+	a2ID := member(t, g, a1, "next").TargetID
+	if a2ID == "" {
+		t.Fatal("shared line not chained")
+	}
+	a2, _ := g.Get(a2ID)
+	if h := member(t, g, a2, "handler"); h.Value != "ahci_interrupt" {
+		t.Errorf("second handler = %q", h.Value)
+	}
+	// Unconfigured IRQs have NULL action.
+	unconfigured := 0
+	for _, b := range g.ByType("irq_desc") {
+		if member(t, g, b, "action").TargetID == "" {
+			unconfigured++
+		}
+	}
+	if unconfigured != kernelsim.NrIRQs-5 {
+		t.Errorf("unconfigured = %d", unconfigured)
+	}
+}
+
+func TestFig8_4Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "8-4")
+	var taskCache *graph.Box
+	for _, b := range g.ByType("kmem_cache") {
+		if member(t, g, b, "name").Value == "task_struct" {
+			taskCache = b
+		}
+	}
+	if taskCache == nil {
+		t.Fatal("no task_struct cache")
+	}
+	objSize := member(t, g, taskCache, "object_size")
+	if objSize.Raw != k.Reg.MustLookup("task_struct").Size() {
+		t.Errorf("object_size = %d, want %d", objSize.Raw, k.Reg.MustLookup("task_struct").Size())
+	}
+	// Bitfields on slabs decode: inuse <= objects, frozen in {0,1}.
+	for _, b := range g.ByType("slab") {
+		inuse := member(t, g, b, "inuse")
+		objects := member(t, g, b, "objects")
+		if inuse.Raw > objects.Raw || objects.Raw == 0 {
+			t.Errorf("%s: inuse=%d objects=%d", b.ID, inuse.Raw, objects.Raw)
+		}
+	}
+}
+
+func TestFig14_3Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "14-3")
+	var ext4 *graph.Box
+	for _, b := range g.ByType("super_block") {
+		if member(t, g, b, "s_id").Value == "sda1" {
+			ext4 = b
+		}
+	}
+	if ext4 == nil {
+		t.Fatal("no sda1 superblock")
+	}
+	bdevID := member(t, g, ext4, "s_bdev").TargetID
+	if bdevID == "" {
+		t.Fatal("sda1 has no block device")
+	}
+	bdev, _ := g.Get(bdevID)
+	if pn := member(t, g, bdev, "bd_partno"); pn.Raw != 1 {
+		t.Errorf("partno = %d", pn.Raw)
+	}
+	diskID := member(t, g, bdev, "bd_disk").TargetID
+	disk, _ := g.Get(diskID)
+	if n := member(t, g, disk, "disk_name"); n.Value != "sda" {
+		t.Errorf("disk = %q", n.Value)
+	}
+	// Virtual filesystems have NULL s_bdev.
+	nodev := 0
+	for _, b := range g.ByType("super_block") {
+		if member(t, g, b, "s_bdev").TargetID == "" {
+			nodev++
+		}
+	}
+	if nodev != 4 { // proc, tmpfs, pipefs, sockfs
+		t.Errorf("nodev superblocks = %d", nodev)
+	}
+}
+
+func TestFig17_6Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "17-6")
+	sis := g.ByType("swap_info_struct")
+	if len(sis) != 1 {
+		t.Fatalf("swap infos = %d", len(sis))
+	}
+	si := sis[0]
+	if p := member(t, g, si, "pages"); p.Raw != 131071 {
+		t.Errorf("pages = %d", p.Raw)
+	}
+	fileID := member(t, g, si, "swap_file").TargetID
+	f, _ := g.Get(fileID)
+	if n := member(t, g, f, "name"); n.Value != "swapfile" {
+		t.Errorf("swap file = %q", n.Value)
+	}
+}
+
+func TestFig19Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "19-1/2")
+	// Semaphore arrays carry their sems with a sleeping waiter somewhere.
+	semArrays := g.ByType("sem_array")
+	if len(semArrays) == 0 {
+		t.Fatal("no sem arrays")
+	}
+	waiters := 0
+	for _, q := range g.ByType("sem_queue") {
+		if member(t, g, q, "sleeper").TargetID != "" {
+			waiters++
+		}
+	}
+	if waiters == 0 {
+		t.Error("no semaphore waiters linked to tasks")
+	}
+	// Message queues: q_qnum matches the message list length.
+	for _, mq := range g.ByType("msg_queue") {
+		qnum := member(t, g, mq, "q_qnum")
+		msgs := member(t, g, mq, "q_messages")
+		live := 0
+		for _, e := range msgs.Elems {
+			if e != "" {
+				live++
+			}
+		}
+		if uint64(live) != qnum.Raw {
+			t.Errorf("%s: q_qnum=%d but %d messages", mq.ID, qnum.Raw, live)
+		}
+	}
+}
+
+func TestWorkqueueContent(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "workqueue")
+	// The heterogeneous list: all three wrapper types present, each with
+	// the right function-pointer witness.
+	wantFuncs := map[string]string{
+		"vmstat_work_item":     "vmstat_update",
+		"lru_drain_work_item":  "lru_add_drain_per_cpu",
+		"mmu_gather_work_item": "tlb_remove_table_smp_sync",
+	}
+	for typ, fn := range wantFuncs {
+		boxes := g.ByType(typ)
+		if len(boxes) == 0 {
+			t.Errorf("no %s on any worklist", typ)
+			continue
+		}
+		for _, b := range boxes {
+			if f := member(t, g, b, "func"); f.Value != fn {
+				t.Errorf("%s func = %q, want %q", b.ID, f.Value, fn)
+			}
+			if kind := member(t, g, b, "kind"); kind.Value != typ {
+				t.Errorf("%s kind = %q", b.ID, kind.Value)
+			}
+		}
+	}
+	// The container_of recovery: each pool's worklist has mixed types.
+	for _, pool := range g.ByType("worker_pool") {
+		wl := member(t, g, pool, "worklist")
+		types := map[string]bool{}
+		for _, e := range wl.Elems {
+			if e == "" {
+				continue
+			}
+			b, _ := g.Get(e)
+			types[b.TypeName] = true
+		}
+		if len(types) < 2 {
+			t.Errorf("pool %s worklist not heterogeneous: %v", pool.ID, types)
+		}
+	}
+}
+
+func TestSocketConnContent(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "socketconn")
+	socks := g.ByType("sock")
+	if len(socks) != 5 {
+		t.Fatalf("socks = %d", len(socks))
+	}
+	busy, idle := 0, 0
+	for _, s := range socks {
+		rx := member(t, g, s, "rx_qlen")
+		q := member(t, g, s, "rx_queue")
+		live := 0
+		for _, e := range q.Elems {
+			if e != "" {
+				live++
+			}
+		}
+		if uint64(live) != rx.Raw {
+			t.Errorf("%s: rx_qlen=%d but %d skbs", s.ID, rx.Raw, live)
+		}
+		if rx.Raw > 0 {
+			busy++
+		} else {
+			idle++
+		}
+	}
+	if busy == 0 || idle == 0 {
+		t.Errorf("need both busy and idle sockets: %d/%d", busy, idle)
+	}
+	// Enum decorator: socket state renders by name.
+	for _, s := range g.ByType("socket") {
+		if st := member(t, g, s, "state"); st.Value != "SS_CONNECTED" {
+			t.Errorf("socket state = %q", st.Value)
+		}
+	}
+}
+
+func TestFig6_1Content(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	g := extractFig(t, k, "6-1")
+	timers := g.ByType("timer_list")
+	if len(timers) < 20 {
+		t.Fatalf("timers = %d", len(timers))
+	}
+	for _, tm := range timers {
+		fn := member(t, g, tm, "function")
+		if fn.Value == "" || strings.HasPrefix(fn.Value, "0x") {
+			t.Errorf("%s function undecorated: %q", tm.ID, fn.Value)
+		}
+		if exp := member(t, g, tm, "expires"); exp.Raw <= 4_295_000_000 {
+			t.Errorf("%s expires in the past: %d", tm.ID, exp.Raw)
+		}
+	}
+	// Spinlock emoji rendered on timer bases.
+	for _, tb := range g.ByType("timer_base") {
+		l := member(t, g, tb, "lock")
+		if l.Value != "\U0001F513" { // built unlocked
+			t.Errorf("lock emoji = %q", l.Value)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package vclstdlib_test
+
+import (
+	"strings"
+	"testing"
+
+	"visualinux/internal/graph"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/render"
+	"visualinux/internal/vclstdlib"
+	"visualinux/internal/viewql"
+)
+
+// The paper's debugging sessions are dynamic: pause, plot, step the
+// kernel, re-plot, and watch the figure evolve (§5.3). These tests replay
+// both CVEs as state transitions, asserting that successive plots show the
+// bug appearing.
+
+func TestStackRotDynamics(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{DisableStackRot: true})
+	// The program plots ${&stackrot_mm}; with the pre-staged state
+	// disabled, point the symbol at the victim mm ourselves.
+	victim := k.ByPID[100]
+	k.Symbol("stackrot_mm", k.At("mm_struct", victim.Get("mm")))
+	in := newInterp(t, k)
+
+	// Plot 1: before the fateful mmap — RCU callback list is empty.
+	res1, err := in.RunSource("before", vclstdlib.StackRotProgram)
+	if err != nil {
+		t.Fatalf("plot 1: %v", err)
+	}
+	if n := len(res1.Graph.ByType("rcu_head")); n != 0 {
+		t.Fatalf("rcu heads before = %d", n)
+	}
+	// Track the old tree's nodes by address (the RCU link re-views every
+	// dead node as a MapleLeaf box, so IDs may differ across plots).
+	nodesBefore := map[uint64]bool{}
+	for _, b := range res1.Graph.ByType("maple_node") {
+		nodesBefore[b.Addr] = true
+	}
+
+	// The "expand_stack" moment: a new mapping rebuilds the maple tree;
+	// the replaced nodes are queued for RCU-deferred free while readers
+	// may still hold pointers into them.
+	if _, err := k.MapRegion(100, 0x7100_0000_0000, 0x7100_0002_0000,
+		kernelsim.VMRead|kernelsim.VMWrite, kernelsim.Obj{}); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+
+	// Plot 2: the RCU waiting list now holds the dead nodes, each linking
+	// back (container_of) to its maple_node box — the old tree nodes the
+	// reader could still dereference.
+	in2 := newInterp(t, k)
+	res2, err := in2.RunSource("after", vclstdlib.StackRotProgram)
+	if err != nil {
+		t.Fatalf("plot 2: %v", err)
+	}
+	heads := res2.Graph.ByType("rcu_head")
+	if len(heads) == 0 {
+		t.Fatal("no RCU callbacks after the rebuild")
+	}
+	deadLinked := 0
+	for _, h := range heads {
+		if f, ok := h.Member("func"); !ok || f.Value != "mt_free_rcu" {
+			t.Errorf("callback func = %v", f.Value)
+		}
+		if e, ok := h.Member("embedded_in"); ok && e.TargetID != "" {
+			deadLinked++
+			// The dead node was part of the *old* tree.
+			if !nodesBefore[graph.ParseBoxAddr(e.TargetID)] {
+				t.Errorf("dead node %s was not in the pre-step tree", e.TargetID)
+			}
+		}
+	}
+	if deadLinked == 0 {
+		t.Error("no dead maple node linked from the RCU list")
+	}
+	// And the new tree does NOT contain the dead nodes (use-after-free:
+	// only stale readers see them).
+	var mmRoot string
+	for _, id := range res2.Graph.Roots {
+		if strings.HasPrefix(id, "MMStruct") {
+			mmRoot = id
+		}
+	}
+	fromTree := res2.Graph.Reachable([]string{mmRoot})
+	for _, h := range heads {
+		if e, ok := h.Member("embedded_in"); ok && e.TargetID != "" && fromTree[e.TargetID] {
+			t.Errorf("dead node %s still reachable from the NEW tree", e.TargetID)
+		}
+	}
+}
+
+func TestDirtyPipeDynamics(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{DisableDirtyPipe: true})
+	pipe := k.MakePipe()
+	k.Symbol("dyn_pipe", k.At("pipe_inode_info", pipe.Addr))
+
+	prog := `
+define PageBox as Box<page> [
+    Text index
+    Text<flag:page_flags> flags: flags
+]
+define AddressSpace as Box<address_space> [
+    Text nrpages
+    Container pages: XArray(${@this->i_pages}).forEach |e| {
+        yield PageBox(@e)
+    }
+]
+define PipeBuffer as Box<pipe_buffer> [
+    Text len
+    Text<flag:pipe_buf_flags> flags: flags
+    Link page -> PageBox(${@this->page})
+]
+define Pipe as Box<pipe_inode_info> [
+    Text head, tail
+    Container bufs: PipeRing(@this).forEach |b| {
+        yield PipeBuffer(@b)
+    }
+]
+define FileBox as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+    Link pagecache -> AddressSpace(${@this->f_mapping})
+]
+f = FileBox(${find_task(100)->files->fdt->fd[3]})
+p = Pipe(${&dyn_pipe})
+plot @f
+plot @p
+`
+	sharedPages := func(g *graph.Graph) int {
+		// pages reachable from both the file root and the pipe root
+		fromFile := g.Reachable([]string{g.Roots[0]})
+		fromPipe := g.Reachable([]string{g.Roots[1]})
+		n := 0
+		for _, b := range g.ByType("page") {
+			if fromFile[b.ID] && fromPipe[b.ID] {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Step 0: empty pipe — nothing shared.
+	res0, err := newInterp(t, k).RunSource("step0", prog)
+	if err != nil {
+		t.Fatalf("step0: %v", err)
+	}
+	if n := sharedPages(res0.Graph); n != 0 {
+		t.Fatalf("shared before = %d", n)
+	}
+
+	// Step 1: normal pipe write — still nothing shared.
+	if err := k.PipeWrite(pipe, 128); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := newInterp(t, k).RunSource("step1", prog)
+	if err != nil {
+		t.Fatalf("step1: %v", err)
+	}
+	if n := sharedPages(res1.Graph); n != 0 {
+		t.Fatalf("shared after write = %d", n)
+	}
+
+	// Step 2: the buggy splice — one page now shared, CAN_MERGE visible.
+	// (find_task(100)'s fd 3 is a data file with a page cache.)
+	file := k.At("file", mustEval(t, k, "find_task(100)->files->fdt->fd[3]"))
+	if err := k.SpliceToPipe(file, 0, pipe, 512, true); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := newInterp(t, k).RunSource("step2", prog)
+	if err != nil {
+		t.Fatalf("step2: %v", err)
+	}
+	if n := sharedPages(res2.Graph); n != 1 {
+		t.Fatalf("shared after splice = %d, want 1", n)
+	}
+	// The paper's ViewQL isolates it.
+	eng := viewql.NewEngine(res2.Graph)
+	if err := eng.Apply(`
+file_pgc = SELECT file->pagecache FROM *
+file_pgs = SELECT page FROM REACHABLE(file_pgc)
+pipe_buf = SELECT pipe_inode_info->bufs FROM *
+pipe_pgs = SELECT page FROM REACHABLE(pipe_buf)
+UPDATE pipe_pgs \ file_pgs WITH trimmed: true
+`); err != nil {
+		t.Fatal(err)
+	}
+	vis := render.Visible(res2.Graph)
+	visiblePipePages := 0
+	for _, b := range res2.Graph.ByType("pipe_buffer") {
+		pg, _ := b.Member("page")
+		if pg.TargetID != "" && vis[pg.TargetID] {
+			visiblePipePages++
+			fl, _ := b.Member("flags")
+			if !strings.Contains(fl.Value, "CAN_MERGE") {
+				t.Errorf("isolated buffer lacks the bug flag: %q", fl.Value)
+			}
+		}
+	}
+	if visiblePipePages != 1 {
+		t.Errorf("visible pipe pages after trim = %d", visiblePipePages)
+	}
+
+	// Step 3: the attacker's write dirties the file's page — visible as
+	// PG_dirty in the next plot.
+	if err := k.PipeWrite(pipe, 64); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := newInterp(t, k).RunSource("step3", prog)
+	if err != nil {
+		t.Fatalf("step3: %v", err)
+	}
+	corrupted := false
+	for _, b := range res3.Graph.ByType("page") {
+		fl, _ := b.Member("flags")
+		if strings.Contains(fl.Value, "PG_dirty") {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Error("the corruption (PG_dirty on a cache page) is not visible")
+	}
+}
+
+// mustEval evaluates a C expression against the kernel for test plumbing.
+func mustEval(t *testing.T, k *kernelsim.Kernel, src string) uint64 {
+	t.Helper()
+	in := newInterp(t, k)
+	res, err := in.RunSource("eval", `
+define Probe as Box<file> [
+    Text<raw_ptr> self: ${@this}
+]
+p = Probe(${`+src+`})
+plot @p
+`)
+	if err != nil {
+		t.Fatalf("eval %s: %v", src, err)
+	}
+	root, _ := res.Graph.Get(res.Graph.RootID)
+	return root.Addr
+}

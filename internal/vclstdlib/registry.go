@@ -1,0 +1,172 @@
+// Package vclstdlib is ViewCL's "standard library" in this reproduction:
+// the 21 ULK figure programs of the paper's Table 2, the Table 3 debugging
+// objectives (as natural-language requests plus reference ViewQL), and the
+// case-study programs (maple tree, StackRot, Dirty Pipe). Each program is
+// self-contained ViewCL source — the paper notes that "code shared between
+// plots is calculated repeatedly", so per-figure LOC here is directly
+// comparable to the paper's LOC column.
+package vclstdlib
+
+import "visualinux/internal/viewcl"
+
+// Delta classifies how much the underlying kernel structure changed between
+// Linux 2.6.11 (the ULK book) and 6.1 (Table 2's Δ column).
+type Delta int
+
+// Delta levels, ordered by magnitude.
+const (
+	DeltaNone   Delta = iota // ○ negligible changes
+	DeltaMinor               // ◔ some variables or fields changed
+	DeltaMedium              // ◑ fields/structures/relations changed
+	DeltaMajor               // ● underlying data structure replaced
+)
+
+func (d Delta) String() string {
+	switch d {
+	case DeltaNone:
+		return "none"
+	case DeltaMinor:
+		return "minor"
+	case DeltaMedium:
+		return "medium"
+	case DeltaMajor:
+		return "major"
+	}
+	return "?"
+}
+
+// Symbol renders the Table 2 marker.
+func (d Delta) Symbol() string {
+	switch d {
+	case DeltaNone:
+		return "○"
+	case DeltaMinor:
+		return "◔"
+	case DeltaMedium:
+		return "◑"
+	case DeltaMajor:
+		return "●"
+	}
+	return "?"
+}
+
+// Objective is a Table 3 hypothetical debugging objective: the natural-
+// language description fed to vchat and the reference ViewQL it should be
+// equivalent to.
+type Objective struct {
+	Description string // NL request (vchat input)
+	ViewQL      string // reference program (what the paper's LLM produced)
+}
+
+// Figure is one Table 2 row.
+type Figure struct {
+	ID        string // "3-4", "8-2", "workqueue", ...
+	Title     string
+	Delta     Delta
+	Program   string     // ViewCL source
+	Objective *Objective // Table 3 entry, if this figure has one
+	PaperLOC  int        // the paper's reported LOC, for EXPERIMENTS.md
+}
+
+// LOC counts the program's non-blank, non-comment lines.
+func (f *Figure) LOC() int {
+	p := viewcl.MustParse(f.ID, f.Program)
+	return p.LOC
+}
+
+// Figures returns all Table 2 rows in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{ID: "3-4", Title: "process parenthood tree", Delta: DeltaNone, Program: Fig3_4, PaperLOC: 27,
+			Objective: &Objective{
+				Description: "Display view show_children of all tasks, and shrink tasks that have no address space",
+				ViewQL: `a1 = SELECT task_struct FROM *
+UPDATE a1 WITH view: show_children
+a2 = SELECT task_struct FROM * WHERE mm == NULL
+UPDATE a2 WITH collapsed: true`,
+			}},
+		{ID: "3-6", Title: "PID hash tables (now: pid IDR)", Delta: DeltaMedium, Program: Fig3_6, PaperLOC: 48,
+			Objective: &Objective{
+				Description: "Shrink all pid entries except for nr 1 and 100",
+				ViewQL: `a1 = SELECT pid FROM *
+a2 = SELECT pid FROM * WHERE nr == 1 OR nr == 100
+UPDATE a1 \ a2 WITH collapsed: true`,
+			}},
+		{ID: "4-5", Title: "IRQ descriptors", Delta: DeltaMinor, Program: Fig4_5, PaperLOC: 59,
+			Objective: &Objective{
+				Description: "Shrink irq_desc entries whose action is not configured",
+				ViewQL: `a1 = SELECT irq_desc FROM * WHERE action == NULL
+UPDATE a1 WITH collapsed: true`,
+			}},
+		{ID: "6-1", Title: "dynamic timers", Delta: DeltaMinor, Program: Fig6_1, PaperLOC: 46},
+		{ID: "7-1", Title: "runqueue of CFS scheduler", Delta: DeltaMinor, Program: Fig7_1, PaperLOC: 35,
+			Objective: &Objective{
+				Description: "Display view sched of all tasks; display the tasks_timeline of RunQueue vertically",
+				ViewQL: `a1 = SELECT task_struct FROM *
+UPDATE a1 WITH view: sched
+a2 = SELECT RunQueue.tasks_timeline FROM *
+UPDATE a2 WITH direction: vertical`,
+			}},
+		{ID: "8-2", Title: "buddy system and pages", Delta: DeltaMedium, Program: Fig8_2, PaperLOC: 64},
+		{ID: "8-4", Title: "kmem cache and slab allocator", Delta: DeltaMajor, Program: Fig8_4, PaperLOC: 102},
+		{ID: "9-2", Title: "process address space", Delta: DeltaMajor, Program: Fig9_2, PaperLOC: 145,
+			Objective: &Objective{
+				Description: "Display view show_mt of all mm_struct objects; shrink the maple_node slots; shrink all vm_area_struct objects that are writable",
+				ViewQL: `a1 = SELECT mm_struct FROM *
+UPDATE a1 WITH view: show_mt
+a2 = SELECT maple_node.slots FROM *
+UPDATE a2 WITH collapsed: true
+a3 = SELECT vm_area_struct FROM * WHERE is_writable == true
+UPDATE a3 WITH collapsed: true`,
+			}},
+		{ID: "11-1", Title: "components for signal handling", Delta: DeltaNone, Program: Fig11_1, PaperLOC: 71,
+			Objective: &Objective{
+				Description: "Shrink k_sigaction entries whose sa_handler is not configured",
+				ViewQL: `a1 = SELECT k_sigaction FROM * WHERE sa_handler == NULL
+UPDATE a1 WITH collapsed: true`,
+			}},
+		{ID: "12-3", Title: "the fd array", Delta: DeltaMedium, Program: Fig12_3, PaperLOC: 55},
+		{ID: "13-3", Title: "device driver and kobject", Delta: DeltaMinor, Program: Fig13_3, PaperLOC: 55},
+		{ID: "14-3", Title: "block device descriptors", Delta: DeltaMinor, Program: Fig14_3, PaperLOC: 75,
+			Objective: &Objective{
+				Description: "Display the list of SuperBlocks vertically; collapse super_block entries whose s_bdev is not connected to any block device",
+				ViewQL: `a1 = SELECT SuperBlocks.list FROM *
+UPDATE a1 WITH direction: vertical
+a2 = SELECT super_block FROM * WHERE s_bdev == NULL
+UPDATE a2 WITH collapsed: true`,
+			}},
+		{ID: "15-1", Title: "the radix tree managing page cache (now: xarray)", Delta: DeltaMajor, Program: Fig15_1, PaperLOC: 70,
+			Objective: &Objective{
+				Description: "Shrink the pages list in address_space objects",
+				ViewQL: `a1 = SELECT address_space.pages FROM *
+UPDATE a1 WITH collapsed: true`,
+			}},
+		{ID: "16-2", Title: "file memory mapping", Delta: DeltaMinor, Program: Fig16_2, PaperLOC: 53,
+			Objective: &Objective{
+				Description: "Shrink files that have no mapping",
+				ViewQL: `a1 = SELECT file FROM * WHERE nr_mmap == 0
+UPDATE a1 WITH collapsed: true`,
+			}},
+		{ID: "17-1", Title: "reverse map of anonymous pages", Delta: DeltaNone, Program: Fig17_1, PaperLOC: 154},
+		{ID: "17-6", Title: "swap area descriptors", Delta: DeltaNone, Program: Fig17_6, PaperLOC: 19},
+		{ID: "19-1/2", Title: "IPC semaphore and message queue management", Delta: DeltaMinor, Program: Fig19_12, PaperLOC: 126},
+		{ID: "workqueue", Title: "work queue (heterogeneous work list)", Delta: DeltaMajor, Program: FigWorkqueue, PaperLOC: 89},
+		{ID: "proc2vfs", Title: "from process to VFS", Delta: DeltaNone, Program: FigProc2VFS, PaperLOC: 96},
+		{ID: "socketconn", Title: "socket connection", Delta: DeltaMinor, Program: FigSocketConn, PaperLOC: 92,
+			Objective: &Objective{
+				Description: "Shrink sockets whose write/receive buffer are both empty",
+				ViewQL: `a1 = SELECT sock FROM * WHERE tx_qlen == 0 AND rx_qlen == 0
+UPDATE a1 WITH collapsed: true`,
+			}},
+	}
+}
+
+// FigureByID finds a Table 2 row.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

@@ -1,0 +1,164 @@
+package vclstdlib_test
+
+import (
+	"testing"
+
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/vclstdlib"
+	"visualinux/internal/viewql"
+)
+
+// TestDeepMapleTree: a process with many mappings produces a multi-level
+// maple tree (leaf level + at least two internal levels) that the ViewCL
+// program still unwraps completely and distills in order.
+func TestDeepMapleTree(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{VMAsPerProcess: 160})
+	g := extractFig(t, k, "9-2")
+
+	leaves, internals := 0, 0
+	for _, b := range g.ByType("maple_node") {
+		switch b.Label {
+		case "MapleLeaf":
+			leaves++
+		case "MapleARange":
+			internals++
+		}
+	}
+	if leaves < 10 {
+		t.Errorf("leaves = %d (tree too shallow for the stress workload)", leaves)
+	}
+	if internals < 2 {
+		t.Errorf("internal nodes = %d; want a multi-level tree", internals)
+	}
+
+	vmas := g.ByType("vm_area_struct")
+	if len(vmas) < 150 {
+		t.Errorf("VMAs extracted = %d", len(vmas))
+	}
+	// The distilled list must still be complete and sorted.
+	for _, mm := range g.ByType("mm_struct") {
+		space, ok := mm.Member("mm_addr_space")
+		if !ok {
+			t.Fatal("no distilled view")
+		}
+		var prev uint64
+		n := 0
+		for _, id := range space.Elems {
+			if id == "" {
+				continue
+			}
+			b, _ := g.Get(id)
+			st, _ := b.Member("vm_start")
+			if st.Raw < prev {
+				t.Fatalf("distill order broken at %s", id)
+			}
+			prev = st.Raw
+			n++
+		}
+		if n != len(vmas) {
+			t.Errorf("distilled %d of %d VMAs", n, len(vmas))
+		}
+	}
+}
+
+// TestLargePageCache: a file with thousands of pages produces a multi-level
+// xarray that extracts fully and in index order.
+func TestLargePageCache(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{PagesPerFile: 600})
+	in := newInterp(t, k)
+	// Raise the per-container ceiling for the stress sweep.
+	in.MaxElems = 8192
+	res, err := in.RunSource("big-cache", `
+define PageBox as Box<page> [
+    Text index
+]
+define XaNode as Box<xa_node> [
+    Text shift, count
+    Container slots: Array(${@this->slots}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: switch ${xa_is_node(@s)} {
+                case ${true}: XaNode(${xa_to_node(@s)})
+                otherwise: PageBox(@s)
+            }
+        }
+    }
+]
+root = XaNode(${xa_to_node(find_task(1)->files->fdt->fd[3]->f_mapping->i_pages.xa_head)})
+plot @root
+`)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	g := res.Graph
+	pages := g.ByType("page")
+	if len(pages) != 600 {
+		t.Fatalf("pages = %d, want 600", len(pages))
+	}
+	nodes := g.ByType("xa_node")
+	if len(nodes) < 10 {
+		t.Errorf("xa nodes = %d; want a multi-level tree", len(nodes))
+	}
+	// Root shift must be 6 (two levels: 64*64 >= 600 > 64).
+	root, _ := g.Get(g.RootID)
+	if sh, _ := root.Member("shift"); sh.Raw != 6 {
+		t.Errorf("root shift = %d", sh.Raw)
+	}
+}
+
+// TestBigWorkloadEndToEnd: the full figure set extracts against a much
+// larger population without errors or runaway costs.
+func TestBigWorkloadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	k := kernelsim.Build(kernelsim.Options{Processes: 20, ThreadsPerProc: 4})
+	if len(k.Tasks) < 85 {
+		t.Fatalf("tasks = %d", len(k.Tasks))
+	}
+	for _, fig := range vclstdlib.Figures() {
+		in := newInterp(t, k)
+		res, err := in.RunSource(fig.ID, fig.Program)
+		if err != nil {
+			t.Errorf("figure %s: %v", fig.ID, err)
+			continue
+		}
+		if len(res.Errors) > 0 {
+			t.Errorf("figure %s: %d extraction issues, first: %v", fig.ID, len(res.Errors), res.Errors[0])
+		}
+	}
+	// ViewQL over the big process tree stays correct.
+	g := extractFig(t, k, "3-4")
+	e := viewql.NewEngine(g)
+	if err := e.Apply(`
+big = SELECT task_struct FROM * WHERE pid >= 100
+UPDATE big WITH collapsed: true
+`); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, b := range g.ByType("task_struct") {
+		if b.Collapsed() {
+			n++
+		}
+	}
+	if n < 80 {
+		t.Errorf("collapsed = %d", n)
+	}
+}
+
+// TestObjectBudget: the interpreter's safety valve stops runaway
+// extractions instead of exhausting memory.
+func TestObjectBudget(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{Processes: 10})
+	in := newInterp(t, k)
+	in.MaxObjects = 25
+	fig, _ := vclstdlib.FigureByID("3-4")
+	res, err := in.RunSource("budget", fig.Program)
+	if err == nil && (res == nil || len(res.Errors) == 0) {
+		t.Fatal("budget overrun not reported")
+	}
+	if res != nil && len(res.Graph.Boxes) > 25 {
+		t.Errorf("budget exceeded: %d boxes", len(res.Graph.Boxes))
+	}
+}

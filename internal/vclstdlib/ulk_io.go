@@ -1,0 +1,314 @@
+package vclstdlib
+
+// I/O and IPC figures: ULK Fig 13-3, 14-3, 19-1/2, plus the three figures
+// the paper adds beyond ULK: the workqueue (paper Fig 6), process-to-VFS,
+// and socket connections.
+
+// Fig13_3 plots the driver model: kset -> kobjects -> devices with their
+// drivers and bus (ULK Fig 13-3).
+const Fig13_3 = `
+define BusType as Box<bus_type> [
+    Text name
+    Text<fptr> match, probe
+]
+
+define Driver as Box<device_driver> [
+    Text name
+    Text<fptr> probe
+    Link bus -> BusType(${@this->bus})
+]
+
+define Kobject as Box<kobject> [
+    Text name
+    Text refcount: ${@this->kref.refcount.refs}
+    Text<bool> in_sysfs: ${@this->state_in_sysfs}
+    Link parent -> Kobject(${@this->parent})
+]
+
+define Device as Box<device> [
+    Box kobj: Kobject(${&@this->kobj})
+    Link driver -> Driver(${@this->driver})
+    Link bus -> BusType(${@this->bus})
+    Link parent -> Device(${@this->parent})
+]
+
+define Kset as Box<kset> [
+    Box kobj: Kobject(${&@this->kobj})
+    Container list: List(${@this->list}).forEach |n| {
+        yield Device<device.kobj.entry>(@n)
+    }
+]
+
+root = Kset(${&devices_kset})
+plot @root
+`
+
+// Fig14_3 plots block device descriptors: the super_block list, each with
+// its backing block_device partition and gendisk (ULK Fig 14-3).
+const Fig14_3 = `
+define Gendisk as Box<gendisk> [
+    Text disk_name, major, minors
+]
+
+define BlockDevice as Box<block_device> [
+    Text<u64:x> bd_dev
+    Text bd_partno, bd_start_sect, bd_nr_sectors
+    Link bd_disk -> Gendisk(${@this->bd_disk})
+]
+
+define FsType as Box<file_system_type> [
+    Text name
+]
+
+define SuperBlock as Box<super_block> [
+    Text s_id
+    Text<u64:x> s_dev, s_magic
+    Text s_blocksize
+    Link s_type -> FsType(${@this->s_type})
+    Link s_bdev -> BlockDevice(${@this->s_bdev})
+]
+
+define SuperBlocks as Box<list_head> [
+    Container list: List(@this).forEach |n| {
+        yield SuperBlock<super_block.s_list>(@n)
+    }
+]
+
+root = SuperBlocks(${&super_blocks})
+plot @root
+`
+
+// Fig19_12 plots System V IPC: the semaphore and message-queue IDRs with
+// their undo/pending structures (ULK Fig 19-1 and 19-2, merged as the
+// paper does).
+const Fig19_12 = `
+define TaskRef as Box<task_struct> [
+    Text pid, comm
+]
+
+define SemQueue as Box<sem_queue> [
+    Text pid, nsops
+    Text<bool> alter
+    Link sleeper -> TaskRef(${@this->sleeper})
+]
+
+define Sem as Box<sem> [
+    Text semval, sempid
+    Container pending_alter: List(${@this->pending_alter}).forEach |n| {
+        yield SemQueue<sem_queue.list>(@n)
+    }
+]
+
+define SemArray as Box<sem_array> [
+    Text id: ${@this->sem_perm.id}
+    Text<u64:x> key: ${@this->sem_perm.key}
+    Text sem_nsems
+    Container sems: Array(${@this->sems}, ${@this->sem_nsems}).forEach |s| {
+        yield Sem(@s)
+    }
+]
+
+define SemIdrNode as Box<xa_node> [
+    Text shift, count
+    Container slots: Array(${@this->slots}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: switch ${xa_is_node(@s)} {
+                case ${true}: SemIdrNode(${xa_to_node(@s)})
+                otherwise: SemArray(@s)
+            }
+        }
+    }
+]
+
+define MsgMsg as Box<msg_msg> [
+    Text m_type, m_ts
+]
+
+define MsgQueue as Box<msg_queue> [
+    Text id: ${@this->q_perm.id}
+    Text<u64:x> key: ${@this->q_perm.key}
+    Text q_qnum, q_cbytes, q_qbytes
+    Container q_messages: List(${@this->q_messages}).forEach |n| {
+        yield MsgMsg<msg_msg.m_list>(@n)
+    }
+]
+
+define MsgIdrNode as Box<xa_node> [
+    Text shift, count
+    Container slots: Array(${@this->slots}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: switch ${xa_is_node(@s)} {
+                case ${true}: MsgIdrNode(${xa_to_node(@s)})
+                otherwise: MsgQueue(@s)
+            }
+        }
+    }
+]
+
+define IpcNS as Box<ipc_namespace> [
+    Text sem_in_use: ${@this->ids[0].in_use}
+    Text msg_in_use: ${@this->ids[1].in_use}
+    Link sem_idr -> switch ${xa_is_node(@this->ids[0].ipcs_idr.idr_rt.xa_head)} {
+        case ${true}: SemIdrNode(${xa_to_node(@this->ids[0].ipcs_idr.idr_rt.xa_head)})
+        otherwise: SemArray(${@this->ids[0].ipcs_idr.idr_rt.xa_head})
+    }
+    Link msg_idr -> switch ${xa_is_node(@this->ids[1].ipcs_idr.idr_rt.xa_head)} {
+        case ${true}: MsgIdrNode(${xa_to_node(@this->ids[1].ipcs_idr.idr_rt.xa_head)})
+        otherwise: MsgQueue(${@this->ids[1].ipcs_idr.idr_rt.xa_head})
+    }
+]
+
+root = IpcNS(${&init_ipc_ns})
+plot @root
+`
+
+// FigWorkqueue plots the mm_percpu_wq work queue: worker pools whose
+// heterogeneous worklists are recovered through container_of plus the
+// function-pointer type witness — the paper's Fig 6.
+const FigWorkqueue = `
+define VmstatWork as Box<vmstat_work_item> [
+    Text kind: "vmstat_work_item"
+    Text cpu, stat_threshold
+    Text<fptr> func: ${@this->dwork.work.func}
+]
+
+define LruDrainWork as Box<lru_drain_work_item> [
+    Text kind: "lru_drain_work_item"
+    Text cpu, nr_pages
+    Text<fptr> func: ${@this->work.func}
+]
+
+define MmuGatherWork as Box<mmu_gather_work_item> [
+    Text kind: "mmu_gather_work_item"
+    Text freed_tables
+    Text<fptr> func: ${@this->work.func}
+]
+
+define GenericWork as Box<work_struct> [
+    Text kind: "work_struct"
+    Text<fptr> func
+]
+
+define Worker as Box<worker> [
+    Text id, desc
+]
+
+define WorkerPool as Box<worker_pool> [
+    Text cpu, id, nr_workers
+    Container workers: List(${@this->workers}).forEach |n| {
+        yield Worker<worker.node>(@n)
+    }
+    Container worklist: List(${@this->worklist}).forEach |n| {
+        yield switch ${container_of(@n, work_struct, entry)->func} {
+            case ${vmstat_update}: VmstatWork<vmstat_work_item.dwork.work.entry>(@n)
+            case ${lru_add_drain_per_cpu}: LruDrainWork<lru_drain_work_item.work.entry>(@n)
+            case ${tlb_remove_table_smp_sync}: MmuGatherWork<mmu_gather_work_item.work.entry>(@n)
+            otherwise: GenericWork<work_struct.entry>(@n)
+        }
+    }
+]
+
+define PoolWQ as Box<pool_workqueue> [
+    Text nr_active, max_active, refcnt
+    Link pool -> WorkerPool(${@this->pool})
+]
+
+define Workqueue as Box<workqueue_struct> [
+    Text name
+    Container pwqs: List(${@this->pwqs}).forEach |n| {
+        yield PoolWQ<pool_workqueue.pwqs_node>(@n)
+    }
+]
+
+root = Workqueue(${&mm_percpu_wq})
+plot @root
+`
+
+// FigProc2VFS plots the path from a process to the filesystem: task ->
+// files -> fd -> file -> dentry -> inode -> superblock (figure #20).
+const FigProc2VFS = `
+define SuperBlock as Box<super_block> [
+    Text s_id
+    Text<u64:x> s_magic
+]
+
+define Inode as Box<inode> [
+    Text i_ino, i_size, i_nlink
+    Text<u64:x> i_mode
+    Link i_sb -> SuperBlock(${@this->i_sb})
+]
+
+define Dentry as Box<dentry> [
+    Text name: d_iname
+    Link d_parent -> Dentry(${@this->d_parent})
+    Link d_inode -> Inode(${@this->d_inode})
+]
+
+define FileBox as Box<file> [
+    Text f_pos, f_count
+    Text<u64:x> f_flags
+    Link dentry -> Dentry(${@this->f_path.dentry})
+]
+
+define FilesStruct as Box<files_struct> [
+    Text count, next_fd
+    Container fd: Array(${@this->fdt->fd}, 8).forEach |f| {
+        yield switch ${@f == 0} {
+            case ${true}: NULL
+            otherwise: FileBox(@f)
+        }
+    }
+]
+
+define Task as Box<task_struct> [
+    Text pid, comm
+    Link files -> FilesStruct(${@this->files})
+]
+
+root = Task(${find_task(100)})
+plot @root
+`
+
+// FigSocketConn plots live socket connections: sockets with their socks,
+// receive/send skb queues, and owning files (figure #21 — the network
+// chapter ULK never had).
+const FigSocketConn = `
+define SkBuff as Box<sk_buff> [
+    Text len, data_len
+]
+
+define Sock as Box<sock> [
+    Text state: ${@this->__sk_common.skc_state}
+    Text sport: ${@this->__sk_common.skc_num}
+    Text dport: ${@this->__sk_common.skc_dport}
+    Text<u64:x> daddr: ${@this->__sk_common.skc_daddr}
+    Text rx_qlen: ${@this->sk_receive_queue.qlen}
+    Text tx_qlen: ${@this->sk_write_queue.qlen}
+    Container rx_queue: List(${@this->sk_receive_queue}).forEach |n| {
+        yield SkBuff<sk_buff.next>(@n)
+    }
+    Container tx_queue: List(${@this->sk_write_queue}).forEach |n| {
+        yield SkBuff<sk_buff.next>(@n)
+    }
+]
+
+define FileRef as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+]
+
+define Socket as Box<socket> [
+    Text<enum:socket_state> state: state
+    Text type
+    Link sk -> Sock(${@this->sk})
+    Link file -> FileRef(${@this->file})
+]
+
+root = Box [
+    Container sockets: Array(${all_socks}, ${nr_socks}).forEach |s| {
+        yield Socket(@s)
+    }
+]
+plot @root
+`

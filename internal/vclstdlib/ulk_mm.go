@@ -1,0 +1,322 @@
+package vclstdlib
+
+// Memory-management figures: ULK Fig 8-2, 8-4, 9-2, 15-1, 16-2, 17-1, 17-6.
+
+// Fig8_2 plots the buddy system: node -> zones -> per-order free areas ->
+// free pages (ULK Fig 8-2).
+const Fig8_2 = `
+define PageBox as Box<page> [
+    Text pfn: ${page_to_pfn(@this)}
+    Text order: ${@this->buddy_order}
+    Text<flag:page_flags> flags: ${@this->buddy_flags}
+]
+
+define FreeArea as Box<free_area> [
+    Text nr_free
+    Container unmovable: List(${@this->free_list[0]}).forEach |n| {
+        yield PageBox<page.buddy_list>(@n)
+    }
+    Container movable: List(${@this->free_list[1]}).forEach |n| {
+        yield PageBox<page.buddy_list>(@n)
+    }
+    Container reclaimable: List(${@this->free_list[2]}).forEach |n| {
+        yield PageBox<page.buddy_list>(@n)
+    }
+]
+
+define Zone as Box<zone> [
+    Text name
+    Text zone_start_pfn, present_pages
+    Text managed: ${@this->managed_pages}
+    Container free_area: Array(${@this->free_area}).forEach |fa| {
+        yield FreeArea(@fa)
+    }
+]
+
+define NodeData as Box<pglist_data> [
+    Text node_id, nr_zones, node_start_pfn
+    Container node_zones: Array(${@this->node_zones}).forEach |z| {
+        yield Zone(@z)
+    }
+]
+
+root = NodeData(${&node_data0})
+plot @root
+`
+
+// Fig8_4 plots the SLUB allocator: cache list -> per-CPU active slab and
+// per-node partial slabs (ULK Fig 8-4, structure replaced since 2.6's SLAB).
+const Fig8_4 = `
+define Slab as Box<slab> [
+    Text inuse, objects, frozen
+    Text<u64:x> freelist
+]
+
+define CpuSlab as Box<kmem_cache_cpu> [
+    Text<u64:x> freelist
+    Text tid
+    Link slab -> Slab(${@this->slab})
+    Link partial -> Slab(${@this->partial})
+]
+
+define CacheNode as Box<kmem_cache_node> [
+    Text nr_partial
+    Container partial: List(${@this->partial}).forEach |n| {
+        yield Slab<slab.slab_list>(@n)
+    }
+]
+
+define KmemCache as Box<kmem_cache> [
+    Text name
+    Text size, object_size, offset
+    Text objs_per_slab: ${@this->oo}
+    Link cpu_slab -> CpuSlab(${@this->cpu_slab})
+    Link node -> CacheNode(${@this->node[0]})
+]
+
+root = Box [
+    Container slab_caches: List(${slab_caches}).forEach |n| {
+        yield KmemCache<kmem_cache.list>(@n)
+    }
+]
+plot @root
+`
+
+// Fig9_2 plots a process address space: mm_struct -> maple tree (leaf and
+// allocation-range nodes unwrapped from their tagged pointers) -> VMAs with
+// backing files. This is the paper's Fig 3 program adapted to ULK Fig 9-2;
+// the :show_addrspace view distills the tree into a pmap-like sorted list
+// (paper §3.2).
+const Fig9_2 = `
+define FileRef as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+]
+
+define VMArea as Box<vm_area_struct> [
+    Text<u64:x> vm_start, vm_end
+    Text<flag:vm_flags> vm_flags: vm_flags
+    Text<bool> is_writable: ${(@this->vm_flags & 2) != 0}
+    Text vm_pgoff
+    Link vm_file -> FileRef(${@this->vm_file})
+]
+
+define MapleLeaf as Box<maple_node> [
+    Text kind: "maple_leaf_64"
+    Container pivots: Array(${@this->mr64.pivot})
+    Container slots: Array(${@this->mr64.slot}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: VMArea(@s)
+        }
+    }
+]
+
+define MapleARange as Box<maple_node> [
+    Text kind: "maple_arange_64"
+    Container pivots: Array(${@this->ma64.pivot})
+    Container gaps: Array(${@this->ma64.gap})
+    Container slots: Array(${@this->ma64.slot}).forEach |s| {
+        yield switch ${xa_is_node(@s)} {
+            case ${false}: NULL
+            otherwise: switch ${mte_is_leaf(@s)} {
+                case ${true}: MapleLeaf(${mte_to_node(@s)})
+                otherwise: MapleARange(${mte_to_node(@s)})
+            }
+        }
+    }
+]
+
+define MapleTree as Box<maple_tree> [
+    Text<u64:x> ma_flags
+    Link ma_root -> switch ${xa_is_node(@this->ma_root)} {
+        case ${true}: switch ${mte_is_leaf(@this->ma_root)} {
+            case ${true}: MapleLeaf(${mte_to_node(@this->ma_root)})
+            otherwise: MapleARange(${mte_to_node(@this->ma_root)})
+        }
+        otherwise: switch ${@this->ma_root == 0} {
+            case ${true}: NULL
+            otherwise: VMArea(${@this->ma_root})
+        }
+    }
+]
+
+define MMStruct as Box<mm_struct> {
+    :default [
+        Text<u64:x> mmap_base, pgd
+        Text mm_users, mm_count, map_count, total_vm
+        Text<u64:x> start_code, start_stack
+    ]
+    :default => :show_mt [
+        Link mm_maple_tree -> @mm_mt
+    ]
+    :show_mt => :show_addrspace [
+        Container mm_addr_space: Array.selectFrom(@mm_mt, VMArea)
+    ]
+} where {
+    mm_mt = MapleTree(${&@this->mm_mt})
+}
+
+define Task as Box<task_struct> [
+    Text pid, comm
+    Link mm -> MMStruct(${@this->mm})
+]
+
+root = Task(${find_task(100)})
+plot @root
+`
+
+// Fig15_1 plots the page cache: in 2.6 a radix tree, in 6.1 the xarray
+// (ULK Fig 15-1, structure upgraded). The :flat view distills the node tree
+// into the plain ordered page list.
+const Fig15_1 = `
+define PageBox as Box<page> [
+    Text index
+    Text<flag:page_flags> flags: flags
+    Text refcount: ${@this->_refcount}
+]
+
+define XaNode as Box<xa_node> [
+    Text shift, offset, count
+    Container slots: Array(${@this->slots}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: switch ${xa_is_node(@s)} {
+                case ${true}: XaNode(${xa_to_node(@s)})
+                otherwise: PageBox(@s)
+            }
+        }
+    }
+]
+
+define AddressSpace as Box<address_space> {
+    :default [
+        Text nrpages
+        Link xa_head -> @xa_root
+    ]
+    :default => :flat [
+        Container pages: Array.selectFrom(@xa_root, PageBox)
+    ]
+} where {
+    xa_root = switch ${xa_is_node(@this->i_pages.xa_head)} {
+        case ${true}: XaNode(${xa_to_node(@this->i_pages.xa_head)})
+        otherwise: switch ${@this->i_pages.xa_head == 0} {
+            case ${true}: NULL
+            otherwise: PageBox(${@this->i_pages.xa_head})
+        }
+    }
+}
+
+define FileBox as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+    Link f_mapping -> AddressSpace(${@this->f_mapping})
+]
+
+root = FileBox(${find_task(1)->files->fdt->fd[3]})
+plot @root
+`
+
+// Fig16_2 plots file memory mapping: files -> address_space -> the i_mmap
+// interval tree of VMAs -> owning mm/task (ULK Fig 16-2).
+const Fig16_2 = `
+define TaskRef as Box<task_struct> [
+    Text pid, comm
+]
+
+define MMRef as Box<mm_struct> [
+    Text map_count
+    Link owner -> TaskRef(${@this->owner})
+]
+
+define VMArea as Box<vm_area_struct> [
+    Text<u64:x> vm_start, vm_end
+    Text vm_pgoff
+    Link vm_mm -> MMRef(${@this->vm_mm})
+]
+
+define AddressSpace as Box<address_space> [
+    Text nrpages
+    Container i_mmap: RBTree(${@this->i_mmap}).forEach |n| {
+        yield VMArea<vm_area_struct.shared_rb>(@n)
+    }
+]
+
+define FileBox as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+    Text nr_mmap: ${@this->f_mapping->i_mmap.rb_root.rb_node != 0}
+    Link f_mapping -> AddressSpace(${@this->f_mapping})
+]
+
+root = Box [
+    Container files: Array(${find_task(100)->files->fdt->fd}, 8).forEach |f| {
+        yield switch ${@f == 0} {
+            case ${true}: NULL
+            otherwise: FileBox(@f)
+        }
+    }
+]
+plot @root
+`
+
+// Fig17_1 plots the reverse map of anonymous pages: page -> tagged
+// anon_vma pointer -> interval tree of anon_vma_chains -> VMAs -> mm
+// (ULK Fig 17-1).
+const Fig17_1 = `
+define TaskRef as Box<task_struct> [
+    Text pid, comm
+]
+
+define MMRef as Box<mm_struct> [
+    Text map_count
+    Link owner -> TaskRef(${@this->owner})
+]
+
+define VMArea as Box<vm_area_struct> [
+    Text<u64:x> vm_start, vm_end
+    Text<flag:vm_flags> vm_flags: vm_flags
+    Link vm_mm -> MMRef(${@this->vm_mm})
+]
+
+define AVC as Box<anon_vma_chain> [
+    Link vma -> VMArea(${@this->vma})
+]
+
+define AnonVma as Box<anon_vma> [
+    Text refcount, num_active_vmas
+    Container rb_root: RBTree(${@this->rb_root}).forEach |n| {
+        yield AVC<anon_vma_chain.rb>(@n)
+    }
+]
+
+define AnonPage as Box<page> [
+    Text index
+    Text<flag:page_flags> flags: flags
+    Text mapcount: ${@this->_mapcount}
+    Text<bool> is_anon: ${PageAnon(@this)}
+    Link mapping_anon_vma -> AnonVma(${page_anon_vma(@this)})
+]
+
+root = Box [
+    Link page -> AnonPage(${anon_first_page(task_anon_vma(find_task(100)))})
+]
+plot @root
+`
+
+// Fig17_6 plots swap area descriptors (ULK Fig 17-6).
+const Fig17_6 = `
+define FileRef as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+]
+
+define SwapInfo as Box<swap_info_struct> [
+    Text prio, pages, inuse_pages
+    Text<u64:x> flags
+    Text lowest_bit, highest_bit
+    Link swap_file -> FileRef(${@this->swap_file})
+]
+
+root = Box [
+    Text nr_swapfiles: ${nr_swapfiles}
+    Link swap_info_0 -> SwapInfo(${swap_info[0]})
+]
+plot @root
+`

@@ -1,0 +1,235 @@
+package vclstdlib
+
+// Process-management figures: ULK Fig 3-4, 3-6, 4-5, 6-1, 7-1, 11-1, 12-3.
+
+// Fig3_4 plots the process parenthood tree (ULK Fig 3-4).
+const Fig3_4 = `
+define MM as Box<mm_struct> [
+    Text map_count
+    Text<u64:x> pgd
+]
+
+define Task as Box<task_struct> {
+    :default [
+        Text pid, comm
+        Text<string> state: ${task_state(@this)}
+        Link mm -> MM(${@this->mm})
+    ]
+    :default => :show_children [
+        Text ppid: ${@this->parent->pid}
+        Container children: List(${@this->children}).forEach |n| {
+            yield Task<task_struct.sibling>(@n)
+        }
+    ]
+}
+
+root = Task(${&init_task})
+plot @root
+`
+
+// Fig3_6 plots PID management. ULK drew the 2.6 pid_hash tables; in Linux
+// 6.1 pids live in a per-namespace IDR (radix tree), so the ported figure
+// shows init_pid_ns's IDR with struct pid leaves (Δ = structure changed).
+const Fig3_6 = `
+define Task as Box<task_struct> [
+    Text pid, comm
+]
+
+define Pid as Box<pid> [
+    Text nr: ${@this->numbers[0].nr}
+    Text level
+    Text refcount: ${@this->count.refs}
+    Container tasks: HList(${@this->tasks[0]}).forEach |n| {
+        yield Task<task_struct.pid_links>(@n)
+    }
+]
+
+define IdrNode as Box<xa_node> [
+    Text shift, count
+    Container slots: Array(${@this->slots}).forEach |s| {
+        yield switch ${@s == 0} {
+            case ${true}: NULL
+            otherwise: switch ${xa_is_node(@s)} {
+                case ${true}: IdrNode(${xa_to_node(@s)})
+                otherwise: Pid(@s)
+            }
+        }
+    }
+]
+
+define PidNS as Box<pid_namespace> [
+    Text pid_allocated, level
+    Link child_reaper -> Task(${@this->child_reaper})
+    Link idr_root -> switch ${xa_is_node(@this->idr.idr_rt.xa_head)} {
+        case ${true}: IdrNode(${xa_to_node(@this->idr.idr_rt.xa_head)})
+        otherwise: NULL
+    }
+]
+
+root = PidNS(${&init_pid_ns})
+plot @root
+`
+
+// Fig4_5 plots the IRQ descriptor table with (possibly shared) actions
+// (ULK Fig 4-5).
+const Fig4_5 = `
+define IrqAction as Box<irqaction> [
+    Text name
+    Text<fptr> handler
+    Text irq
+    Link next -> IrqAction(${@this->next})
+]
+
+define IrqChip as Box<irq_chip> [
+    Text name
+    Text<fptr> irq_enable, irq_disable
+]
+
+define IrqDesc as Box<irq_desc> [
+    Text irq: ${@this->irq_data.irq}
+    Text name
+    Text depth
+    Text<fptr> handle_irq
+    Link chip -> IrqChip(${@this->irq_data.chip})
+    Link action -> IrqAction(${@this->action})
+]
+
+root = Box [
+    Container irq_descs: Array(${irq_desc}).forEach |d| {
+        yield IrqDesc(@d)
+    }
+]
+plot @root
+`
+
+// Fig6_1 plots the per-CPU timer wheels (ULK Fig 6-1, dynamic timers).
+const Fig6_1 = `
+define Timer as Box<timer_list> [
+    Text expires
+    Text<fptr> function
+    Text<u64:x> flags
+]
+
+define Bucket as Box<hlist_head> [
+    Container timers: HList(@this).forEach |n| {
+        yield Timer<timer_list.entry>(@n)
+    }
+]
+
+define TimerBase as Box<timer_base> [
+    Text cpu, clk, next_expiry
+    Text<emoji:lock> lock: ${@this->lock.raw_lock}
+    Container vectors: Array(${@this->vectors}).forEach |b| {
+        yield switch ${@b.first == 0} {
+            case ${true}: NULL
+            otherwise: Bucket(@b)
+        }
+    }
+]
+
+root = Box [
+    Link cpu0 -> TimerBase(${&timer_bases[0]})
+    Link cpu1 -> TimerBase(${&timer_bases[1]})
+]
+plot @root
+`
+
+// Fig7_1 plots the CFS run queue of CPU 0 (ULK Fig 7-1) — the paper's §1
+// motivating example.
+const Fig7_1 = `
+define Task as Box<task_struct> {
+    :default [
+        Text pid, comm
+        Text ppid: ${@this->parent->pid}
+        Text<string> state: ${task_state(@this)}
+    ]
+    :default => :sched [
+        Text se.vruntime
+        Text weight: ${@this->se.load.weight}
+    ]
+}
+
+define RunQueue as Box<rq> [
+    Text cpu, nr_running
+    Text min_vruntime: ${@this->cfs.min_vruntime}
+    Container tasks_timeline: RBTree(${@this->cfs.tasks_timeline}).forEach |node| {
+        yield Task<task_struct.se.run_node>(@node)
+    }
+]
+
+root = RunQueue(${cpu_rq(0)})
+plot @root
+`
+
+// Fig11_1 plots the signal-handling components of a process (ULK Fig 11-1).
+const Fig11_1 = `
+define KSigaction as Box<k_sigaction> [
+    Text<fptr> sa_handler: ${@this->sa.sa_handler}
+    Text<u64:x> sa_flags: ${@this->sa.sa_flags}
+    Text<u64:x> sa_mask: ${@this->sa.sa_mask.sig[0]}
+]
+
+define Sighand as Box<sighand_struct> [
+    Text count: ${@this->count.refs}
+    Container action: Array(${@this->action}).forEach |a| {
+        yield KSigaction(@a)
+    }
+]
+
+define SignalStruct as Box<signal_struct> [
+    Text nr_threads
+    Text live
+    Text group_exit_code
+    Container shared_pending: List(${@this->shared_pending.list}).forEach |n| {
+        yield SigQueue<sigqueue.list>(@n)
+    }
+]
+
+define SigQueue as Box<sigqueue> [
+    Text si_signo, si_code, si_pid
+]
+
+define Task as Box<task_struct> [
+    Text pid, comm
+    Text<u64:x> blocked: ${@this->blocked.sig[0]}
+    Link signal -> SignalStruct(${@this->signal})
+    Link sighand -> Sighand(${@this->sighand})
+]
+
+root = Task(${find_task(100)})
+plot @root
+`
+
+// Fig12_3 plots the fd array of a process (ULK Fig 12-3).
+const Fig12_3 = `
+define File as Box<file> [
+    Text name: ${@this->f_path.dentry->d_iname}
+    Text f_pos
+    Text f_count
+    Text<u64:x> f_flags
+]
+
+define Fdtable as Box<fdtable> [
+    Text max_fds
+    Text<u64:x> open_fds: ${@this->open_fds[0]}
+    Container fd: Array(${@this->fd}, 16).forEach |f| {
+        yield switch ${@f == 0} {
+            case ${true}: NULL
+            otherwise: File(@f)
+        }
+    }
+]
+
+define FilesStruct as Box<files_struct> [
+    Text count, next_fd
+    Link fdt -> Fdtable(${@this->fdt})
+]
+
+define Task as Box<task_struct> [
+    Text pid, comm
+    Link files -> FilesStruct(${@this->files})
+]
+
+root = Task(${find_task(100)})
+plot @root
+`

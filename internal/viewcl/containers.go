@@ -1,0 +1,434 @@
+package viewcl
+
+import (
+	"fmt"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/expr"
+	"visualinux/internal/graph"
+	"visualinux/internal/target"
+)
+
+// Builtin container converters (the paper's "standard library" / distill
+// operators, §2.2 item 3). Each converter walks a kernel container shape
+// through the target and yields a sequence of element values; an optional
+// forEach closure maps every element to a box (NULL yields keep their slot,
+// preserving positional layouts like maple node slot arrays).
+
+func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
+	elems, err := r.iterate(n, sc)
+	if err != nil {
+		return vval{}, err
+	}
+	var ids []string
+	for i, el := range elems {
+		var v vval
+		if n.ForEach != nil {
+			inner := newScope(sc)
+			inner.defineVal(n.ForEach.Var, vval{kind: vC, c: el})
+			inner.defineVal(n.ForEach.Var+"_index", vval{kind: vC,
+				c: expr.MakeInt(r.in.Env.Types().MustLookup("unsigned long"), uint64(i))})
+			for bi := range n.ForEach.Body {
+				inner.define(n.ForEach.Body[bi].Name, n.ForEach.Body[bi].Expr)
+			}
+			v, err = r.eval(n.ForEach.Yield, inner)
+			if err != nil {
+				return vval{}, err
+			}
+		} else {
+			// Raw elements become value cells so Container items can show
+			// scalar arrays (pivots, fd bitmaps) without a closure.
+			v, err = r.cellBox(el, i)
+			if err != nil {
+				return vval{}, err
+			}
+		}
+		switch v.kind {
+		case vBox:
+			ids = append(ids, v.boxID)
+		case vNull:
+			ids = append(ids, "")
+		case vCont:
+			ids = append(ids, v.elems...)
+		case vC:
+			cb, err := r.cellBox(v.c, i)
+			if err != nil {
+				return vval{}, err
+			}
+			ids = append(ids, cb.boxID)
+		}
+	}
+	return vval{kind: vCont, elems: ids}, nil
+}
+
+// cellBox wraps a raw scalar element as a small virtual box.
+func (r *runState) cellBox(v expr.Value, idx int) (vval, error) {
+	id := fmt.Sprintf("cell#%d", r.vboxN)
+	r.vboxN++
+	text, raw, isNum, isStr := r.in.decorate(v, nil, r.in.Env)
+	b := graph.NewBox(id, "cell", "", 0)
+	b.AddView(&graph.View{Name: "default", Items: []graph.Item{
+		{Kind: graph.ItemText, Name: fmt.Sprintf("[%d]", idx), Value: text, Raw: raw, IsNum: isNum, IsStr: isStr},
+	}})
+	r.g.Add(b)
+	return vval{kind: vBox, boxID: id}, nil
+}
+
+// iterate dispatches on the container kind and returns the element values.
+func (r *runState) iterate(n *ContainerNode, sc *scope) ([]expr.Value, error) {
+	if len(n.Args) == 0 {
+		return nil, errf(n.Line, "%s(...) wants an argument", n.Kind)
+	}
+	args := make([]expr.Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := r.eval(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := r.toCValue(v)
+		if err != nil {
+			return nil, errf(n.Line, "%s arg %d: %v", n.Kind, i, err)
+		}
+		args[i] = cv
+	}
+	switch n.Kind {
+	case "List":
+		return r.iterList(args[0], n.Line)
+	case "HList":
+		return r.iterHList(args[0], n.Line)
+	case "RBTree":
+		return r.iterRBTree(args[0], n.Line)
+	case "Array":
+		return r.iterArray(args, n.Line)
+	case "XArray":
+		return r.iterXArray(args[0], n.Line)
+	case "PipeRing":
+		return r.iterPipeRing(args[0], n.Line)
+	}
+	return nil, errf(n.Line, "unknown container kind %q", n.Kind)
+}
+
+// headAddr finds the address designated by a head argument: an lvalue's
+// location or a pointer's target.
+func headAddr(v expr.Value) (uint64, error) {
+	if v.HasAddr {
+		return v.Addr, nil
+	}
+	if v.Type != nil && v.Type.IsPointer() {
+		return v.Bits, nil
+	}
+	return 0, fmt.Errorf("container head must be an object or pointer, got %s", v)
+}
+
+// iterList walks a circular doubly-linked list_head, yielding each node
+// pointer (excluding the head itself).
+func (r *runState) iterList(head expr.Value, line int) ([]expr.Value, error) {
+	tgt := r.in.Env.Target
+	hd, err := headAddr(head)
+	if err != nil {
+		return nil, errf(line, "List: %v", err)
+	}
+	lh := r.in.Env.Types().MustLookup("list_head")
+	var out []expr.Value
+	cur, err := target.ReadU64(tgt, hd)
+	if err != nil {
+		return nil, errf(line, "List: %v", err)
+	}
+	for cur != hd && cur != 0 {
+		if len(out) >= r.in.MaxElems {
+			r.notef(line, "List truncated at %d elements", r.in.MaxElems)
+			break
+		}
+		// Poisoned pointers (freed nodes) end the walk.
+		if cur>>32 == 0xdead0000 {
+			break
+		}
+		out = append(out, expr.MakePointer(lh, cur))
+		cur, err = target.ReadU64(tgt, cur)
+		if err != nil {
+			return nil, errf(line, "List: %v", err)
+		}
+	}
+	return out, nil
+}
+
+// iterHList walks an hlist (head.first -> node.next...).
+func (r *runState) iterHList(head expr.Value, line int) ([]expr.Value, error) {
+	tgt := r.in.Env.Target
+	hd, err := headAddr(head)
+	if err != nil {
+		return nil, errf(line, "HList: %v", err)
+	}
+	node := r.in.Env.Types().MustLookup("hlist_node")
+	var out []expr.Value
+	cur, err := target.ReadU64(tgt, hd)
+	if err != nil {
+		return nil, errf(line, "HList: %v", err)
+	}
+	for cur != 0 {
+		if len(out) >= r.in.MaxElems {
+			r.notef(line, "HList truncated at %d elements", r.in.MaxElems)
+			break
+		}
+		out = append(out, expr.MakePointer(node, cur))
+		cur, err = target.ReadU64(tgt, cur)
+		if err != nil {
+			return nil, errf(line, "HList: %v", err)
+		}
+	}
+	return out, nil
+}
+
+// iterRBTree in-order walks an rb_root / rb_root_cached / rb_node*.
+func (r *runState) iterRBTree(root expr.Value, line int) ([]expr.Value, error) {
+	tgt := r.in.Env.Target
+	nodeT := r.in.Env.Types().MustLookup("rb_node")
+
+	var rootNode uint64
+	st := root.Type.Strip()
+	switch {
+	case root.HasAddr && st != nil && (st.Name == "rb_root" || st.Name == "rb_root_cached"):
+		v, err := target.ReadU64(tgt, root.Addr)
+		if err != nil {
+			return nil, errf(line, "RBTree: %v", err)
+		}
+		rootNode = v
+	case st != nil && st.Kind == ctypes.KindPointer:
+		rootNode = root.Bits
+		if el := st.Elem.Strip(); el != nil && (el.Name == "rb_root" || el.Name == "rb_root_cached") {
+			v, err := target.ReadU64(tgt, root.Bits)
+			if err != nil {
+				return nil, errf(line, "RBTree: %v", err)
+			}
+			rootNode = v
+		}
+	case root.HasAddr:
+		// Some other lvalue: assume its first word is the root pointer.
+		v, err := target.ReadU64(tgt, root.Addr)
+		if err != nil {
+			return nil, errf(line, "RBTree: %v", err)
+		}
+		rootNode = v
+	default:
+		return nil, errf(line, "RBTree: cannot interpret root %s", root)
+	}
+
+	var out []expr.Value
+	var walk func(addr uint64) error
+	walk = func(addr uint64) error {
+		if addr == 0 || len(out) >= r.in.MaxElems {
+			return nil
+		}
+		right, err := target.ReadU64(tgt, addr+8)
+		if err != nil {
+			return err
+		}
+		left, err := target.ReadU64(tgt, addr+16)
+		if err != nil {
+			return err
+		}
+		if err := walk(left); err != nil {
+			return err
+		}
+		out = append(out, expr.MakePointer(nodeT, addr))
+		return walk(right)
+	}
+	if err := walk(rootNode); err != nil {
+		return nil, errf(line, "RBTree: %v", err)
+	}
+	return out, nil
+}
+
+// iterArray yields elements of a fixed array lvalue, or ptr+count.
+func (r *runState) iterArray(args []expr.Value, line int) ([]expr.Value, error) {
+	a := args[0]
+	st := a.Type.Strip()
+	var base uint64
+	var elem *ctypes.Type
+	var count uint64
+	switch {
+	case st.Kind == ctypes.KindArray && a.HasAddr:
+		base, elem, count = a.Addr, st.Elem, st.Count
+		if len(args) >= 2 { // explicit count (flexible array members)
+			count = args[1].Uint()
+		}
+	case st.Kind == ctypes.KindPointer:
+		if len(args) < 2 {
+			return nil, errf(line, "Array(ptr) needs a count argument")
+		}
+		base, elem, count = a.Bits, st.Elem, args[1].Uint()
+	default:
+		return nil, errf(line, "Array: unsupported argument %s", a)
+	}
+	if count > uint64(r.in.MaxElems) {
+		r.notef(line, "Array truncated from %d to %d elements", count, r.in.MaxElems)
+		count = uint64(r.in.MaxElems)
+	}
+	out := make([]expr.Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, expr.MakeLValue(elem, base+i*elem.Size()))
+	}
+	return out, nil
+}
+
+// iterXArray walks an xarray in index order, yielding non-NULL entries as
+// void* values (value entries stay tagged; callers untag via xa_to_value).
+func (r *runState) iterXArray(xa expr.Value, line int) ([]expr.Value, error) {
+	tgt := r.in.Env.Target
+	base, err := headAddr(xa)
+	if err != nil {
+		return nil, errf(line, "XArray: %v", err)
+	}
+	xaT := r.in.Env.Types().MustLookup("xarray")
+	headF, _ := xaT.FieldByName("xa_head")
+	head, err := target.ReadU64(tgt, base+headF.Offset)
+	if err != nil {
+		return nil, errf(line, "XArray: %v", err)
+	}
+	voidp := ctypes.VoidPtr
+	var out []expr.Value
+	if head == 0 {
+		return out, nil
+	}
+	if head&3 != 2 || head <= 4096 {
+		return []expr.Value{{Type: voidp, Bits: head}}, nil
+	}
+	nodeT := r.in.Env.Types().MustLookup("xa_node")
+	slotsF, _ := nodeT.FieldByName("slots")
+	shiftF, _ := nodeT.FieldByName("shift")
+	var walk func(nodeAddr uint64) error
+	walk = func(nodeAddr uint64) error {
+		shift, err := target.ReadU8(tgt, nodeAddr+shiftF.Offset)
+		if err != nil {
+			return err
+		}
+		nslots := slotsF.Type.Strip().Count
+		for i := uint64(0); i < nslots; i++ {
+			e, err := target.ReadU64(tgt, nodeAddr+slotsF.Offset+i*8)
+			if err != nil {
+				return err
+			}
+			if e == 0 {
+				continue
+			}
+			if len(out) >= r.in.MaxElems {
+				return nil
+			}
+			if shift > 0 && e&3 == 2 && e > 4096 {
+				if err := walk(e - 2); err != nil {
+					return err
+				}
+				continue
+			}
+			out = append(out, expr.Value{Type: voidp, Bits: e})
+		}
+		return nil
+	}
+	if err := walk(head - 2); err != nil {
+		return nil, errf(line, "XArray: %v", err)
+	}
+	return out, nil
+}
+
+// iterPipeRing walks pipe_inode_info's occupied ring slots [tail, head).
+func (r *runState) iterPipeRing(pipe expr.Value, line int) ([]expr.Value, error) {
+	tgt := r.in.Env.Target
+	base, err := headAddr(pipe)
+	if err != nil {
+		return nil, errf(line, "PipeRing: %v", err)
+	}
+	pt := r.in.Env.Types().MustLookup("pipe_inode_info")
+	get := func(field string) (uint64, error) {
+		f, ok := pt.FieldByName(field)
+		if !ok {
+			return 0, fmt.Errorf("pipe_inode_info.%s missing", field)
+		}
+		return target.ReadUint(tgt, base+f.Offset, f.Type.Size())
+	}
+	head, err := get("head")
+	if err != nil {
+		return nil, errf(line, "PipeRing: %v", err)
+	}
+	tail, err := get("tail")
+	if err != nil {
+		return nil, errf(line, "PipeRing: %v", err)
+	}
+	ringSize, err := get("ring_size")
+	if err != nil {
+		return nil, errf(line, "PipeRing: %v", err)
+	}
+	bufs, err := get("bufs")
+	if err != nil {
+		return nil, errf(line, "PipeRing: %v", err)
+	}
+	if ringSize == 0 {
+		return nil, nil
+	}
+	bufT := r.in.Env.Types().MustLookup("pipe_buffer")
+	var out []expr.Value
+	for i := tail; i != head && len(out) < r.in.MaxElems; i++ {
+		slot := i & (ringSize - 1)
+		out = append(out, expr.MakeLValue(bufT, bufs+slot*bufT.Size()))
+	}
+	return out, nil
+}
+
+// evalSelectFrom implements Array.selectFrom(container, Type): walk the
+// already-materialized subgraph under the container value in traversal
+// order and collect all boxes of the given ViewCL type — the paper's
+// distill of an ordered set (e.g. maple tree -> sorted VMA list).
+func (r *runState) evalSelectFrom(n *SelectFromNode, sc *scope) (vval, error) {
+	src, err := r.eval(n.Container, sc)
+	if err != nil {
+		return vval{}, err
+	}
+	var seeds []string
+	switch src.kind {
+	case vBox:
+		seeds = []string{src.boxID}
+	case vCont:
+		for _, e := range src.elems {
+			if e != "" {
+				seeds = append(seeds, e)
+			}
+		}
+	case vNull:
+		return vval{kind: vCont}, nil
+	default:
+		return vval{}, errf(n.Line, "selectFrom: source must be a box or container")
+	}
+	seen := map[string]bool{}
+	var collected []string
+	var dfs func(id string)
+	dfs = func(id string) {
+		if id == "" || seen[id] {
+			return
+		}
+		seen[id] = true
+		b, ok := r.g.Get(id)
+		if !ok {
+			return
+		}
+		if b.Label == n.BoxType || b.TypeName == n.BoxType {
+			collected = append(collected, id)
+		}
+		// Follow every view's edges in declaration order to preserve the
+		// container's logical order.
+		for _, vn := range b.ViewSeq {
+			for _, it := range b.Views[vn].Items {
+				switch it.Kind {
+				case graph.ItemLink, graph.ItemBox:
+					dfs(it.TargetID)
+				case graph.ItemContainer:
+					for _, e := range it.Elems {
+						dfs(e)
+					}
+				}
+			}
+		}
+	}
+	for _, s := range seeds {
+		dfs(s)
+	}
+	return vval{kind: vCont, elems: collected}, nil
+}

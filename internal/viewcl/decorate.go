@@ -1,0 +1,171 @@
+package viewcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/expr"
+)
+
+// decorate renders a C value as display text per the optional format
+// (Table 1 of the paper). It returns the text, the raw scalar (for ViewQL
+// WHERE comparisons), and whether the value is numeric / string-like.
+func (in *Interp) decorate(v expr.Value, f *Format, env *expr.Env) (text string, raw uint64, isNum, isStr bool) {
+	raw = v.Bits
+	if v.HasAddr {
+		raw = v.Addr
+	}
+	isNum = !v.IsStr
+
+	if f == nil {
+		return in.defaultText(v, env), raw, isNum, v.IsStr
+	}
+	switch f.Kind {
+	case "bool":
+		if v.Bits != 0 {
+			return "true", raw, true, false
+		}
+		return "false", raw, true, false
+	case "char":
+		return fmt.Sprintf("%q", rune(v.Bits&0xFF)), raw, true, false
+	case "string":
+		s := in.stringOf(v, env)
+		return s, raw, false, true
+	case "enum":
+		et, ok := env.Types().Lookup(f.Arg)
+		if ok {
+			if name := et.EnumName(int64(v.Bits)); name != "" {
+				return name, raw, true, false
+			}
+		}
+		return strconv.FormatUint(v.Bits, 10), raw, true, false
+	case "raw_ptr":
+		return fmt.Sprintf("0x%x", v.Bits), raw, true, false
+	case "fptr":
+		if name, ok := env.Target.SymbolAt(v.Bits); ok {
+			return name, raw, false, true
+		}
+		if v.Bits == 0 {
+			return "NULL", raw, true, false
+		}
+		return fmt.Sprintf("0x%x", v.Bits), raw, true, false
+	case "flag":
+		set, ok := in.Flags[f.Arg]
+		if !ok {
+			return fmt.Sprintf("0x%x", v.Bits), raw, true, false
+		}
+		var names []string
+		rest := v.Bits
+		for _, fl := range set {
+			if v.Bits&fl.Mask == fl.Mask && fl.Mask != 0 {
+				names = append(names, fl.Name)
+				rest &^= fl.Mask
+			}
+		}
+		if rest != 0 {
+			names = append(names, fmt.Sprintf("0x%x", rest))
+		}
+		if len(names) == 0 {
+			return "0", raw, true, false
+		}
+		return strings.Join(names, "|"), raw, true, false
+	case "emoji":
+		if render, ok := in.Emojis[f.Arg]; ok {
+			return render(v.Bits), raw, true, false
+		}
+		return fmt.Sprintf("%d", v.Bits), raw, true, false
+	default:
+		// Integer decorators: <type:base> e.g. u64:x, int:d, u32:b.
+		base := f.Arg
+		signed := strings.HasPrefix(f.Kind, "s") || f.Kind == "int" || f.Kind == "long"
+		switch base {
+		case "x", "hex", "":
+			if base == "" {
+				if signed {
+					return strconv.FormatInt(v.Int(), 10), raw, true, false
+				}
+				return strconv.FormatUint(v.Bits, 10), raw, true, false
+			}
+			return "0x" + strconv.FormatUint(v.Bits, 16), raw, true, false
+		case "d", "dec":
+			if signed {
+				return strconv.FormatInt(v.Int(), 10), raw, true, false
+			}
+			return strconv.FormatUint(v.Bits, 10), raw, true, false
+		case "o":
+			return "0" + strconv.FormatUint(v.Bits, 8), raw, true, false
+		case "b":
+			return "0b" + strconv.FormatUint(v.Bits, 2), raw, true, false
+		default:
+			return strconv.FormatUint(v.Bits, 10), raw, true, false
+		}
+	}
+}
+
+// defaultText renders a value with type-driven defaults: strings as
+// strings, enums by name, char pointers/arrays as C strings, function
+// pointers by symbol, other pointers in hex, signed ints in decimal.
+func (in *Interp) defaultText(v expr.Value, env *expr.Env) string {
+	if v.IsStr {
+		return v.Str
+	}
+	t := v.Type.Strip()
+	if t == nil {
+		return strconv.FormatUint(v.Bits, 10)
+	}
+	switch t.Kind {
+	case ctypes.KindBool:
+		if v.Bits != 0 {
+			return "true"
+		}
+		return "false"
+	case ctypes.KindEnum:
+		if name := t.EnumName(int64(v.Bits)); name != "" {
+			return name
+		}
+		return strconv.FormatInt(v.Int(), 10)
+	case ctypes.KindPointer:
+		el := t.Elem.Strip()
+		if el != nil && el.Kind == ctypes.KindInt && el.Size() == 1 && el.Signed {
+			// char*: show the string
+			if v.Bits == 0 {
+				return "NULL"
+			}
+			return in.stringOf(v, env)
+		}
+		if el != nil && el.Kind == ctypes.KindFunc {
+			if name, ok := env.Target.SymbolAt(v.Bits); ok {
+				return name
+			}
+		}
+		if v.Bits == 0 {
+			return "NULL"
+		}
+		return "0x" + strconv.FormatUint(v.Bits, 16)
+	case ctypes.KindInt:
+		if t.Signed {
+			return strconv.FormatInt(v.Int(), 10)
+		}
+		return strconv.FormatUint(v.Bits, 10)
+	case ctypes.KindArray:
+		el := t.Elem.Strip()
+		if el != nil && el.Kind == ctypes.KindInt && el.Size() == 1 && v.HasAddr {
+			return in.stringOf(v, env)
+		}
+	case ctypes.KindStruct, ctypes.KindUnion:
+		return fmt.Sprintf("<%s @0x%x>", t, v.Addr)
+	}
+	return strconv.FormatUint(v.Bits, 10)
+}
+
+// stringOf reads the string content of a value (char*, char array, or
+// synthetic string).
+func (in *Interp) stringOf(v expr.Value, env *expr.Env) string {
+	s, err := expr.ReadString(env, v, 128)
+	if err != nil {
+		return fmt.Sprintf("0x%x", v.Bits)
+	}
+	return s
+}

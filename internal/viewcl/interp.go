@@ -1,0 +1,682 @@
+package viewcl
+
+import (
+	"fmt"
+	"time"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/expr"
+	"visualinux/internal/graph"
+	"visualinux/internal/target"
+)
+
+// Flag names one bit of a flags word (the flag:<id> decorator vocabulary).
+type Flag struct {
+	Mask uint64
+	Name string
+}
+
+// Interp evaluates ViewCL programs against a debug target.
+type Interp struct {
+	Env    *expr.Env
+	Flags  map[string][]Flag              // flag:<id> decorator sets
+	Emojis map[string]func(uint64) string // emoji:<id> decorator renderers
+
+	// Safety valves for runaway traversals.
+	MaxObjects int // boxes per plot (default 50_000)
+	MaxElems   int // elements per container (default 4096)
+
+	defs map[string]*boxDef
+}
+
+// New creates an interpreter over the environment (target + helpers).
+func New(env *expr.Env) *Interp {
+	in := &Interp{
+		Env:        env,
+		Flags:      make(map[string][]Flag),
+		Emojis:     make(map[string]func(uint64) string),
+		MaxObjects: 50_000,
+		MaxElems:   4096,
+		defs:       make(map[string]*boxDef),
+	}
+	in.Emojis["lock"] = func(v uint64) string {
+		if v != 0 {
+			return "\U0001F512" // locked
+		}
+		return "\U0001F513" // open lock
+	}
+	in.Emojis["onoff"] = func(v uint64) string {
+		if v != 0 {
+			return "✅"
+		}
+		return "❌"
+	}
+	return in
+}
+
+// boxDef is a compiled Box declaration.
+type boxDef struct {
+	name  string
+	ctype *ctypes.Type
+	views []*resolvedView
+	where []Binding // merged define-level + per-view where clauses
+}
+
+type resolvedView struct {
+	name  string
+	items []ItemDecl
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	Graph  *graph.Graph
+	Errors []error // non-fatal extraction issues (NULL links, etc.)
+}
+
+// LoadDefs registers the Box definitions of a program without plotting, so
+// stdlib definition libraries can be shared across programs.
+func (in *Interp) LoadDefs(prog *Program) error {
+	for _, s := range prog.Stmts {
+		if d, ok := s.(*DefineStmt); ok {
+			if err := in.compileDef(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Interp) compileDef(d *DefineStmt) error {
+	ct, ok := in.Env.Types().Lookup(d.CType)
+	if !ok {
+		return errf(d.Line, "define %s: unknown C type %q", d.Name, d.CType)
+	}
+	def := &boxDef{name: d.Name, ctype: ct.Strip()}
+	def.where = append(def.where, d.Where...)
+	byName := map[string]*resolvedView{}
+	for _, vd := range d.Views {
+		rv := &resolvedView{name: vd.Name}
+		if vd.Parent != "" {
+			parent, ok := byName[vd.Parent]
+			if !ok {
+				return errf(vd.Line, "define %s: view :%s inherits unknown :%s", d.Name, vd.Name, vd.Parent)
+			}
+			rv.items = append(rv.items, parent.items...)
+		}
+		rv.items = append(rv.items, vd.Items...)
+		def.where = append(def.where, vd.Where...)
+		byName[vd.Name] = rv
+		def.views = append(def.views, rv)
+	}
+	if len(def.views) == 0 {
+		def.views = []*resolvedView{{name: "default"}}
+	}
+	in.defs[d.Name] = def
+	return nil
+}
+
+// Run evaluates a full program: definitions, bindings, plot statements.
+// The returned graph contains every box materialized while evaluating the
+// plotted roots.
+func (in *Interp) Run(prog *Program) (*Result, error) {
+	run := &runState{
+		in:   in,
+		g:    graph.New(prog.Source),
+		memo: make(map[string]string),
+	}
+	reads0, bytes0 := in.Env.Target.Stats().Snapshot()
+	t0 := time.Now()
+
+	top := newScope(nil)
+	for _, s := range prog.Stmts {
+		switch st := s.(type) {
+		case *DefineStmt:
+			if err := in.compileDef(st); err != nil {
+				return nil, err
+			}
+		case *BindStmt:
+			top.define(st.Name, st.Expr)
+		case *PlotStmt:
+			v, err := run.eval(st.Expr, top)
+			if err != nil {
+				return nil, fmt.Errorf("plot: %w", err)
+			}
+			rootID, err := run.plotRoot(v, plotName(st.Expr))
+			if err != nil {
+				return nil, err
+			}
+			if run.g.RootID == "" {
+				run.g.RootID = rootID
+			}
+			run.g.Roots = append(run.g.Roots, rootID)
+		}
+	}
+
+	reads1, bytes1 := in.Env.Target.Stats().Snapshot()
+	run.g.Stats = graph.Stats{
+		Objects:    len(run.g.Boxes),
+		Reads:      reads1 - reads0,
+		Bytes:      bytes1 - bytes0,
+		DurationNS: time.Since(t0).Nanoseconds(),
+	}
+	return &Result{Graph: run.g, Errors: run.errs}, nil
+}
+
+// RunSource parses and runs in one step.
+func (in *Interp) RunSource(name, src string) (*Result, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return in.Run(prog)
+}
+
+func plotName(e VExpr) string {
+	if v, ok := e.(*VarRef); ok {
+		return v.Name
+	}
+	return "plot"
+}
+
+// --- value domain -------------------------------------------------------------
+
+type vkind int
+
+const (
+	vNull vkind = iota
+	vC          // a C value (scalar, pointer, lvalue, string)
+	vBox        // a materialized box
+	vCont       // an ordered container of box IDs ("" = NULL slot)
+)
+
+type vval struct {
+	kind  vkind
+	c     expr.Value
+	boxID string
+	elems []string
+}
+
+func (v vval) isNull() bool {
+	return v.kind == vNull || (v.kind == vC && !v.c.HasAddr && !v.c.IsStr && v.c.Bits == 0)
+}
+
+// --- scopes ------------------------------------------------------------------
+
+type slotState int
+
+const (
+	slotUnforced slotState = iota
+	slotForcing
+	slotDone
+)
+
+type slot struct {
+	expr  VExpr
+	val   vval
+	state slotState
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]*slot
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: make(map[string]*slot)}
+}
+
+func (s *scope) define(name string, e VExpr) {
+	s.vars[name] = &slot{expr: e}
+}
+
+func (s *scope) defineVal(name string, v vval) {
+	s.vars[name] = &slot{val: v, state: slotDone}
+}
+
+func (s *scope) lookup(name string) (*slot, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if sl, ok := cur.vars[name]; ok {
+			return sl, true
+		}
+	}
+	return nil, false
+}
+
+// --- run state ----------------------------------------------------------------
+
+type runState struct {
+	in    *Interp
+	g     *graph.Graph
+	memo  map[string]string // defName@addr -> box ID
+	errs  []error
+	vboxN int // virtual box counter
+}
+
+func (r *runState) notef(line int, format string, args ...any) {
+	r.errs = append(r.errs, errf(line, format, args...))
+}
+
+// force evaluates a scope slot (lazily, with cycle detection).
+func (r *runState) force(name string, sl *slot, sc *scope) (vval, error) {
+	switch sl.state {
+	case slotDone:
+		return sl.val, nil
+	case slotForcing:
+		return vval{}, fmt.Errorf("viewcl: circular binding @%s", name)
+	}
+	sl.state = slotForcing
+	v, err := r.eval(sl.expr, sc)
+	if err != nil {
+		sl.state = slotUnforced
+		return vval{}, err
+	}
+	sl.val = v
+	sl.state = slotDone
+	return v, nil
+}
+
+// cEnv builds an expression environment whose resolver walks the ViewCL
+// scope chain, so ${...} escapes see @bindings.
+func (r *runState) cEnv(sc *scope) *expr.Env {
+	env := &expr.Env{Target: r.in.Env.Target, Funcs: r.in.Env.Funcs, Vars: r.in.Env.Vars}
+	env.Resolver = func(name string) (expr.Value, bool) {
+		sl, ok := sc.lookup(name)
+		if !ok {
+			return expr.Value{}, false
+		}
+		v, err := r.force(name, sl, sc)
+		if err != nil {
+			return expr.Value{}, false
+		}
+		cv, err := r.toCValue(v)
+		if err != nil {
+			return expr.Value{}, false
+		}
+		return cv, true
+	}
+	return env
+}
+
+// toCValue converts a ViewCL value for use inside a C expression.
+func (r *runState) toCValue(v vval) (expr.Value, error) {
+	switch v.kind {
+	case vC:
+		return v.c, nil
+	case vNull:
+		return expr.Value{Type: ctypes.VoidPtr}, nil
+	case vBox:
+		b, ok := r.g.Get(v.boxID)
+		if !ok || b.Addr == 0 {
+			return expr.Value{}, fmt.Errorf("viewcl: box %s has no address", v.boxID)
+		}
+		t, ok := r.in.Env.Types().Lookup(b.TypeName)
+		if !ok {
+			t = ctypes.Void
+		}
+		return expr.MakePointer(t, b.Addr), nil
+	default:
+		return expr.Value{}, fmt.Errorf("viewcl: container value cannot enter a C expression")
+	}
+}
+
+// eval evaluates a ViewCL expression.
+func (r *runState) eval(e VExpr, sc *scope) (vval, error) {
+	switch n := e.(type) {
+	case *NullNode:
+		return vval{kind: vNull}, nil
+	case *NumberNode:
+		return vval{kind: vC, c: expr.MakeInt(r.in.Env.Types().MustLookup("unsigned long"), n.V)}, nil
+	case *StringNode:
+		return vval{kind: vC, c: expr.MakeString(n.S)}, nil
+	case *VarRef:
+		sl, ok := sc.lookup(n.Name)
+		if !ok {
+			return vval{}, errf(n.Line, "unbound variable @%s", n.Name)
+		}
+		return r.force(n.Name, sl, sc)
+	case *CExprNode:
+		if n.compiled == nil {
+			ex, err := expr.Parse(n.Src, r.in.Env.Types())
+			if err != nil {
+				return vval{}, errf(n.Line, "%v", err)
+			}
+			n.compiled = ex
+		}
+		v, err := n.compiled.Eval(r.cEnv(sc))
+		if err != nil {
+			return vval{}, errf(n.Line, "%v", err)
+		}
+		return vval{kind: vC, c: v}, nil
+	case *SwitchNode:
+		return r.evalSwitch(n, sc)
+	case *ConstructNode:
+		return r.evalConstruct(n, sc)
+	case *ContainerNode:
+		return r.evalContainer(n, sc)
+	case *SelectFromNode:
+		return r.evalSelectFrom(n, sc)
+	case *InlineBoxNode:
+		return r.evalInlineBox(n, sc)
+	}
+	return vval{}, fmt.Errorf("viewcl: unhandled expression %T", e)
+}
+
+func (r *runState) evalSwitch(n *SwitchNode, sc *scope) (vval, error) {
+	scrut, err := r.eval(n.Scrutinee, sc)
+	if err != nil {
+		return vval{}, err
+	}
+	sv, err := r.toCValue(scrut)
+	if err != nil {
+		return vval{}, errf(n.Line, "switch scrutinee: %v", err)
+	}
+	for _, cs := range n.Cases {
+		for _, cv := range cs.Values {
+			v, err := r.eval(cv, sc)
+			if err != nil {
+				return vval{}, err
+			}
+			c, err := r.toCValue(v)
+			if err != nil {
+				return vval{}, err
+			}
+			if cMatch(sv, c) {
+				return r.eval(cs.Result, sc)
+			}
+		}
+	}
+	if n.Otherwise != nil {
+		return r.eval(n.Otherwise, sc)
+	}
+	return vval{kind: vNull}, nil
+}
+
+func cMatch(a, b expr.Value) bool {
+	if a.IsStr || b.IsStr {
+		return a.Str == b.Str
+	}
+	// lvalues compare by address, scalars by bits
+	av, bv := a.Bits, b.Bits
+	if a.HasAddr {
+		av = a.Addr
+	}
+	if b.HasAddr {
+		bv = b.Addr
+	}
+	return av == bv
+}
+
+// addrOf extracts the object address from a C value (pointer rvalue or
+// lvalue).
+func addrOf(v expr.Value) (uint64, bool) {
+	if v.HasAddr {
+		return v.Addr, true
+	}
+	if v.Type != nil && (v.Type.IsPointer() || v.Type.IsInteger()) {
+		return v.Bits, v.Bits != 0
+	}
+	return 0, false
+}
+
+func (r *runState) evalConstruct(n *ConstructNode, sc *scope) (vval, error) {
+	def, ok := r.in.defs[n.BoxType]
+	if !ok {
+		return vval{}, errf(n.Line, "unknown Box type %q", n.BoxType)
+	}
+	av, err := r.eval(n.Arg, sc)
+	if err != nil {
+		return vval{}, err
+	}
+	if av.isNull() {
+		return vval{kind: vNull}, nil
+	}
+	if av.kind == vBox {
+		return av, nil // already materialized
+	}
+	cv, err := r.toCValue(av)
+	if err != nil {
+		return vval{}, errf(n.Line, "%s(...): %v", n.BoxType, err)
+	}
+	// Pointer lvalues (container slots, array elements) designate the
+	// pointer cell; the box lives at the pointed-to object.
+	if cv.HasAddr && cv.Type.IsPointer() {
+		cv, err = r.cEnv(sc).Load(cv)
+		if err != nil {
+			return vval{}, errf(n.Line, "%s(...): %v", n.BoxType, err)
+		}
+	}
+	addr, ok := addrOf(cv)
+	if !ok {
+		return vval{kind: vNull}, nil
+	}
+	if n.Anchor != "" {
+		dot := indexByte(n.Anchor, '.')
+		if dot < 0 {
+			return vval{}, errf(n.Line, "anchor %q must be type.member", n.Anchor)
+		}
+		at, ok := r.in.Env.Types().Lookup(n.Anchor[:dot])
+		if !ok {
+			return vval{}, errf(n.Line, "anchor: unknown type %q", n.Anchor[:dot])
+		}
+		f, err := at.ResolvePath(n.Anchor[dot+1:])
+		if err != nil {
+			return vval{}, errf(n.Line, "anchor: %v", err)
+		}
+		addr -= f.Offset
+	}
+	id, err := r.materialize(def, addr)
+	if err != nil {
+		return vval{}, err
+	}
+	return vval{kind: vBox, boxID: id}, nil
+}
+
+// materialize creates (or returns the memoized) box instance for def@addr,
+// evaluating all of its views.
+func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
+	key := def.name + "@" + fmt.Sprintf("%x", addr)
+	if id, ok := r.memo[key]; ok {
+		return id, nil
+	}
+	if len(r.g.Boxes) >= r.in.MaxObjects {
+		return "", fmt.Errorf("viewcl: object budget exceeded (%d boxes)", r.in.MaxObjects)
+	}
+	id := graph.BoxID(def.name, addr)
+	// Distinct defs over the same address must stay distinct boxes.
+	if _, clash := r.g.Get(id); clash {
+		id = fmt.Sprintf("%s#%d", id, r.vboxN)
+		r.vboxN++
+	}
+	r.memo[key] = id
+	b := graph.NewBox(id, def.name, def.ctype.Name, addr)
+	r.g.Add(b)
+
+	// Instance scope: @this plus lazy where-bindings.
+	sc := newScope(nil)
+	sc.defineVal("this", vval{kind: vC, c: expr.MakePointer(def.ctype, addr)})
+	for i := range def.where {
+		sc.define(def.where[i].Name, def.where[i].Expr)
+	}
+
+	for _, rv := range def.views {
+		gv := &graph.View{Name: rv.name}
+		for _, item := range rv.items {
+			gi, err := r.evalItem(item, sc)
+			if err != nil {
+				// Non-fatal: record the issue, keep the item as error text.
+				r.notef(0, "%s.%s: %v", def.name, itemName(item), err)
+				gi = graph.Item{Kind: graph.ItemText, Name: itemName(item), Value: "<error>"}
+			}
+			gv.Items = append(gv.Items, gi)
+		}
+		b.AddView(gv)
+	}
+	return id, nil
+}
+
+func itemName(it ItemDecl) string {
+	switch x := it.(type) {
+	case *TextItem:
+		return x.Name
+	case *LinkItem:
+		return x.Name
+	case *ContainerItem:
+		return x.Name
+	case *BoxItem:
+		return x.Name
+	}
+	return "?"
+}
+
+// evalItem evaluates one view item into its graph form.
+func (r *runState) evalItem(it ItemDecl, sc *scope) (graph.Item, error) {
+	switch x := it.(type) {
+	case *TextItem:
+		var cv expr.Value
+		var err error
+		if x.Expr != nil {
+			var v vval
+			v, err = r.eval(x.Expr, sc)
+			if err == nil {
+				cv, err = r.toCValue(v)
+			}
+		} else {
+			src := "@this->" + x.Path
+			var ex *expr.Expr
+			ex, err = expr.Parse(src, r.in.Env.Types())
+			if err == nil {
+				cv, err = ex.Eval(r.cEnv(sc))
+			}
+		}
+		if err != nil {
+			return graph.Item{}, err
+		}
+		text, raw, isNum, isStr := r.in.decorate(cv, x.Fmt, r.cEnv(sc))
+		return graph.Item{Kind: graph.ItemText, Name: x.Name, Value: text, Raw: raw, IsNum: isNum, IsStr: isStr}, nil
+
+	case *LinkItem:
+		v, err := r.eval(x.Target, sc)
+		if err != nil {
+			return graph.Item{}, err
+		}
+		gi := graph.Item{Kind: graph.ItemLink, Name: x.Name}
+		switch v.kind {
+		case vBox:
+			gi.TargetID = v.boxID
+			if b, ok := r.g.Get(v.boxID); ok {
+				gi.Raw, gi.IsNum = b.Addr, true
+			}
+		case vNull:
+			// NULL link: kept with empty target
+		case vC:
+			if a, ok := addrOf(v.c); ok && a != 0 {
+				return graph.Item{}, fmt.Errorf("link target %#x is not a box; wrap it in a Box constructor", a)
+			}
+		case vCont:
+			return graph.Item{}, fmt.Errorf("link target is a container; use Container")
+		}
+		return gi, nil
+
+	case *ContainerItem:
+		v, err := r.eval(x.Expr, sc)
+		if err != nil {
+			return graph.Item{}, err
+		}
+		gi := graph.Item{Kind: graph.ItemContainer, Name: x.Name}
+		switch v.kind {
+		case vCont:
+			gi.Elems = v.elems
+		case vBox:
+			gi.Elems = []string{v.boxID}
+		case vNull:
+		case vC:
+			return graph.Item{}, fmt.Errorf("container value is a scalar")
+		}
+		return gi, nil
+
+	case *BoxItem:
+		v, err := r.eval(x.Expr, sc)
+		if err != nil {
+			return graph.Item{}, err
+		}
+		gi := graph.Item{Kind: graph.ItemBox, Name: x.Name}
+		if v.kind == vBox {
+			gi.TargetID = v.boxID
+		}
+		return gi, nil
+	}
+	return graph.Item{}, fmt.Errorf("unhandled item %T", it)
+}
+
+// evalInlineBox materializes an anonymous virtual box closing over sc.
+func (r *runState) evalInlineBox(n *InlineBoxNode, sc *scope) (vval, error) {
+	if len(r.g.Boxes) >= r.in.MaxObjects {
+		return vval{}, fmt.Errorf("viewcl: object budget exceeded")
+	}
+	id := fmt.Sprintf("box#%d", r.vboxN)
+	r.vboxN++
+	b := graph.NewBox(id, "Box", "", 0)
+	r.g.Add(b)
+	inner := newScope(sc)
+	for i := range n.Where {
+		inner.define(n.Where[i].Name, n.Where[i].Expr)
+	}
+	gv := &graph.View{Name: "default"}
+	for _, item := range n.Items {
+		gi, err := r.evalItem(item, inner)
+		if err != nil {
+			r.notef(n.Line, "inline box %s: %v", itemName(item), err)
+			gi = graph.Item{Kind: graph.ItemText, Name: itemName(item), Value: "<error>"}
+		}
+		gv.Items = append(gv.Items, gi)
+	}
+	b.AddView(gv)
+	return vval{kind: vBox, boxID: id}, nil
+}
+
+// plotRoot turns a plotted value into a root box (wrapping containers in a
+// virtual box).
+func (r *runState) plotRoot(v vval, name string) (string, error) {
+	switch v.kind {
+	case vBox:
+		return v.boxID, nil
+	case vCont:
+		id := fmt.Sprintf("%s#%d", name, r.vboxN)
+		r.vboxN++
+		b := graph.NewBox(id, name, "", 0)
+		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
+			{Kind: graph.ItemContainer, Name: name, Elems: v.elems},
+		}})
+		r.g.Add(b)
+		return id, nil
+	case vNull:
+		id := fmt.Sprintf("%s#%d", name, r.vboxN)
+		r.vboxN++
+		b := graph.NewBox(id, name, "", 0)
+		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
+			{Kind: graph.ItemText, Name: name, Value: "NULL"},
+		}})
+		r.g.Add(b)
+		return id, nil
+	default:
+		return "", fmt.Errorf("viewcl: cannot plot a raw C value; wrap it in a Box")
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// readCString is a tiny convenience shared with decorators.
+func readCString(t target.Target, addr uint64, max int) string {
+	s, err := target.ReadCString(t, addr, max)
+	if err != nil {
+		return ""
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package viewcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// White-box parser tests: grammar corners and error positions.
+
+func TestParseDefineForms(t *testing.T) {
+	// Single-view sugar.
+	p, err := Parse("t", `
+define T as Box<task_struct> [
+    Text pid
+] where {
+    x = ${1}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Stmts[0].(*DefineStmt)
+	if d.Name != "T" || d.CType != "task_struct" {
+		t.Errorf("define: %+v", d)
+	}
+	if len(d.Views) != 1 || d.Views[0].Name != "default" {
+		t.Errorf("views: %+v", d.Views)
+	}
+	if len(d.Views[0].Where) != 1 || d.Views[0].Where[0].Name != "x" {
+		t.Errorf("where: %+v", d.Views[0].Where)
+	}
+
+	// Multi-view with inheritance and box-level where.
+	p, err = Parse("t", `
+define T as Box<task_struct> {
+    :default [ Text pid ]
+    :default => :deep [ Text tgid ]
+} where {
+    y = ${2}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = p.Stmts[0].(*DefineStmt)
+	if len(d.Views) != 2 || d.Views[1].Parent != "default" || d.Views[1].Name != "deep" {
+		t.Errorf("inheritance: %+v", d.Views[1])
+	}
+	if len(d.Where) != 1 {
+		t.Errorf("box where: %+v", d.Where)
+	}
+}
+
+func TestParseItemVariants(t *testing.T) {
+	p, err := Parse("t", `
+define T as Box<task_struct> [
+    Text pid, comm, se.vruntime
+    Text<u64:x> addr: ${@this}
+    Text<enum:maple_type> kind: ${1}
+    Link next -> T(${@this->parent})
+    Link a.b.c -> NULL
+    Container kids: List(${@this->children})
+    Box inner: T(${@this})
+]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := p.Stmts[0].(*DefineStmt).Views[0].Items
+	if len(items) != 9 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if ti := items[2].(*TextItem); ti.Name != "se.vruntime" || ti.Path != "se.vruntime" {
+		t.Errorf("dotted text: %+v", ti)
+	}
+	if ti := items[3].(*TextItem); ti.Fmt == nil || ti.Fmt.Kind != "u64" || ti.Fmt.Arg != "x" {
+		t.Errorf("format: %+v", ti.Fmt)
+	}
+	if ti := items[4].(*TextItem); ti.Fmt.Kind != "enum" || ti.Fmt.Arg != "maple_type" {
+		t.Errorf("enum format: %+v", ti.Fmt)
+	}
+	if li := items[6].(*LinkItem); li.Name != "a.b.c" {
+		t.Errorf("flattened link name: %q", li.Name)
+	}
+	if _, ok := items[7].(*ContainerItem); !ok {
+		t.Errorf("container item: %T", items[7])
+	}
+	if _, ok := items[8].(*BoxItem); !ok {
+		t.Errorf("box item: %T", items[8])
+	}
+}
+
+func TestParseSwitchAndForEach(t *testing.T) {
+	p, err := Parse("t", `
+x = switch ${1} {
+    case ${1}, ${2}: NULL
+    otherwise: List(${0}).forEach |n| {
+        tmp = ${@n}
+        yield NULL
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Stmts[0].(*BindStmt).Expr.(*SwitchNode)
+	if len(sw.Cases) != 1 || len(sw.Cases[0].Values) != 2 {
+		t.Errorf("cases: %+v", sw.Cases)
+	}
+	cn := sw.Otherwise.(*ContainerNode)
+	if cn.Kind != "List" || cn.ForEach == nil || cn.ForEach.Var != "n" {
+		t.Errorf("forEach: %+v", cn)
+	}
+	if len(cn.ForEach.Body) != 1 || cn.ForEach.Body[0].Name != "tmp" {
+		t.Errorf("body: %+v", cn.ForEach.Body)
+	}
+}
+
+func TestParseAnchors(t *testing.T) {
+	p, err := Parse("t", `x = Task<task_struct.se.run_node>(${0})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Stmts[0].(*BindStmt).Expr.(*ConstructNode)
+	if c.Anchor != "task_struct.se.run_node" || c.BoxType != "Task" {
+		t.Errorf("anchor: %+v", c)
+	}
+}
+
+func TestParseSelectFrom(t *testing.T) {
+	p, err := Parse("t", `x = Array.selectFrom(@mt, VMArea)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := p.Stmts[0].(*BindStmt).Expr.(*SelectFromNode)
+	if sf.BoxType != "VMArea" {
+		t.Errorf("selectFrom: %+v", sf)
+	}
+}
+
+func TestParseErrorsPositioned(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"define T Box<x> [ ]", "expected 'as'"},
+		{"define T as Blob<x> [ ]", "expected 'Box'"},
+		{"define T as Box<x> [ Blob y ]", "unknown item"},
+		{"define T as Box<x> [ Text ]", "expected identifier"},
+		{"define T as Box<x> { :a => b [ ] }", "expected child view"},
+		{"x = ", "expected expression"},
+		{"plot", "expected expression"},
+		{"x = List(${1}).forEach |n| { }", "forEach without yield"},
+		{"x = List(${1}).forEach |n| { yield NULL yield NULL }", "multiple yields"},
+		{"x = switch ${1} { what: NULL }", "expected case/otherwise"},
+		{"x = ${unclosed", "unterminated"},
+		{"x = \"unclosed", "unterminated"},
+		{"define T as Box<x> [ Text a ] where { b }", "expected \"=\""},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q error %q missing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Parse("t", "\n\n\nx = @\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "viewcl:4:") {
+		t.Errorf("line number lost: %v", err)
+	}
+}
+
+func TestLOCCounting(t *testing.T) {
+	p := MustParse("t", `
+// comment only
+
+define T as Box<x> [
+    Text a
+]
+`)
+	if p.LOC != 3 {
+		t.Errorf("LOC = %d, want 3", p.LOC)
+	}
+}
+
+func TestCommentsAndNesting(t *testing.T) {
+	_, err := Parse("t", `
+/* block
+   comment */
+define T as Box<x> [
+    Text a // trailing
+    /* inline */ Text b
+]
+x = ${ fn(a, (b + c) * 2) }  // parens inside C escapes
+y = ${ s == "}" }            // brace inside a C string must not close the escape
+`)
+	if err != nil {
+		t.Fatalf("comments: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package viewcl
+
+import (
+	"fmt"
+	"strings"
+
+	"visualinux/internal/ctypes"
+)
+
+// SynthesizeProgram generates "naive ViewCL code for trivial debugging
+// objectives" (paper §4: vplot "can also synthesize naive ViewCL code").
+// Given a C type and a root expression it emits a Box displaying every
+// scalar member (ints in their natural format, char arrays as strings,
+// function pointers by name, nested scalar-bearing structs flattened one
+// level) plus the plot statement. Pointer members become raw_ptr texts —
+// the user refines from there.
+func SynthesizeProgram(reg *ctypes.Registry, typeName, rootExpr string) (string, error) {
+	typ, ok := reg.Lookup(typeName)
+	if !ok {
+		return "", fmt.Errorf("viewcl: unknown type %q", typeName)
+	}
+	st := typ.Strip()
+	if st.Kind != ctypes.KindStruct && st.Kind != ctypes.KindUnion {
+		return "", fmt.Errorf("viewcl: %s is not an aggregate", typeName)
+	}
+	boxName := exportName(st.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "define %s as Box<%s> [\n", boxName, st.Name)
+	emitted := 0
+	for _, f := range st.Fields {
+		if f.Name == "" {
+			// anonymous member: lift its scalars one level
+			for _, inner := range f.Type.Strip().Fields {
+				if inner.Name == "" {
+					continue
+				}
+				if line, ok := synthItem(inner.Name, inner); ok {
+					b.WriteString(line)
+					emitted++
+				}
+			}
+			continue
+		}
+		if line, ok := synthItem(f.Name, f); ok {
+			b.WriteString(line)
+			emitted++
+		}
+		if emitted >= 32 {
+			b.WriteString("    // ... remaining members elided by the synthesizer\n")
+			break
+		}
+	}
+	if emitted == 0 {
+		fmt.Fprintf(&b, "    Text<raw_ptr> addr: ${@this}\n")
+	}
+	b.WriteString("]\n\n")
+	fmt.Fprintf(&b, "root = %s(${%s})\nplot @root\n", boxName, rootExpr)
+	return b.String(), nil
+}
+
+// synthItem renders one member as a Text item if it is displayable.
+func synthItem(name string, f ctypes.Field) (string, bool) {
+	t := f.Type.Strip()
+	switch t.Kind {
+	case ctypes.KindInt, ctypes.KindBool:
+		if f.IsBitfield() || t.Size() <= 8 {
+			return fmt.Sprintf("    Text %s\n", name), true
+		}
+	case ctypes.KindEnum:
+		return fmt.Sprintf("    Text<enum:%s> %s\n", t.Name, name), true
+	case ctypes.KindPointer:
+		el := t.Elem.Strip()
+		if el != nil && el.Kind == ctypes.KindFunc {
+			return fmt.Sprintf("    Text<fptr> %s\n", name), true
+		}
+		if el != nil && el.Kind == ctypes.KindInt && el.Size() == 1 && el.Signed {
+			return fmt.Sprintf("    Text<string> %s\n", name), true
+		}
+		return fmt.Sprintf("    Text<raw_ptr> %s\n", name), true
+	case ctypes.KindArray:
+		el := t.Elem.Strip()
+		if el != nil && el.Kind == ctypes.KindInt && el.Size() == 1 {
+			return fmt.Sprintf("    Text %s\n", name), true // char[]: string default
+		}
+	case ctypes.KindStruct:
+		// one-level flatten of tiny wrapper structs (atomic_t-style)
+		if len(t.Fields) == 1 && t.Fields[0].Type.IsInteger() {
+			return fmt.Sprintf("    Text %s: ${@this->%s.%s}\n", name, name, t.Fields[0].Name), true
+		}
+	}
+	return "", false
+}
+
+func exportName(s string) string {
+	parts := strings.Split(s, "_")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]) + p[1:])
+	}
+	if b.Len() == 0 {
+		return "Auto"
+	}
+	return b.String()
+}

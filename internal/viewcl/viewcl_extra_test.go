@@ -1,0 +1,247 @@
+package viewcl_test
+
+import (
+	"strings"
+	"testing"
+
+	"visualinux/internal/graph"
+	"visualinux/internal/viewcl"
+)
+
+func TestForEachIndexVariable(t *testing.T) {
+	_, in := newInterp(t)
+	res, err := in.RunSource("idx", `
+define Cell as Box<irq_desc> [
+    Text irq: ${@this->irq_data.irq}
+]
+root = Box [
+    Container descs: Array(${irq_desc}).forEach |d| {
+        yield switch ${@d_index < 3} {
+            case ${true}: Cell(@d)
+            otherwise: NULL
+        }
+    }
+]
+plot @root
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := len(res.Graph.ByType("irq_desc")); n != 3 {
+		t.Errorf("index-filtered cells = %d, want 3", n)
+	}
+}
+
+func TestContainerOfRawScalars(t *testing.T) {
+	_, in := newInterp(t)
+	// Array without forEach: elements become value cells (pivot arrays).
+	res, err := in.RunSource("cells", `
+define Node as Box<maple_node> [
+    Container pivots: Array(${@this->mr64.pivot})
+]
+root = Node(${mte_to_node(stackrot_mm.mm_mt.ma_root)})
+plot @root
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	root, _ := res.Graph.Get(res.Graph.RootID)
+	pv, ok := root.Member("pivots")
+	if !ok || len(pv.Elems) != 15 {
+		t.Fatalf("pivots = %d elems", len(pv.Elems))
+	}
+	cell, _ := res.Graph.Get(pv.Elems[0])
+	if cell.Label != "cell" {
+		t.Errorf("element label = %q", cell.Label)
+	}
+	if cell.CurrentView().Items[0].Name != "[0]" {
+		t.Errorf("cell item = %+v", cell.CurrentView().Items[0])
+	}
+}
+
+func TestEmojiDecorator(t *testing.T) {
+	_, in := newInterp(t)
+	res, err := in.RunSource("emoji", `
+define MM as Box<mm_struct> [
+    Text<emoji:lock> held: ${@this->mmap_lock.count != 0}
+    Text<emoji:onoff> ok: ${1}
+]
+m = MM(${&stackrot_mm})
+plot @m
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, _ := res.Graph.Get(res.Graph.RootID)
+	held, _ := b.Member("held")
+	if held.Value != "\U0001F512" {
+		t.Errorf("lock emoji = %q", held.Value)
+	}
+	ok, _ := b.Member("ok")
+	if ok.Value != "✅" {
+		t.Errorf("onoff emoji = %q", ok.Value)
+	}
+}
+
+func TestPipeRingContainer(t *testing.T) {
+	_, in := newInterp(t)
+	res, err := in.RunSource("ring", `
+define Buf as Box<pipe_buffer> [
+    Text len
+    Text<flag:pipe_buf_flags> flags: flags
+]
+define Pipe as Box<pipe_inode_info> [
+    Text head, tail
+    Container bufs: PipeRing(@this).forEach |b| {
+        yield Buf(@b)
+    }
+]
+p = Pipe(${&dirty_pipe})
+plot @p
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	bufs := res.Graph.ByType("pipe_buffer")
+	if len(bufs) != 2 { // head=2, tail=0 -> two occupied slots
+		t.Fatalf("ring bufs = %d", len(bufs))
+	}
+	fl, _ := bufs[1].Member("flags")
+	if !strings.Contains(fl.Value, "CAN_MERGE") {
+		t.Errorf("flag decoration = %q", fl.Value)
+	}
+}
+
+func TestXArrayContainer(t *testing.T) {
+	_, in := newInterp(t)
+	res, err := in.RunSource("xa", `
+define P as Box<page> [
+    Text index
+]
+root = Box [
+    Container pages: XArray(${find_task(1)->files->fdt->fd[3]->f_mapping->i_pages}).forEach |e| {
+        yield P(@e)
+    }
+]
+plot @root
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pages := res.Graph.ByType("page")
+	if len(pages) < 8 {
+		t.Fatalf("xarray pages = %d", len(pages))
+	}
+	// Index order preserved.
+	var prev uint64
+	for i, p := range pages {
+		idx, _ := p.Member("index")
+		if i > 0 && idx.Raw < prev {
+			t.Errorf("xarray order violated at %d", i)
+		}
+		prev = idx.Raw
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	_, in := newInterp(t)
+	cases := map[string]string{
+		"unknown box": `x = NoSuchBox(${&init_task})
+plot @x`,
+		"unknown ctype": `define X as Box<no_such_type> [ Text a ]
+x = X(${&init_task})
+plot @x`,
+		"unbound var": `plot @nothing`,
+		"bad anchor": `define T as Box<task_struct> [ Text pid ]
+x = T<no_type.member>(${&init_task})
+plot @x`,
+		"circular binding": `define T as Box<task_struct> [
+    Text a: ${@x}
+] where {
+    x = ${@y}
+    y = ${@x}
+}
+x = T(${&init_task})
+plot @x`,
+		"plot scalar": `v = ${1 + 1}
+plot @v`,
+	}
+	for name, src := range cases {
+		res, err := in.RunSource(name, src)
+		if err == nil && (res == nil || len(res.Errors) == 0) {
+			t.Errorf("%s: no error surfaced", name)
+		}
+	}
+}
+
+func TestSynthesizeProgram(t *testing.T) {
+	k, in := newInterp(t)
+	_ = k
+	prog, err := viewcl.SynthesizeProgram(in.Env.Types(), "vm_area_struct", "find_task(100)->mm->mm_mt.ma_root")
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	for _, want := range []string{"define VmAreaStruct as Box<vm_area_struct>", "Text vm_start", "plot @root"} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("missing %q in:\n%s", want, prog)
+		}
+	}
+	// The generated program must parse.
+	if _, err := viewcl.Parse("synth", prog); err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, prog)
+	}
+	// Non-aggregate type rejected.
+	if _, err := viewcl.SynthesizeProgram(in.Env.Types(), "u64", "0"); err == nil {
+		t.Error("scalar type accepted")
+	}
+}
+
+func TestGraphStatsAndLOC(t *testing.T) {
+	_, in := newInterp(t)
+	prog := viewcl.MustParse("p", schedProgram)
+	if prog.LOC < 8 {
+		t.Errorf("LOC = %d", prog.LOC)
+	}
+	res, err := in.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Stats.Reads == 0 {
+		t.Error("no read stats")
+	}
+	var _ = graph.DefaultView
+}
+
+func TestScalarDecorators(t *testing.T) {
+	_, in := newInterp(t)
+	res, err := in.RunSource("deco2", `
+define T as Box<task_struct> [
+    Text<bool> alive: ${@this->exit_state == 0}
+    Text<char> initial: ${'s'}
+    Text<int:d> signed_neg: ${0 - 5}
+    Text<u32:b> bits: ${5}
+    Text<u64:o> oct: ${8}
+    Text<enum:pid_type> ptype: ${1}
+]
+x = T(${&init_task})
+plot @x
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, _ := res.Graph.Get(res.Graph.RootID)
+	want := map[string]string{
+		"alive":      "true",
+		"initial":    "'s'",
+		"signed_neg": "-5",
+		"bits":       "0b101",
+		"oct":        "010",
+		"ptype":      "PIDTYPE_TGID",
+	}
+	for name, w := range want {
+		it, ok := b.Member(name)
+		if !ok || it.Value != w {
+			t.Errorf("%s = %q, want %q", name, it.Value, w)
+		}
+	}
+}

@@ -1,0 +1,807 @@
+// Package viewql implements the View Query Language (paper §2.3, §4.2): an
+// SQL-like DSL for customizing an extracted object graph. ViewQL has
+// exactly two statement forms —
+//
+//	set = SELECT selector FROM source [AS alias] [WHERE cond]
+//	UPDATE setexpr WITH attr: value [, attr: value ...]
+//
+// — with set operators (\ difference, & intersection, | union) and the
+// built-in REACHABLE(set). Nested queries are deliberately disallowed, which
+// is what makes the language simple enough for LLM synthesis (paper §2.4).
+package viewql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"visualinux/internal/graph"
+)
+
+// Ref identifies a selection element: a whole box, or one member item of a
+// box (selected via "type.member").
+type Ref struct {
+	BoxID  string
+	Member string // "" = the box itself
+}
+
+// Engine holds the named selection sets of one customization session
+// (typically one pane).
+type Engine struct {
+	G    *graph.Graph
+	Sets map[string][]Ref
+}
+
+// NewEngine creates an engine over g.
+func NewEngine(g *graph.Graph) *Engine {
+	return &Engine{G: g, Sets: make(map[string][]Ref)}
+}
+
+// Apply parses and executes a ViewQL program (multiple statements).
+func (e *Engine) Apply(src string) error {
+	stmts, err := parse(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := e.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Set returns a named selection (nil if absent).
+func (e *Engine) Set(name string) []Ref { return e.Sets[name] }
+
+// --- AST ----------------------------------------------------------------------
+
+type stmt interface{ vql() }
+
+type selectStmt struct {
+	Dest     string
+	TypeName string
+	Member   string // "type.member" item selection
+	Deref    bool   // "type->member": select the member's target boxes
+	Source   setExpr
+	Alias    string
+	Where    cond
+}
+
+type updateStmt struct {
+	Target setExpr
+	Attrs  []attrAssign
+}
+
+type attrAssign struct {
+	Key   string
+	Value string
+}
+
+func (*selectStmt) vql() {}
+func (*updateStmt) vql() {}
+
+type setExpr interface{ set() }
+
+type setAll struct{}
+type setName struct{ Name string }
+type setReach struct{ Arg setExpr }
+type setInside struct{ L, R setExpr } // INSIDE(a, b): members of a reachable from b
+type setOp struct {
+	Op   string // "\\", "&", "|"
+	L, R setExpr
+}
+
+func (*setAll) set()    {}
+func (*setName) set()   {}
+func (*setReach) set()  {}
+func (*setInside) set() {}
+func (*setOp) set()     {}
+
+type cond interface{ cond() }
+
+type condOr struct{ L, R cond }
+type condAnd struct{ L, R cond }
+type condCmp struct {
+	Member string
+	Op     string
+	// literal value
+	IsNum  bool
+	Num    uint64
+	Str    string
+	IsNull bool
+	IsBool bool
+	Bool   bool
+}
+
+func (*condOr) cond()  {}
+func (*condAnd) cond() {}
+func (*condCmp) cond() {}
+
+// --- lexer ----------------------------------------------------------------------
+
+type vtok struct {
+	kind string // "ident", "num", "str", "punct", "eof"
+	text string
+	num  uint64
+	line int
+}
+
+func lex(src string) ([]vtok, error) {
+	var toks []vtok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '-': // SQL comment
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, vtok{kind: "ident", text: src[i:j], line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			if strings.HasPrefix(src[i:], "0x") || strings.HasPrefix(src[i:], "0X") {
+				j += 2
+				for j < len(src) && isHex(src[j]) {
+					j++
+				}
+			} else {
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			v, err := strconv.ParseUint(src[i:j], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("viewql:%d: bad number %q", line, src[i:j])
+			}
+			toks = append(toks, vtok{kind: "num", num: v, text: src[i:j], line: line})
+			i = j
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < len(src) && src[j] != q {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("viewql:%d: unterminated string", line)
+			}
+			toks = append(toks, vtok{kind: "str", text: src[i+1 : j], line: line})
+			i = j + 1
+		default:
+			ops := []string{"==", "!=", "<=", ">=", "->", "\\", "&", "|", "(", ")", ",", ":", "=", "<", ">", ".", "*"}
+			matched := ""
+			for _, op := range ops {
+				if strings.HasPrefix(src[i:], op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				return nil, fmt.Errorf("viewql:%d: unexpected character %q", line, c)
+			}
+			toks = append(toks, vtok{kind: "punct", text: matched, line: line})
+			i += len(matched)
+		}
+	}
+	toks = append(toks, vtok{kind: "eof", line: line})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// --- parser ---------------------------------------------------------------------
+
+type vparser struct {
+	toks []vtok
+	pos  int
+}
+
+func parse(src string) ([]stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks}
+	var out []stmt
+	for p.peek().kind != "eof" {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *vparser) peek() vtok { return p.toks[p.pos] }
+func (p *vparser) next() vtok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *vparser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *vparser) punct(text string) bool {
+	t := p.peek()
+	if t.kind == "punct" && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *vparser) expectPunct(text string) error {
+	if !p.punct(text) {
+		return fmt.Errorf("viewql:%d: expected %q, found %q", p.peek().line, text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *vparser) ident() (string, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("viewql:%d: expected identifier, found %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *vparser) stmt() (stmt, error) {
+	if p.kw("UPDATE") {
+		return p.update()
+	}
+	// name = SELECT ...
+	dest, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.punct("=") {
+		return nil, fmt.Errorf("viewql:%d: expected '=' after %q", p.peek().line, dest)
+	}
+	if !p.kw("SELECT") {
+		return nil, fmt.Errorf("viewql:%d: expected SELECT", p.peek().line)
+	}
+	s := &selectStmt{Dest: dest}
+	s.TypeName, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.punct(".") {
+		s.Member, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.punct("->") {
+		s.Member, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Deref = true
+	}
+	if !p.kw("FROM") {
+		return nil, fmt.Errorf("viewql:%d: expected FROM", p.peek().line)
+	}
+	s.Source, err = p.setExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.kw("AS") {
+		s.Alias, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("WHERE") {
+		s.Where, err = p.condOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *vparser) update() (stmt, error) {
+	u := &updateStmt{}
+	var err error
+	u.Target, err = p.setExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.kw("WITH") {
+		return nil, fmt.Errorf("viewql:%d: expected WITH", p.peek().line)
+	}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		var val string
+		switch t.kind {
+		case "ident":
+			val = t.text
+		case "num":
+			val = t.text
+		case "str":
+			val = t.text
+		default:
+			return nil, fmt.Errorf("viewql:%d: bad attribute value %q", t.line, t.text)
+		}
+		u.Attrs = append(u.Attrs, attrAssign{Key: key, Value: val})
+		if !p.punct(",") {
+			break
+		}
+	}
+	return u, nil
+}
+
+func (p *vparser) setExpr() (setExpr, error) {
+	l, err := p.setTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "punct" && (t.text == "\\" || t.text == "&" || t.text == "|") {
+			p.next()
+			r, err := p.setTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &setOp{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *vparser) setTerm() (setExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "punct" && t.text == "*":
+		p.next()
+		return &setAll{}, nil
+	case t.kind == "punct" && t.text == "(":
+		p.next()
+		e, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == "ident" && strings.EqualFold(t.text, "REACHABLE"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		arg, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &setReach{Arg: arg}, nil
+	case t.kind == "ident" && (strings.EqualFold(t.text, "INSIDE") || strings.EqualFold(t.text, "IS_INSIDE")):
+		// INSIDE(a, b): the members of a that are displayed inside b —
+		// i.e. reachable from b (the paper's is_inside operator).
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		l, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		r, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &setInside{L: l, R: r}, nil
+	case t.kind == "ident":
+		p.next()
+		return &setName{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("viewql:%d: expected set expression, found %q", t.line, t.text)
+}
+
+func (p *vparser) condOr() (cond, error) {
+	l, err := p.condAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		r, err := p.condAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &condOr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) condAnd() (cond, error) {
+	l, err := p.condPrim()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		r, err := p.condPrim()
+		if err != nil {
+			return nil, err
+		}
+		l = &condAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) condPrim() (cond, error) {
+	if p.punct("(") {
+		c, err := p.condOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	member, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct(".") {
+		m, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		member += "." + m
+	}
+	t := p.next()
+	if t.kind != "punct" {
+		return nil, fmt.Errorf("viewql:%d: expected comparison operator, found %q", t.line, t.text)
+	}
+	op := t.text
+	if op == "=" {
+		op = "==" // be forgiving, SQL-style
+	}
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+	default:
+		return nil, fmt.Errorf("viewql:%d: bad operator %q", t.line, op)
+	}
+	c := &condCmp{Member: member, Op: op}
+	v := p.next()
+	switch {
+	case v.kind == "num":
+		c.IsNum, c.Num = true, v.num
+	case v.kind == "str":
+		c.Str = v.text
+	case v.kind == "ident" && strings.EqualFold(v.text, "NULL"):
+		c.IsNull = true
+	case v.kind == "ident" && (v.text == "true" || v.text == "false"):
+		c.IsBool, c.Bool = true, v.text == "true"
+	case v.kind == "ident":
+		c.Str = v.text // bare word compares as string
+	default:
+		return nil, fmt.Errorf("viewql:%d: bad literal %q", v.line, v.text)
+	}
+	return c, nil
+}
+
+// --- execution -------------------------------------------------------------------
+
+func (e *Engine) exec(s stmt) error {
+	switch st := s.(type) {
+	case *selectStmt:
+		refs, err := e.evalSelect(st)
+		if err != nil {
+			return err
+		}
+		e.Sets[st.Dest] = refs
+		return nil
+	case *updateStmt:
+		refs, err := e.evalSet(st.Target)
+		if err != nil {
+			return err
+		}
+		for _, a := range st.Attrs {
+			e.applyAttr(refs, a)
+		}
+		return nil
+	}
+	return fmt.Errorf("viewql: unhandled statement %T", s)
+}
+
+func (e *Engine) evalSet(se setExpr) ([]Ref, error) {
+	switch x := se.(type) {
+	case *setAll:
+		var out []Ref
+		for _, b := range e.G.All() {
+			out = append(out, Ref{BoxID: b.ID})
+		}
+		return out, nil
+	case *setName:
+		refs, ok := e.Sets[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("viewql: unknown set %q", x.Name)
+		}
+		return refs, nil
+	case *setReach:
+		refs, err := e.evalSet(x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		var seeds []string
+		for _, r := range refs {
+			if r.Member == "" {
+				seeds = append(seeds, r.BoxID)
+				continue
+			}
+			// Item ref: seed from the item's targets.
+			if b, ok := e.G.Get(r.BoxID); ok {
+				if it, ok := b.Member(r.Member); ok {
+					if it.TargetID != "" {
+						seeds = append(seeds, it.TargetID)
+					}
+					seeds = append(seeds, nonEmpty(it.Elems)...)
+				}
+			}
+		}
+		reach := e.G.Reachable(seeds)
+		var out []Ref
+		for _, id := range e.G.Order {
+			if reach[id] {
+				out = append(out, Ref{BoxID: id})
+			}
+		}
+		return out, nil
+	case *setInside:
+		l, err := e.evalSet(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalSet(&setReach{Arg: x.R})
+		if err != nil {
+			return nil, err
+		}
+		in := make(map[string]bool, len(r))
+		for _, ref := range r {
+			if ref.Member == "" {
+				in[ref.BoxID] = true
+			}
+		}
+		var out []Ref
+		for _, ref := range l {
+			if in[ref.BoxID] {
+				out = append(out, ref)
+			}
+		}
+		return out, nil
+	case *setOp:
+		l, err := e.evalSet(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalSet(x.R)
+		if err != nil {
+			return nil, err
+		}
+		rset := make(map[Ref]bool, len(r))
+		for _, ref := range r {
+			rset[ref] = true
+		}
+		var out []Ref
+		switch x.Op {
+		case "\\":
+			for _, ref := range l {
+				if !rset[ref] {
+					out = append(out, ref)
+				}
+			}
+		case "&":
+			for _, ref := range l {
+				if rset[ref] {
+					out = append(out, ref)
+				}
+			}
+		case "|":
+			seen := make(map[Ref]bool, len(l))
+			for _, ref := range l {
+				out = append(out, ref)
+				seen[ref] = true
+			}
+			for _, ref := range r {
+				if !seen[ref] {
+					out = append(out, ref)
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("viewql: unhandled set expression %T", se)
+}
+
+func nonEmpty(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (e *Engine) evalSelect(s *selectStmt) ([]Ref, error) {
+	src, err := e.evalSet(s.Source)
+	if err != nil {
+		return nil, err
+	}
+	inSrc := make(map[string]bool, len(src))
+	for _, r := range src {
+		if r.Member == "" {
+			inSrc[r.BoxID] = true
+		}
+	}
+	var out []Ref
+	for _, id := range e.G.Order {
+		if !inSrc[id] {
+			continue
+		}
+		b := e.G.Boxes[id]
+		if b.TypeName != s.TypeName && b.Label != s.TypeName {
+			continue
+		}
+		if s.Where != nil && !e.matches(b, s.Where, s.Alias) {
+			continue
+		}
+		switch {
+		case s.Member == "":
+			out = append(out, Ref{BoxID: id})
+		case s.Deref:
+			if it, ok := b.Member(s.Member); ok {
+				if it.TargetID != "" {
+					out = append(out, Ref{BoxID: it.TargetID})
+				}
+				for _, el := range nonEmpty(it.Elems) {
+					out = append(out, Ref{BoxID: el})
+				}
+			}
+		default:
+			if _, ok := b.Member(s.Member); ok {
+				out = append(out, Ref{BoxID: id, Member: s.Member})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) matches(b *graph.Box, c cond, alias string) bool {
+	switch x := c.(type) {
+	case *condOr:
+		return e.matches(b, x.L, alias) || e.matches(b, x.R, alias)
+	case *condAnd:
+		return e.matches(b, x.L, alias) && e.matches(b, x.R, alias)
+	case *condCmp:
+		return e.compare(b, x, alias)
+	}
+	return false
+}
+
+func (e *Engine) compare(b *graph.Box, c *condCmp, alias string) bool {
+	// Alias or self-reference compares the box identity (address).
+	if c.Member == alias && alias != "" || c.Member == "this" || c.Member == "addr" {
+		return cmpNum(b.Addr, c)
+	}
+	it, ok := b.Member(c.Member)
+	if !ok {
+		return false
+	}
+	switch {
+	case c.IsNull:
+		z := it.Raw == 0 && it.TargetID == "" && len(nonEmpty(it.Elems)) == 0
+		if c.Op == "==" {
+			return z
+		}
+		return !z
+	case c.IsBool:
+		v := it.Raw != 0 || it.Value == "true"
+		if c.Op == "==" {
+			return v == c.Bool
+		}
+		return v != c.Bool
+	case c.IsNum:
+		return cmpNum(it.Raw, c)
+	default:
+		// String comparison against the rendered text.
+		switch c.Op {
+		case "==":
+			return it.Value == c.Str
+		case "!=":
+			return it.Value != c.Str
+		case "<":
+			return it.Value < c.Str
+		case ">":
+			return it.Value > c.Str
+		case "<=":
+			return it.Value <= c.Str
+		case ">=":
+			return it.Value >= c.Str
+		}
+	}
+	return false
+}
+
+func cmpNum(v uint64, c *condCmp) bool {
+	switch c.Op {
+	case "==":
+		return v == c.Num
+	case "!=":
+		return v != c.Num
+	case "<":
+		return int64(v) < int64(c.Num)
+	case ">":
+		return int64(v) > int64(c.Num)
+	case "<=":
+		return int64(v) <= int64(c.Num)
+	case ">=":
+		return int64(v) >= int64(c.Num)
+	}
+	return false
+}
+
+func (e *Engine) applyAttr(refs []Ref, a attrAssign) {
+	for _, r := range refs {
+		b, ok := e.G.Get(r.BoxID)
+		if !ok {
+			continue
+		}
+		if r.Member == "" {
+			b.SetAttr(a.Key, a.Value)
+			continue
+		}
+		for _, vn := range b.ViewSeq {
+			v := b.Views[vn]
+			for i := range v.Items {
+				if v.Items[i].Name == r.Member {
+					v.Items[i].SetAttr(a.Key, a.Value)
+				}
+			}
+		}
+	}
+}
