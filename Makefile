@@ -1,0 +1,33 @@
+# Tier-1 verification and bench smoke for the Visualinux reproduction.
+#
+#   make ci      vet + build + race tests + bench smoke (what a PR must pass)
+#   make test    fast test sweep (no race detector)
+#   make bench   the full benchmark suite, 1 iteration each
+#   make table4  regenerate the paper's Table 4 (+ cache before/after + JSON)
+
+GO ?= go
+
+.PHONY: ci test race vet build bench bench-smoke table4
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+table4:
+	$(GO) run ./cmd/perfbench -json

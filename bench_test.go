@@ -42,7 +42,8 @@ func BenchmarkKernelBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2Extract measures pure extraction per ULK figure.
+// BenchmarkTable2Extract measures pure extraction per ULK figure, plus the
+// whole figure set extracted by the parallel worker pool in one op.
 func BenchmarkTable2Extract(b *testing.B) {
 	k := kernel()
 	for _, fig := range vclstdlib.Figures() {
@@ -56,6 +57,14 @@ func BenchmarkTable2Extract(b *testing.B) {
 			}
 		})
 	}
+	b.Run("all-parallel", func(b *testing.B) {
+		figs := vclstdlib.Figures()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExtractFigures(k, figs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTable4GDB is the Table 4 fast column.
@@ -89,6 +98,27 @@ func BenchmarkTable4KGDB(b *testing.B) {
 			var total float64
 			for i := 0; i < b.N; i++ {
 				row, err := perf.MeasureFigureKGDB(k, fig, target.DefaultKGDB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += row.TotalMS
+			}
+			b.ReportMetric(total/float64(b.N), "kgdb-ms/op")
+		})
+	}
+}
+
+// BenchmarkTable4KGDBUncached is the pre-snapshot-cache baseline: every
+// field read is its own modeled round trip. Compare kgdb-ms/op against
+// BenchmarkTable4KGDB to see what the page cache + coalescing buy.
+func BenchmarkTable4KGDBUncached(b *testing.B) {
+	k := kernel()
+	for _, fig := range vclstdlib.Figures() {
+		fig := fig
+		b.Run(fig.ID, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				row, err := perf.MeasureFigureKGDBUncached(k, fig, target.DefaultKGDB)
 				if err != nil {
 					b.Fatal(err)
 				}

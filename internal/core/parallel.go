@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/panes"
+	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
+)
+
+// ExtractFigures plots the given figures concurrently over one stopped
+// kernel image, using at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Each worker runs its own Session with an isolated stats view
+// of the shared target, so per-figure Graph.Stats stay accurate while the
+// underlying read-only memory is shared freely.
+//
+// Results keep the order of figs. The first extraction error aborts nothing
+// else (every figure is still attempted) but is returned after all workers
+// finish.
+func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(figs) {
+		workers = len(figs)
+	}
+	out := make([]*panes.Pane, len(figs))
+	errs := make([]error, len(figs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, fig := range figs {
+		wg.Add(1)
+		go func(i int, fig vclstdlib.Figure) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := SessionOver(k, target.WithStats(k.Target()))
+			p, err := s.VPlot(fig.ID, fig.Program)
+			if err != nil {
+				errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
+				return
+			}
+			out[i] = p
+		}(i, fig)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -10,6 +10,7 @@ package ctypes
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates the type shapes.
@@ -93,7 +94,9 @@ type Type struct {
 	Enums  []EnumVal
 	Base   *Type // KindTypedef underlying type
 
-	ptrTo *Type // cached pointer-to-this
+	// Cached pointer-to-this. Atomic because types are shared across
+	// concurrent extraction workers, which derive pointer types on demand.
+	ptrTo atomic.Pointer[Type]
 }
 
 // Size returns sizeof(t) in bytes.
@@ -186,12 +189,17 @@ func (t *Type) String() string {
 	return "<?>"
 }
 
-// PointerTo returns the (cached) pointer type to t.
+// PointerTo returns the (cached) pointer type to t. The cache keeps one
+// canonical pointer type per pointee even under concurrent derivation.
 func (t *Type) PointerTo() *Type {
-	if t.ptrTo == nil {
-		t.ptrTo = &Type{Kind: KindPointer, size: PointerSize, align: PointerSize, Elem: t}
+	if p := t.ptrTo.Load(); p != nil {
+		return p
 	}
-	return t.ptrTo
+	p := &Type{Kind: KindPointer, size: PointerSize, align: PointerSize, Elem: t}
+	if t.ptrTo.CompareAndSwap(nil, p) {
+		return p
+	}
+	return t.ptrTo.Load()
 }
 
 // ArrayOf returns a fresh array type of n elements of t.

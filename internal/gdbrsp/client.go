@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"visualinux/internal/ctypes"
@@ -23,6 +24,11 @@ type Client struct {
 	symbols map[string]target.Symbol
 	byAddr  map[uint64]string
 	stats   target.Stats
+
+	// packetMax is the stub's negotiated PacketSize (qSupported reply).
+	// $m replies are hex-encoded, so one packet carries packetMax/2 bytes of
+	// memory; larger reads split at that bound.
+	packetMax int
 }
 
 // Dial connects to an RSP server and performs the initial handshake.
@@ -45,10 +51,12 @@ func Dial(addr string, reg *ctypes.Registry, symbols []target.Symbol) (*Client, 
 		c.byAddr[s.Addr] = s.Name
 	}
 	// Handshake like GDB: feature negotiation then stop-reason query.
-	if _, err := c.roundTrip("qSupported:multiprocess+"); err != nil {
+	features, err := c.roundTrip("qSupported:multiprocess+")
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	c.packetMax = parsePacketSize(features)
 	if _, err := c.roundTrip("?"); err != nil {
 		conn.Close()
 		return nil, err
@@ -107,17 +115,43 @@ func (c *Client) roundTripLocked(payload string) (string, error) {
 	return reply, c.w.Flush()
 }
 
-// ReadMemory implements target.Target via $m packets, chunking large
-// requests to the stub's packet size.
+// parsePacketSize extracts PacketSize=<hex> from a qSupported reply,
+// clamped to sane bounds: never above our own maxPacket buffer, never so
+// small that an 8-byte scalar read would split.
+func parsePacketSize(features string) int {
+	const fallback = maxPacket
+	for _, f := range strings.Split(features, ";") {
+		if v, ok := strings.CutPrefix(f, "PacketSize="); ok {
+			n, err := parseHexU64(v)
+			if err != nil {
+				return fallback
+			}
+			if n > maxPacket {
+				return maxPacket
+			}
+			if n < 32 {
+				return 32
+			}
+			return int(n)
+		}
+	}
+	return fallback
+}
+
+// ReadMemory implements target.Target via $m packets sized to the whole
+// request, splitting only when the request exceeds the stub's negotiated
+// packet bound. Reads counts logical requests; Transactions counts $m
+// packets actually sent (Transactions >= Reads when requests split).
 func (c *Client) ReadMemory(addr uint64, buf []byte) error {
 	c.stats.Reads.Add(1)
 	c.stats.BytesRead.Add(uint64(len(buf)))
-	const chunk = maxPacket / 2
+	chunk := c.packetMax / 2 // hex encoding: 2 reply chars per memory byte
 	for off := 0; off < len(buf); {
 		n := len(buf) - off
 		if n > chunk {
 			n = chunk
 		}
+		c.stats.Transactions.Add(1)
 		reply, err := c.roundTrip(fmt.Sprintf("m%x,%x", addr+uint64(off), n))
 		if err != nil {
 			return err

@@ -1,0 +1,115 @@
+package gdbrsp
+
+import (
+	"bytes"
+	"testing"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/mem"
+	"visualinux/internal/target"
+)
+
+func TestParsePacketSize(t *testing.T) {
+	cases := []struct {
+		reply string
+		want  int
+	}{
+		{"PacketSize=1000;qXfer:features:read-", 0x1000},
+		{"qXfer:features:read-;PacketSize=800", 0x800},
+		{"PacketSize=ffffffff", maxPacket}, // stub brags; clamp to our buffer
+		{"PacketSize=4", 32},               // too small to carry a scalar
+		{"PacketSize=zz", maxPacket},       // unparseable -> default
+		{"multiprocess+", maxPacket},       // absent -> default
+		{"", maxPacket},
+	}
+	for _, c := range cases {
+		if got := parsePacketSize(c.reply); got != c.want {
+			t.Errorf("parsePacketSize(%q) = %#x, want %#x", c.reply, got, c.want)
+		}
+	}
+}
+
+// TestSplitLargeRead drives a 3-page read through a loopback server and
+// checks (a) the bytes survive the split, (b) the client accounts one
+// logical read but multiple $m transactions.
+func TestSplitLargeRead(t *testing.T) {
+	const base = uint64(0x4000_0000)
+	const size = 3 * 4096 // > maxPacket/2, must split into several packets
+
+	m := mem.New()
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i*7 + i>>8)
+	}
+	m.Write(base, want)
+	sim := target.NewSim(m, ctypes.NewRegistry())
+
+	srv, err := Serve("127.0.0.1:0", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), sim.Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	got := make([]byte, size)
+	if err := client.ReadMemory(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("split read corrupted data")
+	}
+
+	reads, bytesRead, txns := client.Stats().Totals()
+	if reads != 1 {
+		t.Errorf("logical reads = %d, want 1", reads)
+	}
+	if bytesRead != size {
+		t.Errorf("bytes = %d, want %d", bytesRead, size)
+	}
+	wantTxns := uint64((size + maxPacket/2 - 1) / (maxPacket / 2))
+	if txns != wantTxns {
+		t.Errorf("transactions = %d, want %d (one per $m packet)", txns, wantTxns)
+	}
+	if txns <= reads {
+		t.Errorf("transactions (%d) should exceed reads (%d) for an oversized read", txns, reads)
+	}
+}
+
+// TestNegotiatedChunkRoundTrip checks that a read of exactly the negotiated
+// per-packet capacity goes over in a single transaction.
+func TestNegotiatedChunkRoundTrip(t *testing.T) {
+	const base = uint64(0x5000_0000)
+	m := mem.New()
+	data := make([]byte, maxPacket/2)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.Write(base, data)
+	sim := target.NewSim(m, ctypes.NewRegistry())
+
+	srv, err := Serve("127.0.0.1:0", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), sim.Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	got := make([]byte, len(data))
+	if err := client.ReadMemory(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("full-packet read corrupted data")
+	}
+	if _, _, txns := client.Stats().Totals(); txns != 1 {
+		t.Errorf("transactions = %d, want 1 for a packet-sized read", txns)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"visualinux/internal/vclstdlib"
 )
 
+// TestTable4Shapes verifies §5.4's qualitative claims on the personality
+// they describe: a plain KGDB stub with one round trip per field read.
 func TestTable4Shapes(t *testing.T) {
-	pairs, err := perf.Table4(kernelsim.Options{}, target.DefaultKGDB)
+	pairs, err := perf.Table4Uncached(kernelsim.Options{}, target.DefaultKGDB)
 	if err != nil {
 		t.Fatalf("table4: %v", err)
 	}
@@ -44,13 +46,14 @@ func TestLatencyDominates(t *testing.T) {
 func TestPerObjectRatio(t *testing.T) {
 	// Paper §5.4: "retrieving an object is approximately 50 times slower"
 	// on KGDB. Our model should land in that order of magnitude (>= 20x).
+	// Measured uncached: the paper's number is for a plain stub.
 	k := kernelsim.Build(kernelsim.Options{})
 	fig := mustFigure(t, "7-1")
 	fast, err := perf.MeasureFigure(k, fig)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := perf.MeasureFigureKGDB(k, fig, target.DefaultKGDB)
+	slow, err := perf.MeasureFigureKGDBUncached(k, fig, target.DefaultKGDB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +63,33 @@ func TestPerObjectRatio(t *testing.T) {
 	ratio := slow.PerObjMS / fast.PerObjMS
 	if ratio < 20 {
 		t.Errorf("KGDB per-object only %.1fx slower", ratio)
+	}
+}
+
+// TestSnapshotCacheSpeedup pins the point of the snapshot cache: on
+// list-heavy figures the modeled KGDB cost must drop at least 2x versus
+// the uncached baseline. Totals are virtual-clock dominated, so the bound
+// is stable under -race wall-time inflation.
+func TestSnapshotCacheSpeedup(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	for _, id := range []string{"3-6", "6-1", "8-2"} {
+		fig := mustFigure(t, id)
+		uncached, err := perf.MeasureFigureKGDBUncached(k, fig, target.DefaultKGDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := perf.MeasureFigureKGDB(k, fig, target.DefaultKGDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.TotalMS*2 > uncached.TotalMS {
+			t.Errorf("%s: cached %.1fms not 2x below uncached %.1fms",
+				id, cached.TotalMS, uncached.TotalMS)
+		}
+		if cached.Reads >= uncached.Reads {
+			t.Errorf("%s: cache did not reduce link transactions (%d vs %d)",
+				id, cached.Reads, uncached.Reads)
+		}
 	}
 }
 

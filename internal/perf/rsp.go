@@ -43,15 +43,15 @@ func (r *RSPSession) Close() {
 // MeasureFigureRSP extracts one figure through the RSP wire.
 func (r *RSPSession) MeasureFigureRSP(fig vclstdlib.Figure) (Row, error) {
 	s := core.SessionOver(r.Kernel, r.Client)
-	reads0, bytes0 := r.Client.Stats().Snapshot()
+	reads0, bytes0, txns0 := r.Client.Stats().Totals()
 	t0 := time.Now()
 	p, err := s.VPlot(fig.ID, fig.Program)
 	if err != nil {
 		return Row{}, err
 	}
 	elapsed := time.Since(t0)
-	reads1, bytes1 := r.Client.Stats().Snapshot()
-	return makeRow(fig.ID, p.Graph.Stats.Objects, reads1-reads0, bytes1-bytes0, elapsed), nil
+	reads1, bytes1, txns1 := r.Client.Stats().Totals()
+	return makeRow(fig.ID, p.Graph.Stats.Objects, reads1-reads0, txns1-txns0, bytes1-bytes0, elapsed), nil
 }
 
 // Table4RSP measures every figure over the RSP wire.

@@ -1,0 +1,42 @@
+package target
+
+import "visualinux/internal/ctypes"
+
+// Counted forwards reads to an underlying target while keeping its own
+// Stats. The Table 4 harness wraps the shared kernel target once per
+// measurement, so concurrent extraction workers each get an isolated
+// counter instead of racing to diff one shared Stats.
+type Counted struct {
+	under Target
+	stats Stats
+}
+
+// WithStats returns a view of t with a fresh, independent Stats.
+func WithStats(t Target) *Counted { return &Counted{under: t} }
+
+// ReadMemory implements Target.
+func (c *Counted) ReadMemory(addr uint64, buf []byte) error {
+	c.stats.CountRead(len(buf))
+	return c.under.ReadMemory(addr, buf)
+}
+
+// Prefetch implements Prefetcher when the underlying target does.
+func (c *Counted) Prefetch(addr, size uint64) {
+	if p, ok := c.under.(Prefetcher); ok {
+		p.Prefetch(addr, size)
+	}
+}
+
+// LookupSymbol implements Target.
+func (c *Counted) LookupSymbol(name string) (Symbol, bool) { return c.under.LookupSymbol(name) }
+
+// SymbolAt implements Target.
+func (c *Counted) SymbolAt(addr uint64) (string, bool) { return c.under.SymbolAt(addr) }
+
+// Types implements Target.
+func (c *Counted) Types() *ctypes.Registry { return c.under.Types() }
+
+// Stats implements Target.
+func (c *Counted) Stats() *Stats { return &c.stats }
+
+var _ Target = (*Counted)(nil)

@@ -1,0 +1,84 @@
+package target
+
+import (
+	"sync/atomic"
+	"time"
+
+	"visualinux/internal/ctypes"
+)
+
+// LatencyModel prices one read transaction on a slow debug link. The paper
+// measures KGDB over serial on a Raspberry Pi 400 at roughly 5 ms per
+// retrieved u64 — latency-bound, not bandwidth-bound — so the model charges
+// a fixed per-transaction cost plus a small per-byte cost.
+type LatencyModel struct {
+	PerRead time.Duration // round-trip cost charged per transaction
+	PerByte time.Duration // serial bandwidth cost per transferred byte
+	// Sleep really sleeps per read instead of accounting on the virtual
+	// clock, turning modeled time into wall time for live demos.
+	Sleep bool
+}
+
+// Cost prices one transaction of n bytes.
+func (m LatencyModel) Cost(n int) time.Duration {
+	return m.PerRead + time.Duration(n)*m.PerByte
+}
+
+// DefaultKGDB is the "KGDB (rpi-400)" personality of Table 4.
+var DefaultKGDB = LatencyModel{
+	PerRead: 5 * time.Millisecond,
+	PerByte: 2 * time.Microsecond,
+}
+
+// Latency wraps a target with a latency model. Every ReadMemory that
+// reaches it is one modeled transaction; the accumulated cost is read back
+// with VirtualElapsed. Layer a Snapshot on top and cache hits never get
+// here — that is exactly the coalescing win Table 4's KGDB column shows.
+type Latency struct {
+	under   Target
+	model   LatencyModel
+	stats   Stats
+	virtual atomic.Int64 // accumulated modeled nanoseconds
+}
+
+// WithLatency wraps t with the given cost model.
+func WithLatency(t Target, model LatencyModel) *Latency {
+	return &Latency{under: t, model: model}
+}
+
+// ReadMemory implements Target, charging the model per transaction.
+func (l *Latency) ReadMemory(addr uint64, buf []byte) error {
+	l.stats.CountRead(len(buf))
+	cost := l.model.Cost(len(buf))
+	if l.model.Sleep {
+		time.Sleep(cost) // cost shows up on the wall clock instead
+	} else {
+		l.virtual.Add(int64(cost))
+	}
+	return l.under.ReadMemory(addr, buf)
+}
+
+// VirtualElapsed returns the modeled time accumulated so far. In Sleep
+// mode it stays zero: the cost was already paid in wall time.
+func (l *Latency) VirtualElapsed() time.Duration {
+	return time.Duration(l.virtual.Load())
+}
+
+// ResetVirtual zeroes the virtual clock (between measurements).
+func (l *Latency) ResetVirtual() { l.virtual.Store(0) }
+
+// LookupSymbol implements Target (symbols are local, like vmlinux DWARF —
+// no link traffic).
+func (l *Latency) LookupSymbol(name string) (Symbol, bool) { return l.under.LookupSymbol(name) }
+
+// SymbolAt implements Target.
+func (l *Latency) SymbolAt(addr uint64) (string, bool) { return l.under.SymbolAt(addr) }
+
+// Types implements Target.
+func (l *Latency) Types() *ctypes.Registry { return l.under.Types() }
+
+// Stats implements Target: the counters of transactions that actually
+// crossed the modeled link.
+func (l *Latency) Stats() *Stats { return &l.stats }
+
+var _ Target = (*Latency)(nil)

@@ -1,0 +1,89 @@
+package target
+
+import (
+	"sync"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/mem"
+)
+
+// Sim is the in-process simulated debug target: a sparse memory image plus
+// a symbol table and type registry — the "GDB (QEMU)" personality. Reads
+// are plain memory copies; the only accounting is the atomic Stats.
+//
+// A Sim is safe for concurrent readers. Symbol registration normally
+// happens only while the kernel image is being built, but it is guarded
+// anyway so live-mutation tests can extend the table under extraction.
+type Sim struct {
+	Mem *mem.Memory
+	reg *ctypes.Registry
+
+	mu      sync.RWMutex
+	symbols map[string]Symbol
+	byAddr  map[uint64]string
+	order   []string // registration order, for deterministic Symbols()
+
+	stats Stats
+}
+
+// NewSim wraps a memory image and type registry as a target.
+func NewSim(m *mem.Memory, reg *ctypes.Registry) *Sim {
+	return &Sim{
+		Mem:     m,
+		reg:     reg,
+		symbols: make(map[string]Symbol),
+		byAddr:  make(map[uint64]string),
+	}
+}
+
+// AddSymbol registers (or replaces) a global symbol.
+func (s *Sim) AddSymbol(name string, addr uint64, typ *ctypes.Type) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.symbols[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.symbols[name] = Symbol{Name: name, Addr: addr, Type: typ}
+	s.byAddr[addr] = name
+}
+
+// Symbols returns every registered symbol in registration order.
+func (s *Sim) Symbols() []Symbol {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Symbol, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.symbols[name])
+	}
+	return out
+}
+
+// ReadMemory implements Target.
+func (s *Sim) ReadMemory(addr uint64, buf []byte) error {
+	s.stats.CountRead(len(buf))
+	return s.Mem.Read(addr, buf)
+}
+
+// LookupSymbol implements Target.
+func (s *Sim) LookupSymbol(name string) (Symbol, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sym, ok := s.symbols[name]
+	return sym, ok
+}
+
+// SymbolAt implements Target.
+func (s *Sim) SymbolAt(addr uint64) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.byAddr[addr]
+	return n, ok
+}
+
+// Types implements Target.
+func (s *Sim) Types() *ctypes.Registry { return s.reg }
+
+// Stats implements Target.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+var _ Target = (*Sim)(nil)

@@ -1,0 +1,175 @@
+package target
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"visualinux/internal/ctypes"
+)
+
+// PageSize is the granularity of the snapshot read cache: 4 KiB, the guest
+// page size, which also matches the simulated memory's mapping granularity
+// (so a page is either fully readable or fully absent).
+const PageSize = 4096
+
+// Snapshot is a page-granular read-through cache over any Target, valid
+// for the lifetime of one stop event: while the machine is stopped its
+// memory cannot change, so every page needs at most one fetch. Call
+// Invalidate when the target resumes.
+//
+// Layered over a Latency (or a real RSP link), a Snapshot converts the
+// many small field reads of an extraction into a few page-sized
+// transactions: cache hits cost zero modeled link time. Contiguous missing
+// pages are fetched in one coalesced transaction, so Prefetch of a
+// multi-page object costs one round trip, not one per page.
+//
+// A Snapshot is safe for concurrent readers (parallel pane extraction over
+// one stop event).
+type Snapshot struct {
+	under Target
+	stats Stats
+
+	mu    sync.RWMutex
+	pages map[uint64][]byte
+
+	hits   atomic.Uint64 // page lookups served from cache
+	misses atomic.Uint64 // pages fetched from the underlying target
+}
+
+// NewSnapshot wraps t with a fresh, empty cache.
+func NewSnapshot(t Target) *Snapshot {
+	return &Snapshot{under: t, pages: make(map[uint64][]byte)}
+}
+
+// Under returns the wrapped target (e.g. to read its link-level stats).
+func (s *Snapshot) Under() Target { return s.under }
+
+// Invalidate drops every cached page. Call on resume: the stop event the
+// snapshot was valid for is over.
+func (s *Snapshot) Invalidate() {
+	s.mu.Lock()
+	s.pages = make(map[uint64][]byte)
+	s.mu.Unlock()
+}
+
+// CacheStats returns page-granular hit/miss counts.
+func (s *Snapshot) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// ReadMemory implements Target, serving from cached pages and filling
+// misses through the underlying target.
+func (s *Snapshot) ReadMemory(addr uint64, buf []byte) error {
+	s.stats.CountRead(len(buf))
+	if len(buf) == 0 {
+		return nil
+	}
+	if err := s.ensure(addr, uint64(len(buf))); err != nil {
+		// A page in the range is unreadable. Degrade to a direct read of
+		// exactly the requested range so error semantics match the
+		// underlying target (partial ranges fail there too).
+		return s.under.ReadMemory(addr, buf)
+	}
+	s.mu.RLock()
+	resident := true
+	for n := 0; n < len(buf) && resident; {
+		cur := addr + uint64(n)
+		p := s.pages[cur&^(PageSize-1)]
+		if p == nil {
+			resident = false // raced with Invalidate
+			break
+		}
+		n += copy(buf[n:], p[cur&(PageSize-1):])
+	}
+	s.mu.RUnlock()
+	if !resident {
+		return s.under.ReadMemory(addr, buf)
+	}
+	return nil
+}
+
+// Prefetch implements Prefetcher: it pulls the page range covering
+// [addr, addr+size) into the cache, coalescing adjacent missing pages into
+// single large transactions. Errors are swallowed — unreadable stretches
+// simply stay uncached and fail later at the precise read that needs them.
+func (s *Snapshot) Prefetch(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	_ = s.ensure(addr, size)
+}
+
+// ensure makes every page covering [addr, addr+size) cache-resident,
+// fetching runs of contiguous missing pages in one read each.
+func (s *Snapshot) ensure(addr, size uint64) error {
+	first := addr &^ (PageSize - 1)
+	last := (addr + size - 1) &^ (PageSize - 1)
+
+	// Fast path: everything already resident.
+	s.mu.RLock()
+	missing := false
+	for base := first; ; base += PageSize {
+		if _, ok := s.pages[base]; ok {
+			s.hits.Add(1)
+		} else {
+			missing = true
+		}
+		if base == last {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if !missing {
+		return nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for base := first; ; base += PageSize {
+		if _, ok := s.pages[base]; !ok {
+			// Extend the run over every contiguous missing page.
+			end := base
+			for end != last {
+				if _, ok := s.pages[end+PageSize]; ok {
+					break
+				}
+				end += PageSize
+			}
+			run := make([]byte, end-base+PageSize)
+			if err := s.under.ReadMemory(base, run); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				for off := uint64(0); off < uint64(len(run)); off += PageSize {
+					s.pages[base+off] = run[off : off+PageSize : off+PageSize]
+					s.misses.Add(1)
+				}
+			}
+			base = end
+		}
+		if base >= last {
+			break
+		}
+	}
+	return firstErr
+}
+
+// LookupSymbol implements Target.
+func (s *Snapshot) LookupSymbol(name string) (Symbol, bool) { return s.under.LookupSymbol(name) }
+
+// SymbolAt implements Target.
+func (s *Snapshot) SymbolAt(addr uint64) (string, bool) { return s.under.SymbolAt(addr) }
+
+// Types implements Target.
+func (s *Snapshot) Types() *ctypes.Registry { return s.under.Types() }
+
+// Stats implements Target: logical reads as the extraction issued them
+// (the underlying target's Stats count what actually crossed the link).
+func (s *Snapshot) Stats() *Stats { return &s.stats }
+
+var (
+	_ Target     = (*Snapshot)(nil)
+	_ Prefetcher = (*Snapshot)(nil)
+)

@@ -491,6 +491,11 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 	b := graph.NewBox(id, def.name, def.ctype.Name, addr)
 	r.g.Add(b)
 
+	// Batch-fetch the whole object before walking its fields: on
+	// snapshot-backed targets this is one transaction instead of one per
+	// Text/Link item, which is where the KGDB latency model bleeds.
+	target.ReadStruct(r.in.Env.Target, addr, def.ctype)
+
 	// Instance scope: @this plus lazy where-bindings.
 	sc := newScope(nil)
 	sc.defineVal("this", vval{kind: vC, c: expr.MakePointer(def.ctype, addr)})
