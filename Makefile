@@ -1,15 +1,17 @@
 # Tier-1 verification and bench smoke for the Visualinux reproduction.
 #
-#   make ci      vet + build + race tests + bench smoke (what a PR must pass)
-#   make test    fast test sweep (no race detector)
-#   make bench   the full benchmark suite, 1 iteration each
-#   make table4  regenerate the paper's Table 4 (+ cache before/after + JSON)
+#   make ci            vet + build + race tests + bench smoke + bench-regress
+#   make test          fast test sweep (no race detector)
+#   make bench         the full benchmark suite, 1 iteration each
+#   make table4        regenerate the paper's Table 4 (+ cache before/after + JSON)
+#   make bench-regress re-run perfbench and fail if any figure's cached
+#                      kgdb_ms regressed >25% (+50ms slack) vs BENCH_1.json
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke table4
+.PHONY: ci test race vet build bench bench-smoke bench-regress table4
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke bench-regress
 
 vet:
 	$(GO) vet ./...
@@ -29,5 +31,9 @@ bench-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
+bench-regress:
+	$(GO) run ./cmd/perfbench -json BENCH_2.json > /dev/null
+	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
+
 table4:
-	$(GO) run ./cmd/perfbench -json
+	$(GO) run ./cmd/perfbench -json BENCH_1.json

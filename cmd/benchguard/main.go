@@ -1,0 +1,100 @@
+// Command benchguard is the bench-regression smoke gate of `make ci`: it
+// compares two perfbench JSON outputs (see cmd/perfbench -json) and fails
+// when any figure's cached-KGDB extraction cost regressed beyond the
+// threshold against the baseline.
+//
+// Usage:
+//
+//	benchguard [-threshold 1.25] [-slack 50] BENCH_1.json BENCH_2.json
+//
+// The modeled-latency columns are deterministic workload properties, but
+// they still carry a wall-clock component, so tiny figures are judged with
+// an absolute slack: a figure only fails when it is both >threshold× slower
+// and more than -slack ms above baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record mirrors perfbench's benchRecord fields benchguard needs.
+type record struct {
+	Figure string  `json:"figure"`
+	KGDBMs float64 `json:"kgdb_ms"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.25, "max allowed kgdb_ms ratio vs baseline")
+	slack := flag.Float64("slack", 50, "absolute slack in ms (regressions smaller than this never fail)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 1.25] [-slack 50] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, c := range cur {
+		b, ok := base[c.Figure]
+		if !ok {
+			fmt.Printf("benchguard: %-12s new figure (%.1f ms), no baseline — ok\n", c.Figure, c.KGDBMs)
+			continue
+		}
+		ratio := 0.0
+		if b.KGDBMs > 0 {
+			ratio = c.KGDBMs / b.KGDBMs
+		}
+		if ratio > *threshold && c.KGDBMs-b.KGDBMs > *slack {
+			fmt.Printf("benchguard: %-12s REGRESSED: %.1f ms vs %.1f ms baseline (%.2fx > %.2fx)\n",
+				c.Figure, c.KGDBMs, b.KGDBMs, ratio, *threshold)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: %-12s ok: %.1f ms vs %.1f ms baseline (%.2fx)\n",
+				c.Figure, c.KGDBMs, b.KGDBMs, ratio)
+		}
+	}
+	for fig := range base {
+		if _, ok := lookup(cur, fig); !ok {
+			fmt.Printf("benchguard: %-12s MISSING from current run\n", fig)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+func load(path string) (map[string]record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(blob, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(recs))
+	for _, r := range recs {
+		out[r.Figure] = r
+	}
+	return out, nil
+}
+
+func lookup(m map[string]record, fig string) (record, bool) {
+	r, ok := m[fig]
+	return r, ok
+}

@@ -11,7 +11,9 @@
 //	perfbench -sleep             # really sleep per read (live wall-clock)
 //	perfbench -perread 5ms       # tune the modeled round-trip latency
 //	perfbench -procs 10          # scale the workload population
-//	perfbench -json              # also write BENCH_1.json
+//	perfbench -json BENCH_1.json # also write per-figure results as JSON
+//	perfbench -trace out.json    # also write a Chrome trace_event profile
+//	                             # of every figure's cached-KGDB extraction
 package main
 
 import (
@@ -22,8 +24,10 @@ import (
 	"time"
 
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/perf"
 	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
 )
 
 // benchRecord is one BENCH_1.json entry: the same figure across the
@@ -42,7 +46,8 @@ type benchRecord struct {
 func main() {
 	sleep := flag.Bool("sleep", false, "really sleep per read instead of virtual accounting")
 	rsp := flag.Bool("rsp", false, "also measure extraction through a real GDB-RSP loopback socket")
-	jsonOut := flag.Bool("json", false, "write per-figure results to BENCH_1.json")
+	jsonOut := flag.String("json", "", "write per-figure results to this JSON file (e.g. BENCH_1.json)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
 	perByte := flag.Duration("perbyte", 2*time.Microsecond, "modeled KGDB cost per byte")
 	procs := flag.Int("procs", 0, "workload processes (0 = paper default of 5)")
@@ -88,7 +93,15 @@ func main() {
 		fmt.Print(perf.FormatRows("Extra: extraction through a real GDB-RSP loopback socket", rows))
 	}
 
-	if *jsonOut {
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts, model); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *jsonOut != "" {
 		recs := make([]benchRecord, len(cached))
 		for i, p := range cached {
 			u := uncached[i]
@@ -112,14 +125,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "perfbench: json: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile("BENCH_1.json", append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "perfbench: json: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("\nwrote BENCH_1.json")
+		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 
 	fmt.Println("\nShape checks (paper §5.4 qualitative claims, uncached stub):")
+	runShapeChecks(uncached)
+}
+
+// writeTrace re-measures every figure on the cached-KGDB personality with
+// the obs tap inserted under the snapshot, then emits all span trees as one
+// Chrome trace_event file (one track per figure).
+func writeTrace(path string, opts kernelsim.Options, model target.LatencyModel) error {
+	k := kernelsim.Build(opts)
+	o := obs.NewObserver()
+	var roots []*obs.SpanExport
+	for _, fig := range vclstdlib.Figures() {
+		_, tr, err := perf.MeasureFigureKGDBTraced(k, fig, model, o)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", fig.ID, err)
+		}
+		if tr != nil {
+			roots = append(roots, tr)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, roots...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runShapeChecks(uncached []perf.Pair) {
 	fails := perf.ShapeChecks(uncached)
 	if len(fails) == 0 {
 		fmt.Println("  all hold: KGDB >=10x slower everywhere; cost ranks with read count;")

@@ -18,6 +18,7 @@ import (
 	"visualinux/internal/ctypes"
 	"visualinux/internal/gdbrsp"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 )
 
 func main() {
@@ -63,7 +64,7 @@ func main() {
 		// Build a local kernel only for the Kernel handle the CLI banner
 		// uses; the target is purely the dump.
 		k = kernelsim.Build(kernelsim.Options{Processes: *procs})
-		session = core.SessionOver(k, tgt)
+		session = core.SessionOver(k, tgt).EnableObs(obs.NewObserver())
 		r := cli.New(session, k, os.Stdout)
 		runREPL(r, *oneShot)
 		return
@@ -77,10 +78,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer client.Close()
-		session = core.SessionOver(k, client)
+		// Observe the remote chain too: Instrumented under a Snapshot, so
+		// vtrace shows which reads really crossed the RSP link.
+		session, _ = core.ObservedSessionOver(k, client, obs.NewObserver())
 	} else {
 		fmt.Println("visualinux: building simulated kernel state...")
-		session, k = core.NewKernelSession(kernelsim.Options{Processes: *procs})
+		session, k, _ = core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, obs.NewObserver())
 	}
 	pages, bytes := k.Mem.Footprint()
 	fmt.Printf("attached: %d tasks, %d mapped pages (%d KiB). Type 'help'.\n",

@@ -1,6 +1,7 @@
 // Command vlserver runs the Visualinux visualizer front-end as an HTTP
-// service over a simulated kernel: POST v-commands, GET pane state, and a
-// minimal embedded browser UI at /.
+// service over a simulated kernel: POST v-commands, GET pane state, a
+// minimal embedded browser UI at /, and observability surfaces under
+// /debug/ (Prometheus metrics, per-pane extraction traces, slow log).
 package main
 
 import (
@@ -8,20 +9,37 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 
 	"visualinux/internal/core"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/server"
+	"visualinux/internal/vclstdlib"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8873", "listen address")
 	procs := flag.Int("procs", 0, "workload processes (0 = default of 5)")
 	figure := flag.String("figure", "7-1", "figure to plot at startup ('' for none)")
+	workspace := flag.String("workspace", "", "comma-separated figure IDs (or 'all') to extract concurrently on attach, each with its own trace")
+	workers := flag.Int("workers", 0, "workspace extraction workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	session, k := core.NewKernelSession(kernelsim.Options{Processes: *procs})
-	if *figure != "" {
+	o := obs.NewObserver()
+	session, k, _ := core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, o)
+
+	if *workspace != "" {
+		figs, err := workspaceFigures(*workspace)
+		if err != nil {
+			log.Fatalf("vlserver: %v", err)
+		}
+		panesOut, err := core.ExtractFiguresInto(session, k, figs, *workers)
+		if err != nil {
+			log.Fatalf("vlserver: workspace extraction: %v", err)
+		}
+		fmt.Printf("vlserver: workspace attached: %d figures extracted concurrently\n", len(panesOut))
+	} else if *figure != "" {
 		if _, err := session.VPlotFigure(*figure); err != nil {
 			log.Fatalf("vlserver: startup plot: %v", err)
 		}
@@ -29,5 +47,29 @@ func main() {
 	_, bytes := k.Mem.Footprint()
 	fmt.Printf("vlserver: simulated kernel ready (%d tasks, %d KiB); listening on http://%s\n",
 		len(k.Tasks), bytes/1024, *addr)
+	fmt.Printf("vlserver: metrics at /debug/metrics, traces at /debug/trace/{pane|last}, slow log at /debug/slowlog\n")
 	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
+}
+
+// workspaceFigures resolves the -workspace flag into stdlib figures.
+func workspaceFigures(spec string) ([]vclstdlib.Figure, error) {
+	if spec == "all" {
+		return vclstdlib.Figures(), nil
+	}
+	var figs []vclstdlib.Figure
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fig, ok := vclstdlib.FigureByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown workspace figure %q (known: %s)", id, strings.Join(core.FigureIDs(), ", "))
+		}
+		figs = append(figs, fig)
+	}
+	if len(figs) == 0 {
+		return nil, fmt.Errorf("empty -workspace")
+	}
+	return figs, nil
 }

@@ -28,6 +28,7 @@ const HelpText = `commands:
   vctrl layout            show the pane tree
   vctrl show <p> [dot]    render a pane
   vchat [@pane] <text>    natural-language customization
+  vtrace [pane]           show the span tree of a pane's last extraction
   figures                 list figure IDs
   save <path>             persist the pane/plot state for reuse
   load <path>             restore a saved session (fresh sessions only)
@@ -90,6 +91,8 @@ func (r *Runner) Exec(line string) bool {
 		r.printf("%s\n", out)
 	case "vchat":
 		r.vchat(strings.TrimSpace(strings.TrimPrefix(line, "vchat")))
+	case "vtrace":
+		r.vtrace(fields)
 	case "save":
 		if len(fields) < 2 {
 			r.printf("usage: save <path>\n")
@@ -172,6 +175,36 @@ func (r *Runner) vplot(fields []string) {
 	}
 	out, _ := r.Session.VCtrl("layout")
 	r.printf("%s", out)
+}
+
+// vtrace prints the span tree of an extraction: `vtrace` shows the most
+// recent plot, `vtrace <pane>` a specific pane's. Requires the session to
+// have been built with an observer.
+func (r *Runner) vtrace(fields []string) {
+	if r.Session.Obs == nil {
+		r.printf("tracing is off: session has no observer\n")
+		return
+	}
+	if len(fields) > 1 {
+		var id int
+		if _, err := fmt.Sscanf(fields[1], "%d", &id); err != nil {
+			r.printf("usage: vtrace [pane]\n")
+			return
+		}
+		tr, ok := r.Session.Trace(id)
+		if !ok {
+			r.printf("no trace for pane %d (only plots are traced)\n", id)
+			return
+		}
+		r.printf("pane %d:\n%s", id, tr.FormatTree())
+		return
+	}
+	id, tr, ok := r.Session.LastTrace()
+	if !ok {
+		r.printf("no extractions traced yet; vplot first\n")
+		return
+	}
+	r.printf("pane %d:\n%s", id, tr.FormatTree())
 }
 
 func (r *Runner) vchat(rest string) {

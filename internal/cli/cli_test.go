@@ -9,6 +9,7 @@ import (
 	"visualinux/internal/cli"
 	"visualinux/internal/core"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 )
 
 func newRunner(t *testing.T) (*cli.Runner, *bytes.Buffer) {
@@ -147,5 +148,41 @@ func TestVChatSpecificPane(t *testing.T) {
 		if b.Collapsed() {
 			t.Errorf("pane 1 box collapsed by pane-2 chat")
 		}
+	}
+}
+
+func TestVTrace(t *testing.T) {
+	// Without an observer, the command reports tracing is off.
+	r, out := newRunner(t)
+	if got := run(t, r, out, "vtrace"); !strings.Contains(got, "tracing is off") {
+		t.Errorf("unobserved vtrace: %q", got)
+	}
+
+	// Observed session: vtrace before any plot, then after.
+	s, k, _ := core.NewObservedKernelSession(kernelsim.Options{}, obs.NewObserver())
+	var buf bytes.Buffer
+	ro := cli.New(s, k, &buf)
+	if got := run(t, ro, &buf, "vtrace"); !strings.Contains(got, "no extractions traced yet") {
+		t.Errorf("vtrace before plots: %q", got)
+	}
+	if got := run(t, ro, &buf, "vplot 7-1"); !strings.Contains(got, "pane 1") {
+		t.Fatalf("vplot: %q", got)
+	}
+	for _, cmd := range []string{"vtrace", "vtrace 1"} {
+		got := run(t, ro, &buf, cmd)
+		for _, want := range []string{"pane 1:", "vplot:", "target.read"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s output missing %q:\n%s", cmd, want, got)
+			}
+		}
+	}
+	if got := run(t, ro, &buf, "vtrace 99"); !strings.Contains(got, "no trace for pane 99") {
+		t.Errorf("vtrace 99: %q", got)
+	}
+	if got := run(t, ro, &buf, "vtrace bogus"); !strings.Contains(got, "usage:") {
+		t.Errorf("vtrace bogus: %q", got)
+	}
+	if got := run(t, ro, &buf, "help"); !strings.Contains(got, "vtrace") {
+		t.Errorf("help lacks vtrace: %q", got)
 	}
 }

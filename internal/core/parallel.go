@@ -6,9 +6,11 @@ import (
 	"sync"
 
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/panes"
 	"visualinux/internal/target"
 	"visualinux/internal/vclstdlib"
+	"visualinux/internal/viewcl"
 )
 
 // ExtractFigures plots the given figures concurrently over one stopped
@@ -51,6 +53,64 @@ func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) (
 		if err != nil {
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+// ExtractFiguresInto extracts figs concurrently over s's kernel and attaches
+// every result as a pane of s, in figs order. Each worker runs its own
+// interpreter over its own instrumented chain (Instrumented + Snapshot per
+// worker — the cache and the span stack are single-extraction structures),
+// but all workers report into s.Obs, so the process-wide metrics aggregate
+// and every concurrent extraction still produces its own span tree. Pane
+// attachment happens after the join, single-threaded: the pane tree is the
+// session's shared mutable state.
+func ExtractFiguresInto(s *Session, k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(figs) {
+		workers = len(figs)
+	}
+	results := make([]*viewcl.Result, len(figs))
+	errs := make([]error, len(figs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, fig := range figs {
+		wg.Add(1)
+		go func(i int, fig vclstdlib.Figure) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var ws *Session
+			if s.Obs != nil {
+				ws, _ = ObservedSessionOver(k, target.WithStats(k.Target()), s.Obs,
+					obs.Tag{Key: "figure", Value: fig.ID})
+			} else {
+				ws = SessionOver(k, target.WithStats(k.Target()))
+			}
+			res, err := ws.Interp.RunSource(fig.ID, fig.Program)
+			if err != nil {
+				errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
+				return
+			}
+			results[i] = res
+		}(i, fig)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*panes.Pane, len(figs))
+	for i, fig := range figs {
+		s.log("vplot fig" + fig.ID)
+		p, err := s.attachPane("fig"+fig.ID, fig.Program, results[i])
+		if err != nil {
+			return nil, fmt.Errorf("figure %s: %w", fig.ID, err)
+		}
+		out[i] = p
 	}
 	return out, nil
 }

@@ -9,10 +9,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"visualinux/internal/expr"
 	"visualinux/internal/graph"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/panes"
 	"visualinux/internal/render"
 	"visualinux/internal/target"
@@ -32,8 +35,17 @@ type Session struct {
 	// session persistence story.
 	History []string
 
+	// Obs, when set, makes every VPlot produce a span tree (queryable per
+	// pane), feed the slow-extraction log, and bump the shared metrics
+	// registry. Set it via EnableObs / ObservedSessionOver.
+	Obs *obs.Observer
+
 	programs     map[int]string // pane ID -> ViewCL source (primary panes)
 	secondarySrc map[int]int    // secondary pane ID -> source pane ID
+
+	traceMu   sync.Mutex
+	traces    map[int]*obs.SpanExport // pane ID -> last extraction trace
+	lastTrace int                     // pane ID of the most recent extraction
 }
 
 // NewSession creates a session over an arbitrary target whose expression
@@ -44,7 +56,16 @@ func NewSession(t target.Target, env *expr.Env) *Session {
 		Target: t, Env: env, Interp: in,
 		programs:     make(map[int]string),
 		secondarySrc: make(map[int]int),
+		traces:       make(map[int]*obs.SpanExport),
 	}
+}
+
+// EnableObs attaches an observer: extractions from now on are traced and
+// measured. Safe to call once, right after session construction.
+func (s *Session) EnableObs(o *obs.Observer) *Session {
+	s.Obs = o
+	s.Interp.Obs = o
+	return s
 }
 
 // NewKernelSession builds a simulated kernel and a fully wired session over
@@ -71,6 +92,27 @@ func SessionOver(k *kernelsim.Kernel, t target.Target) *Session {
 	return s
 }
 
+// ObservedSessionOver wires a session over base with the full observability
+// chain: base → Instrumented (per-transaction spans + link counters) →
+// Snapshot (page cache, hit/miss counters) → session, all reporting into o.
+// The snapshot is returned so callers can Invalidate between target runs.
+func ObservedSessionOver(k *kernelsim.Kernel, base target.Target, o *obs.Observer, tags ...obs.Tag) (*Session, *target.Snapshot) {
+	inst := target.Instrument(base, o, tags...)
+	snap := target.NewSnapshot(inst).Instrument(o)
+	s := SessionOver(k, snap)
+	s.EnableObs(o)
+	return s, snap
+}
+
+// NewObservedKernelSession builds a simulated kernel plus an observed
+// session over its raw target — the zero-config entry point for the server
+// and CLI binaries.
+func NewObservedKernelSession(opts kernelsim.Options, o *obs.Observer) (*Session, *kernelsim.Kernel, *target.Snapshot) {
+	k := kernelsim.Build(opts)
+	s, snap := ObservedSessionOver(k, k.Target(), o)
+	return s, k, snap
+}
+
 func (s *Session) log(cmd string) { s.History = append(s.History, cmd) }
 
 // VPlot evaluates a ViewCL program and displays the resulting object graph
@@ -82,17 +124,64 @@ func (s *Session) VPlot(name, program string) (*panes.Pane, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vplot %s: %w", name, err)
 	}
+	return s.attachPane(name, program, res)
+}
+
+// attachPane puts an extracted graph into the pane tree and records its
+// observability artifacts. Extraction and attachment are split so that
+// ExtractFiguresInto can run extractions concurrently and attach the
+// results one at a time.
+func (s *Session) attachPane(name, program string, res *viewcl.Result) (*panes.Pane, error) {
+	var pane *panes.Pane
 	if s.Tree == nil {
-		tree, pane := panes.NewTree(name, res.Graph)
+		tree, p := panes.NewTree(name, res.Graph)
 		s.Tree = tree
-		s.programs[pane.ID] = program
-		return pane, nil
+		pane = p
+	} else {
+		p, err := s.Tree.Split(1, panes.Horizontal, name, res.Graph)
+		if err != nil {
+			return nil, err
+		}
+		pane = p
 	}
-	pane, err := s.Tree.Split(1, panes.Horizontal, name, res.Graph)
-	if err == nil {
-		s.programs[pane.ID] = program
+	s.programs[pane.ID] = program
+	s.recordExtraction(pane.ID, name, res)
+	return pane, nil
+}
+
+// recordExtraction files the extraction's trace under its pane ID and feeds
+// the duration into the metrics registry and the slow-extraction log.
+func (s *Session) recordExtraction(paneID int, name string, res *viewcl.Result) {
+	if s.Obs == nil || res == nil {
+		return
 	}
-	return pane, err
+	dur := time.Duration(res.Graph.Stats.DurationNS)
+	s.Obs.ObserveExtraction(name, dur)
+	if res.Trace != nil {
+		s.traceMu.Lock()
+		s.traces[paneID] = res.Trace
+		s.lastTrace = paneID
+		s.traceMu.Unlock()
+		s.Obs.Slow.Record(fmt.Sprintf("pane %d (%s)", paneID, name), dur, res.Trace)
+	}
+}
+
+// Trace returns the span tree of a pane's most recent extraction, if the
+// session is observed and the pane was produced by a plot.
+func (s *Session) Trace(paneID int) (*obs.SpanExport, bool) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t, ok := s.traces[paneID]
+	return t, ok
+}
+
+// LastTrace returns the most recent extraction trace and the pane it
+// belongs to.
+func (s *Session) LastTrace() (int, *obs.SpanExport, bool) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t, ok := s.traces[s.lastTrace]
+	return s.lastTrace, t, ok
 }
 
 // VPlotAuto synthesizes a naive ViewCL program for a type + root expression

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (chrome://tracing, Perfetto). We emit complete ("X") events only.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders span trees as a Chrome trace_event file, one
+// track (tid) per root, so `perfbench -trace out.json` drops straight into
+// chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, roots ...*SpanExport) error {
+	var events []chromeEvent
+	for tid, root := range roots {
+		if root == nil {
+			continue
+		}
+		root.Walk(func(s *SpanExport) {
+			dur := s.DurUS
+			if dur == 0 {
+				dur = 1 // zero-width events vanish in the viewer
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Ph: "X", TS: s.StartUS, Dur: dur,
+				PID: 1, TID: tid + 1, Args: s.Tags,
+			})
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Nil-safe; atomic.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultBucketsMS is the latency histogram layout used across the
+// pipeline, in milliseconds: fine around interactive costs, coarse at the
+// multi-second tail the paper's KGDB column lives in.
+var DefaultBucketsMS = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram counts observations into cumulative buckets (Prometheus
+// semantics: bucket i counts observations <= bound i, plus +Inf).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBucketsMS
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric names may carry a label set inline, e.g.
+// `vl_extraction_duration_ms{figure="7-1"}` — series of one base name are
+// grouped under a single HELP/TYPE header. Get-or-create accessors make
+// registration idempotent, so every extraction worker can grab the same
+// series without coordination.
+type Registry struct {
+	mu      sync.Mutex
+	help    map[string]string // base name -> help
+	kind    map[string]string // base name -> counter|gauge|histogram
+	counter map[string]*Counter
+	gauge   map[string]*Gauge
+	gfunc   map[string]func() float64
+	hist    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help:    make(map[string]string),
+		kind:    make(map[string]string),
+		counter: make(map[string]*Counter),
+		gauge:   make(map[string]*Gauge),
+		gfunc:   make(map[string]func() float64),
+		hist:    make(map[string]*Histogram),
+	}
+}
+
+// baseName strips an inline label set: `x{y="z"}` -> `x`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelPart returns the inline label set without braces ("" when none).
+func labelPart(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
+func (r *Registry) describe(name, help, kind string) {
+	base := baseName(name)
+	if _, ok := r.kind[base]; !ok {
+		r.kind[base] = kind
+		r.help[base] = help
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counter[name]; ok {
+		return c
+	}
+	r.describe(name, help, "counter")
+	c := &Counter{}
+	r.counter[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauge[name]; ok {
+		return g
+	}
+	r.describe(name, help, "gauge")
+	g := &Gauge{}
+	r.gauge[name] = g
+	return g
+}
+
+// GaugeFunc registers a callback gauge, evaluated at exposition time
+// (e.g. a live cache hit ratio computed from two counters).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gfunc[name]; ok {
+		return
+	}
+	r.describe(name, help, "gauge")
+	r.gfunc[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (nil bounds = DefaultBucketsMS).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hist[name]; ok {
+		return h
+	}
+	r.describe(name, help, "histogram")
+	h := newHistogram(bounds)
+	r.hist[name] = h
+	return h
+}
+
+// mergeLabels joins an inline label set with one extra label (le=...).
+func mergeLabels(labels, extra string) string {
+	switch {
+	case labels == "":
+		return "{" + extra + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the text exposition format,
+// deterministically ordered (sorted by base name, then series name) so the
+// output is golden-file testable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	bases := make([]string, 0, len(r.kind))
+	for b := range r.kind {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+
+	seriesOf := func(base string, all []string) []string {
+		var out []string
+		for _, name := range all {
+			if baseName(name) == base {
+				out = append(out, name)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	counterNames := make([]string, 0, len(r.counter))
+	for n := range r.counter {
+		counterNames = append(counterNames, n)
+	}
+	gaugeNames := make([]string, 0, len(r.gauge)+len(r.gfunc))
+	for n := range r.gauge {
+		gaugeNames = append(gaugeNames, n)
+	}
+	for n := range r.gfunc {
+		gaugeNames = append(gaugeNames, n)
+	}
+	histNames := make([]string, 0, len(r.hist))
+	for n := range r.hist {
+		histNames = append(histNames, n)
+	}
+
+	for _, base := range bases {
+		if help := r.help[base]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, r.kind[base])
+		switch r.kind[base] {
+		case "counter":
+			for _, name := range seriesOf(base, counterNames) {
+				fmt.Fprintf(w, "%s %d\n", name, r.counter[name].Value())
+			}
+		case "gauge":
+			for _, name := range seriesOf(base, gaugeNames) {
+				if g, ok := r.gauge[name]; ok {
+					fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+				} else {
+					fmt.Fprintf(w, "%s %s\n", name, formatFloat(r.gfunc[name]()))
+				}
+			}
+		case "histogram":
+			for _, name := range seriesOf(base, histNames) {
+				h := r.hist[name]
+				labels := labelPart(name)
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", base, mergeLabels(labels, `le="`+formatFloat(bound)+`"`), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", base, mergeLabels(labels, `le="+Inf"`), cum)
+				suffix := ""
+				if labels != "" {
+					suffix = "{" + labels + "}"
+				}
+				fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count())
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"time"
+)
+
+// Observer bundles the pieces one serving process shares across every
+// extraction: the metrics registry, the slow-extraction log, and the
+// pre-registered counter handles the hot paths bump. One Observer is
+// created per process (vlserver, visualinux, perfbench -trace) and threaded
+// through sessions; per-extraction tracers are created per VPlot and feed
+// their results back here.
+//
+// A nil *Observer disables everything at the cost of a pointer check.
+type Observer struct {
+	Registry *Registry
+	Slow     *SlowLog
+
+	// Link-level traffic (bumped by target.Instrumented, i.e. only what
+	// actually crossed the modeled/real link — snapshot hits never count).
+	LinkReads *Counter
+	LinkBytes *Counter
+	LinkTxns  *Counter
+
+	// Snapshot cache behaviour (bumped by target.Snapshot when wired).
+	SnapHits          *Counter // page lookups served from cache
+	SnapMisses        *Counter // pages fetched from the underlying target
+	SnapFills         *Counter // fill transactions (coalesced page-run reads)
+	SnapInvalidations *Counter // Invalidate calls (stop-event boundaries)
+
+	// ViewCL-level behaviour.
+	PrefetchHints *Counter // container-iterator prefetch hints issued
+	Extractions   *Counter // completed VPlot extractions
+	TraceDrops    *Counter // spans dropped over tracer budgets
+}
+
+// NewObserver creates a fully wired observer with a fresh registry and a
+// DefaultSlowLogSize slow log.
+func NewObserver() *Observer {
+	r := NewRegistry()
+	o := &Observer{
+		Registry: r,
+		Slow:     NewSlowLog(DefaultSlowLogSize),
+
+		LinkReads: r.Counter("vl_target_link_reads_total", "read transactions that reached the (modeled) debug link"),
+		LinkBytes: r.Counter("vl_target_link_bytes_total", "bytes transferred over the debug link"),
+		LinkTxns:  r.Counter("vl_target_link_transactions_total", "link-level round trips"),
+
+		SnapHits:          r.Counter("vl_snapshot_page_hits_total", "snapshot page lookups served from cache"),
+		SnapMisses:        r.Counter("vl_snapshot_page_misses_total", "snapshot pages fetched from the underlying target"),
+		SnapFills:         r.Counter("vl_snapshot_fill_transactions_total", "coalesced page-run fill reads issued by the snapshot"),
+		SnapInvalidations: r.Counter("vl_snapshot_invalidations_total", "snapshot invalidations (stop-event boundaries)"),
+
+		PrefetchHints: r.Counter("vl_prefetch_hints_total", "container-iterator prefetch hints issued"),
+		Extractions:   r.Counter("vl_extractions_total", "completed VPlot extractions"),
+		TraceDrops:    r.Counter("vl_trace_dropped_spans_total", "spans dropped over per-trace budgets"),
+	}
+	r.GaugeFunc("vl_snapshot_hit_ratio", "live page-cache hit ratio (hits / lookups)", func() float64 {
+		h, m := o.SnapHits.Value(), o.SnapMisses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	return o
+}
+
+// ObserveStage records a pipeline-stage latency (stage in
+// {"extract", "render", "target_read", ...}) into the per-stage histogram.
+func (o *Observer) ObserveStage(stage string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Registry.Histogram(`vl_stage_duration_ms{stage="`+stage+`"}`,
+		"pipeline stage latency by stage", nil).Observe(float64(d.Nanoseconds()) / 1e6)
+}
+
+// ObserveExtraction records one completed figure/program extraction into
+// its per-figure histogram and the extraction counter.
+func (o *Observer) ObserveExtraction(figure string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Extractions.Inc()
+	o.Registry.Histogram(`vl_extraction_duration_ms{figure="`+figure+`"}`,
+		"per-figure extraction duration", nil).Observe(float64(d.Nanoseconds()) / 1e6)
+	o.ObserveStage("extract", d)
+}
+
+// NewTrace opens a per-extraction tracer. The observer only tracks drop
+// accounting; the caller owns the tracer's lifecycle.
+func (o *Observer) NewTrace(name string) *Tracer {
+	if o == nil {
+		return nil
+	}
+	return NewTracer(name)
+}
+
+// FinishTrace finalizes a tracer, records its drop count, and returns the
+// exported tree (nil on a nil tracer).
+func (o *Observer) FinishTrace(tr *Tracer) *SpanExport {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	if d := tr.Dropped(); d > 0 && o != nil {
+		o.TraceDrops.Add(d)
+	}
+	return tr.Export()
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow extraction: what ran, how long it took,
+// and the full span tree behind the number.
+type SlowEntry struct {
+	Label string      `json:"label"`  // e.g. "pane 3 (fig3-6)"
+	DurMS float64     `json:"dur_ms"` // extraction duration
+	Seq   uint64      `json:"seq"`    // monotonic admission order
+	Trace *SpanExport `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded log of the N slowest extractions observed so far —
+// the "why was that pane slow?" ring the server exposes at /debug/slowlog.
+// Admission is by duration: once full, an entry must beat the current
+// fastest retained entry to get in.
+type SlowLog struct {
+	mu      sync.Mutex
+	max     int
+	seq     uint64
+	entries []SlowEntry // sorted by DurMS descending
+}
+
+// DefaultSlowLogSize is the retained-entry count of NewObserver's log.
+const DefaultSlowLogSize = 16
+
+// NewSlowLog creates a log retaining the n slowest entries.
+func NewSlowLog(n int) *SlowLog {
+	if n <= 0 {
+		n = DefaultSlowLogSize
+	}
+	return &SlowLog{max: n}
+}
+
+// Record offers an extraction to the log.
+func (l *SlowLog) Record(label string, dur time.Duration, trace *SpanExport) {
+	if l == nil {
+		return
+	}
+	ms := float64(dur.Nanoseconds()) / 1e6
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	if len(l.entries) >= l.max && ms <= l.entries[len(l.entries)-1].DurMS {
+		return
+	}
+	e := SlowEntry{Label: label, DurMS: ms, Seq: l.seq, Trace: trace}
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].DurMS < ms })
+	l.entries = append(l.entries, SlowEntry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+	if len(l.entries) > l.max {
+		l.entries = l.entries[:l.max]
+	}
+}
+
+// Entries returns the retained entries, slowest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len reports how many entries are retained.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,95 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"visualinux/internal/obs"
+)
+
+func TestSlowLogAdmission(t *testing.T) {
+	l := obs.NewSlowLog(3)
+	l.Record("a", 10*time.Millisecond, nil)
+	l.Record("b", 30*time.Millisecond, nil)
+	l.Record("c", 20*time.Millisecond, nil)
+	l.Record("d", 5*time.Millisecond, nil) // too fast for a full log
+	l.Record("e", 40*time.Millisecond, nil)
+
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	want := []string{"e", "b", "c"}
+	for i, w := range want {
+		if got[i].Label != w {
+			t.Fatalf("entries = %v, want order %v", got, want)
+		}
+	}
+	if got[0].DurMS != 40 {
+		t.Fatalf("slowest = %v ms", got[0].DurMS)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSlowLogKeepsTrace(t *testing.T) {
+	tr := obs.NewTracer("root")
+	tr.StartSpan("child").End()
+	exp := tr.Finish().Export()
+	l := obs.NewSlowLog(2)
+	l.Record("traced", time.Second, exp)
+	got := l.Entries()
+	if len(got) != 1 || got[0].Trace == nil || got[0].Trace.Name != "root" {
+		t.Fatalf("entries = %+v", got)
+	}
+	// The slow log is served as JSON by /debug/slowlog.
+	if _, err := json.Marshal(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := obs.NewTracer("vplot:fig")
+	sp := tr.StartSpan("box:Task")
+	sp.Tag("addr", "0x1000")
+	sp.End()
+	exp := tr.Finish().Export()
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, exp, exp); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// Two roots x two spans each.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("phase = %q, want X", ev.Ph)
+		}
+		tids[ev.Tid] = true
+	}
+	if len(tids) != 2 {
+		t.Fatalf("tids = %v, want one track per root", tids)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"visualinux/internal/core"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/target"
 	"visualinux/internal/vclstdlib"
 )
@@ -80,6 +81,28 @@ func MeasureFigureKGDB(k *kernelsim.Kernel, fig vclstdlib.Figure, model target.L
 	elapsed := time.Since(t0) + lt.VirtualElapsed()
 	reads, bytes, txns := lt.Stats().Totals()
 	return makeRow(fig.ID, p.Graph.Stats.Objects, reads, txns, bytes, elapsed), nil
+}
+
+// MeasureFigureKGDBTraced is MeasureFigureKGDB with the obs tap inserted
+// between the latency model and the snapshot cache, so every span on the
+// returned trace is a transaction that really crossed the modeled link
+// (cache hits never reach it). The trace's target.read leaves carry
+// model_ns tags summing to the modeled KGDB wait.
+func MeasureFigureKGDBTraced(k *kernelsim.Kernel, fig vclstdlib.Figure, model target.LatencyModel, o *obs.Observer) (Row, *obs.SpanExport, error) {
+	lt := target.WithLatency(k.Target(), model)
+	inst := target.Instrument(lt, o, obs.Tag{Key: "figure", Value: fig.ID})
+	snap := target.NewSnapshot(inst).Instrument(o)
+	s := core.SessionOver(k, snap)
+	s.EnableObs(o)
+	t0 := time.Now()
+	p, err := s.VPlot(fig.ID, fig.Program)
+	if err != nil {
+		return Row{}, nil, err
+	}
+	elapsed := time.Since(t0) + lt.VirtualElapsed()
+	reads, bytes, txns := lt.Stats().Totals()
+	_, tr, _ := s.LastTrace()
+	return makeRow(fig.ID, p.Graph.Stats.Objects, reads, txns, bytes, elapsed), tr, nil
 }
 
 // MeasureFigureKGDBUncached is MeasureFigureKGDB without the snapshot cache:

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
 	"visualinux/internal/perf"
 	"visualinux/internal/target"
 	"visualinux/internal/vclstdlib"
@@ -100,4 +101,38 @@ func mustFigure(t *testing.T, id string) vclstdlib.Figure {
 		t.Fatalf("no figure %s", id)
 	}
 	return fig
+}
+
+// TestTracedLeafSpansAccountForKGDBTime is the observability acceptance
+// check: on the modeled-KGDB personality, the trace's leaf target.read spans
+// carry model_ns tags whose sum matches the row's reported extraction time
+// within 5% (modeled link time dwarfs local evaluation time).
+func TestTracedLeafSpansAccountForKGDBTime(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	o := obs.NewObserver()
+	row, tr, err := perf.MeasureFigureKGDBTraced(k, mustFigure(t, "3-6"), target.DefaultKGDB, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("no trace returned")
+	}
+	sumMS := float64(tr.SumTag("model_ns")) / 1e6
+	if sumMS <= 0 {
+		t.Fatalf("no model_ns on leaf spans:\n%s", tr.FormatTree())
+	}
+	if diff := (row.TotalMS - sumMS) / row.TotalMS; diff < 0 || diff > 0.05 {
+		t.Fatalf("leaf span sum %.2f ms vs reported %.2f ms (diff %.1f%%)",
+			sumMS, row.TotalMS, diff*100)
+	}
+	// Every leaf target.read span is a real link transaction.
+	var reads uint64
+	tr.Walk(func(e *obs.SpanExport) {
+		if e.Name == "target.read" {
+			reads++
+		}
+	})
+	if reads != row.Transactions {
+		t.Fatalf("trace has %d target.read spans, row reports %d transactions", reads, row.Transactions)
+	}
 }

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// registerDebug mounts the observability surfaces. They answer 404 when the
+// session was built without an observer, so the plain (unobserved) server
+// keeps exactly its old behavior.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
+	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
+}
+
+// handleMetrics writes the process-wide registry in Prometheus text
+// exposition format: snapshot hit ratio, link transactions and bytes,
+// per-stage and per-figure latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	o := s.session.Obs
+	s.mu.Unlock()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	o.Registry.WritePrometheus(w)
+}
+
+// handleTrace returns the span tree of a pane's last extraction as JSON.
+// GET /debug/trace/3 — pane 3; GET /debug/trace/last — most recent.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.session.Obs == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if rest == "last" || rest == "" {
+		id, tr, ok := s.session.LastTrace()
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no extractions traced yet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"pane": id, "trace": tr})
+		return
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id %q", rest))
+		return
+	}
+	tr, ok := s.session.Trace(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no trace for pane %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pane": id, "trace": tr})
+}
+
+// handleSlowLog returns the N slowest extractions (label, duration, trace),
+// slowest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	o := s.session.Obs
+	s.mu.Unlock()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
+		return
+	}
+	writeJSON(w, http.StatusOK, o.Slow.Entries())
+}

@@ -1,0 +1,135 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
+	"visualinux/internal/server"
+)
+
+func newObservedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, _, _ := core.NewObservedKernelSession(kernelsim.Options{}, obs.NewObserver())
+	ts := httptest.NewServer(server.New(s))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, body
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	if resp, _ := post(t, ts, "/api/vplot", `{"figure":"7-1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("vplot status %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, ts, "/debug/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"vl_extractions_total 1",
+		"vl_snapshot_page_misses_total",
+		"vl_target_link_transactions_total",
+		`vl_extraction_duration_ms_count{figure="fig7-1"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+
+	// Before any plot, the trace surfaces hold nothing.
+	if resp, _ := get(t, ts, "/debug/trace/last"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace/last before plots: status %d", resp.StatusCode)
+	}
+
+	if resp, _ := post(t, ts, "/api/vplot", `{"figure":"7-1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("vplot status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/debug/trace/last", "/debug/trace/1"} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		var out struct {
+			Pane  int             `json:"pane"`
+			Trace *obs.SpanExport `json:"trace"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if out.Pane != 1 || out.Trace == nil || !strings.HasPrefix(out.Trace.Name, "vplot:") {
+			t.Fatalf("%s: pane=%d trace=%+v", path, out.Pane, out.Trace)
+		}
+	}
+
+	if resp, _ := get(t, ts, "/debug/trace/99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace/99: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/debug/trace/bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace/bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDebugSlowLogEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	post(t, ts, "/api/vplot", `{"figure":"7-1"}`)
+	post(t, ts, "/api/vplot", `{"figure":"3-6"}`)
+
+	resp, body := get(t, ts, "/debug/slowlog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var entries []obs.SlowEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("slowlog entries = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Label, "pane ") || e.Trace == nil {
+			t.Fatalf("entry = %+v", e)
+		}
+	}
+}
+
+// TestDebugEndpointsUnobserved pins the opt-in contract: a session built
+// without an observer serves 404 on every debug surface.
+func TestDebugEndpointsUnobserved(t *testing.T) {
+	s, _ := core.NewKernelSession(kernelsim.Options{})
+	ts := httptest.NewServer(server.New(s))
+	t.Cleanup(ts.Close)
+	for _, path := range []string{"/debug/metrics", "/debug/trace/last", "/debug/slowlog"} {
+		if resp, _ := get(t, ts, path); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"visualinux/internal/core"
 	"visualinux/internal/render"
@@ -37,6 +38,7 @@ func New(s *core.Session) *Server {
 	srv.mux.HandleFunc("/api/figures", srv.handleFigures)
 	srv.mux.HandleFunc("/api/session/export", srv.handleExport)
 	srv.mux.HandleFunc("/api/session/import", srv.handleImport)
+	srv.registerDebug()
 	return srv
 }
 
@@ -225,6 +227,7 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no pane %d", id))
 		return
 	}
+	t0 := time.Now()
 	switch r.URL.Query().Get("format") {
 	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -235,6 +238,7 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, render.ToJSON(p.Graph))
 	}
+	s.session.Obs.ObserveStage("render", time.Since(t0))
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,9 @@ func (c *Counted) Prefetch(addr, size uint64) {
 	}
 }
 
+// Under returns the wrapped target.
+func (c *Counted) Under() Target { return c.under }
+
 // LookupSymbol implements Target.
 func (c *Counted) LookupSymbol(name string) (Symbol, bool) { return c.under.LookupSymbol(name) }
 

@@ -58,6 +58,9 @@ func (l *Latency) ReadMemory(addr uint64, buf []byte) error {
 	return l.under.ReadMemory(addr, buf)
 }
 
+// Under returns the wrapped target.
+func (l *Latency) Under() Target { return l.under }
+
 // VirtualElapsed returns the modeled time accumulated so far. In Sleep
 // mode it stays zero: the cost was already paid in wall time.
 func (l *Latency) VirtualElapsed() time.Duration {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"visualinux/internal/ctypes"
+	"visualinux/internal/obs"
 )
 
 // PageSize is the granularity of the snapshot read cache: 4 KiB, the guest
@@ -32,8 +33,14 @@ type Snapshot struct {
 	mu    sync.RWMutex
 	pages map[uint64][]byte
 
-	hits   atomic.Uint64 // page lookups served from cache
-	misses atomic.Uint64 // pages fetched from the underlying target
+	hits          atomic.Uint64 // page lookups served from cache
+	misses        atomic.Uint64 // pages fetched from the underlying target
+	invalidations atomic.Uint64 // Invalidate calls (stop-event boundaries)
+
+	// Observer counter handles (nil-safe when uninstrumented): the same
+	// events as the atomic fields above, but aggregated process-wide so
+	// every snapshot in every worker feeds one /debug/metrics view.
+	mHits, mMisses, mFills, mInval *obs.Counter
 }
 
 // NewSnapshot wraps t with a fresh, empty cache.
@@ -44,17 +51,43 @@ func NewSnapshot(t Target) *Snapshot {
 // Under returns the wrapped target (e.g. to read its link-level stats).
 func (s *Snapshot) Under() Target { return s.under }
 
+// Instrument mirrors the snapshot's cache events into the observer's
+// shared counters (hit/miss/fill/invalidation series plus the derived
+// hit-ratio gauge). Multiple snapshots may feed one observer; the series
+// aggregate.
+func (s *Snapshot) Instrument(o *obs.Observer) *Snapshot {
+	if o != nil {
+		s.mHits, s.mMisses, s.mFills, s.mInval = o.SnapHits, o.SnapMisses, o.SnapFills, o.SnapInvalidations
+	}
+	return s
+}
+
 // Invalidate drops every cached page. Call on resume: the stop event the
 // snapshot was valid for is over.
 func (s *Snapshot) Invalidate() {
 	s.mu.Lock()
 	s.pages = make(map[uint64][]byte)
 	s.mu.Unlock()
+	s.invalidations.Add(1)
+	s.mInval.Inc()
 }
 
 // CacheStats returns page-granular hit/miss counts.
 func (s *Snapshot) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// Invalidations reports how many times the cache has been dropped.
+func (s *Snapshot) Invalidations() uint64 { return s.invalidations.Load() }
+
+// HitRatio reports the fraction of page lookups served from cache
+// (0 when nothing has been looked up yet).
+func (s *Snapshot) HitRatio() float64 {
+	h, m := s.hits.Load(), s.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
 }
 
 // ReadMemory implements Target, serving from cached pages and filling
@@ -111,6 +144,7 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 	for base := first; ; base += PageSize {
 		if _, ok := s.pages[base]; ok {
 			s.hits.Add(1)
+			s.mHits.Inc()
 		} else {
 			missing = true
 		}
@@ -142,9 +176,11 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 					firstErr = err
 				}
 			} else {
+				s.mFills.Inc()
 				for off := uint64(0); off < uint64(len(run)); off += PageSize {
 					s.pages[base+off] = run[off : off+PageSize : off+PageSize]
 					s.misses.Add(1)
+					s.mMisses.Inc()
 				}
 			}
 			base = end

@@ -2,6 +2,7 @@ package viewcl
 
 import (
 	"fmt"
+	"strings"
 
 	"visualinux/internal/ctypes"
 	"visualinux/internal/expr"
@@ -16,12 +17,17 @@ import (
 // preserving positional layouts like maple node slot arrays).
 
 func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
+	sp := r.tr.StartSpan("container:" + n.Kind)
+	defer sp.End()
 	elems, err := r.iterate(n, sc)
 	if err != nil {
 		return vval{}, err
 	}
+	sp.TagUint("elems", uint64(len(elems)))
 	var ids []string
 	for i, el := range elems {
+		isp := r.tr.StartSpan("iter")
+		isp.TagUint("index", uint64(i))
 		var v vval
 		if n.ForEach != nil {
 			inner := newScope(sc)
@@ -33,6 +39,7 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 			}
 			v, err = r.eval(n.ForEach.Yield, inner)
 			if err != nil {
+				isp.End()
 				return vval{}, err
 			}
 		} else {
@@ -40,6 +47,7 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 			// scalar arrays (pivots, fd bitmaps) without a closure.
 			v, err = r.cellBox(el, i)
 			if err != nil {
+				isp.End()
 				return vval{}, err
 			}
 		}
@@ -53,12 +61,79 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 		case vC:
 			cb, err := r.cellBox(v.c, i)
 			if err != nil {
+				isp.End()
 				return vval{}, err
 			}
 			ids = append(ids, cb.boxID)
 		}
+		isp.End()
 	}
 	return vval{kind: vCont, elems: ids}, nil
+}
+
+// elemHint describes the embedding element of a pointer-chasing container
+// walk: each node address the walk yields lives inside an element of `size`
+// bytes starting `off` bytes before it. When on, the iterator prefetches the
+// whole element per hop, so the snapshot coalesces the walk's link-word fill
+// with the later materialization fill into one link transaction whenever the
+// element straddles page boundaries.
+type elemHint struct {
+	off  uint64
+	size uint64
+	on   bool
+}
+
+// containerHint derives the element hint from the forEach yield shape:
+// `yield T<ctype.member.path>(@var)` names the embedding C type (through T's
+// Box definition) and the node's offset inside it (through the anchor path).
+// Any other yield shape opts out — the walk cannot know the element extent.
+func (r *runState) containerHint(n *ContainerNode) elemHint {
+	if !r.in.PrefetchHints || n.ForEach == nil {
+		return elemHint{}
+	}
+	yield, ok := n.ForEach.Yield.(*ConstructNode)
+	if !ok {
+		return elemHint{}
+	}
+	arg, ok := yield.Arg.(*VarRef)
+	if !ok || arg.Name != n.ForEach.Var {
+		return elemHint{}
+	}
+	def, ok := r.in.defs[yield.BoxType]
+	if !ok || def.ctype == nil || def.ctype.Size() == 0 {
+		return elemHint{}
+	}
+	h := elemHint{size: def.ctype.Size(), on: true}
+	if yield.Anchor != "" {
+		dot := strings.IndexByte(yield.Anchor, '.')
+		if dot < 0 {
+			return elemHint{}
+		}
+		at, ok := r.in.Env.Types().Lookup(yield.Anchor[:dot])
+		if !ok {
+			return elemHint{}
+		}
+		f, err := at.ResolvePath(yield.Anchor[dot+1:])
+		if err != nil {
+			return elemHint{}
+		}
+		h.off = f.Offset
+		h.size = at.Size()
+	}
+	return h
+}
+
+// prefetchElem pulls the whole embedding element before the iterator touches
+// its link word: the pointer read that follows then hits the same coalesced
+// fill instead of issuing its own.
+func (r *runState) prefetchElem(h elemHint, addr uint64) {
+	if !h.on || addr == 0 || addr < h.off {
+		return
+	}
+	target.Prefetch(r.in.Env.Target, addr-h.off, h.size)
+	if r.in.Obs != nil {
+		r.in.Obs.PrefetchHints.Inc()
+	}
 }
 
 // cellBox wraps a raw scalar element as a small virtual box.
@@ -93,11 +168,11 @@ func (r *runState) iterate(n *ContainerNode, sc *scope) ([]expr.Value, error) {
 	}
 	switch n.Kind {
 	case "List":
-		return r.iterList(args[0], n.Line)
+		return r.iterList(args[0], n.Line, r.containerHint(n))
 	case "HList":
-		return r.iterHList(args[0], n.Line)
+		return r.iterHList(args[0], n.Line, r.containerHint(n))
 	case "RBTree":
-		return r.iterRBTree(args[0], n.Line)
+		return r.iterRBTree(args[0], n.Line, r.containerHint(n))
 	case "Array":
 		return r.iterArray(args, n.Line)
 	case "XArray":
@@ -122,7 +197,7 @@ func headAddr(v expr.Value) (uint64, error) {
 
 // iterList walks a circular doubly-linked list_head, yielding each node
 // pointer (excluding the head itself).
-func (r *runState) iterList(head expr.Value, line int) ([]expr.Value, error) {
+func (r *runState) iterList(head expr.Value, line int, hint elemHint) ([]expr.Value, error) {
 	tgt := r.in.Env.Target
 	hd, err := headAddr(head)
 	if err != nil {
@@ -143,6 +218,7 @@ func (r *runState) iterList(head expr.Value, line int) ([]expr.Value, error) {
 		if cur>>32 == 0xdead0000 {
 			break
 		}
+		r.prefetchElem(hint, cur)
 		out = append(out, expr.MakePointer(lh, cur))
 		cur, err = target.ReadU64(tgt, cur)
 		if err != nil {
@@ -153,7 +229,7 @@ func (r *runState) iterList(head expr.Value, line int) ([]expr.Value, error) {
 }
 
 // iterHList walks an hlist (head.first -> node.next...).
-func (r *runState) iterHList(head expr.Value, line int) ([]expr.Value, error) {
+func (r *runState) iterHList(head expr.Value, line int, hint elemHint) ([]expr.Value, error) {
 	tgt := r.in.Env.Target
 	hd, err := headAddr(head)
 	if err != nil {
@@ -170,6 +246,7 @@ func (r *runState) iterHList(head expr.Value, line int) ([]expr.Value, error) {
 			r.notef(line, "HList truncated at %d elements", r.in.MaxElems)
 			break
 		}
+		r.prefetchElem(hint, cur)
 		out = append(out, expr.MakePointer(node, cur))
 		cur, err = target.ReadU64(tgt, cur)
 		if err != nil {
@@ -180,7 +257,7 @@ func (r *runState) iterHList(head expr.Value, line int) ([]expr.Value, error) {
 }
 
 // iterRBTree in-order walks an rb_root / rb_root_cached / rb_node*.
-func (r *runState) iterRBTree(root expr.Value, line int) ([]expr.Value, error) {
+func (r *runState) iterRBTree(root expr.Value, line int, hint elemHint) ([]expr.Value, error) {
 	tgt := r.in.Env.Target
 	nodeT := r.in.Env.Types().MustLookup("rb_node")
 
@@ -219,6 +296,7 @@ func (r *runState) iterRBTree(root expr.Value, line int) ([]expr.Value, error) {
 		if addr == 0 || len(out) >= r.in.MaxElems {
 			return nil
 		}
+		r.prefetchElem(hint, addr)
 		right, err := target.ReadU64(tgt, addr+8)
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"visualinux/internal/ctypes"
 	"visualinux/internal/expr"
 	"visualinux/internal/graph"
+	"visualinux/internal/obs"
 	"visualinux/internal/target"
 )
 
@@ -26,18 +27,30 @@ type Interp struct {
 	MaxObjects int // boxes per plot (default 50_000)
 	MaxElems   int // elements per container (default 4096)
 
+	// Obs, when set, enables per-run tracing (a span tree per Run, with
+	// per-plot, per-box, per-view, per-container-iteration and link
+	// transaction spans) and metrics. Nil disables both at near-zero cost.
+	Obs *obs.Observer
+
+	// PrefetchHints makes container iterators prefetch each element's full
+	// object (node - anchor offset, sizeof element) per hop, so an element
+	// straddling pages costs one coalesced fill instead of a walk-fill plus
+	// a materialize-fill. On by default; tests toggle it to measure.
+	PrefetchHints bool
+
 	defs map[string]*boxDef
 }
 
 // New creates an interpreter over the environment (target + helpers).
 func New(env *expr.Env) *Interp {
 	in := &Interp{
-		Env:        env,
-		Flags:      make(map[string][]Flag),
-		Emojis:     make(map[string]func(uint64) string),
-		MaxObjects: 50_000,
-		MaxElems:   4096,
-		defs:       make(map[string]*boxDef),
+		Env:           env,
+		Flags:         make(map[string][]Flag),
+		Emojis:        make(map[string]func(uint64) string),
+		MaxObjects:    50_000,
+		MaxElems:      4096,
+		PrefetchHints: true,
+		defs:          make(map[string]*boxDef),
 	}
 	in.Emojis["lock"] = func(v uint64) string {
 		if v != 0 {
@@ -71,6 +84,8 @@ type resolvedView struct {
 type Result struct {
 	Graph  *graph.Graph
 	Errors []error // non-fatal extraction issues (NULL links, etc.)
+	// Trace is the extraction's span tree (nil unless Interp.Obs is set).
+	Trace *obs.SpanExport
 }
 
 // LoadDefs registers the Box definitions of a program without plotting, so
@@ -124,6 +139,14 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		g:    graph.New(prog.Source),
 		memo: make(map[string]string),
 	}
+	if in.Obs != nil {
+		run.tr = in.Obs.NewTrace("vplot:" + prog.Source)
+		// Attach the tracer down the target chain so link transactions
+		// appear as leaf spans of whichever box/view span issued them.
+		if target.AttachTracer(in.Env.Target, run.tr) {
+			defer target.AttachTracer(in.Env.Target, nil)
+		}
+	}
 	reads0, bytes0 := in.Env.Target.Stats().Snapshot()
 	t0 := time.Now()
 
@@ -137,6 +160,7 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		case *BindStmt:
 			top.define(st.Name, st.Expr)
 		case *PlotStmt:
+			sp := run.tr.StartSpan("plot:" + plotName(st.Expr))
 			v, err := run.eval(st.Expr, top)
 			if err != nil {
 				return nil, fmt.Errorf("plot: %w", err)
@@ -149,6 +173,7 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 				run.g.RootID = rootID
 			}
 			run.g.Roots = append(run.g.Roots, rootID)
+			sp.End()
 		}
 	}
 
@@ -159,7 +184,15 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		Bytes:      bytes1 - bytes0,
 		DurationNS: time.Since(t0).Nanoseconds(),
 	}
-	return &Result{Graph: run.g, Errors: run.errs}, nil
+	res := &Result{Graph: run.g, Errors: run.errs}
+	if run.tr != nil {
+		root := run.tr.Root()
+		root.TagUint("objects", uint64(run.g.Stats.Objects))
+		root.TagUint("reads", run.g.Stats.Reads)
+		root.TagUint("bytes", run.g.Stats.Bytes)
+		res.Trace = in.Obs.FinishTrace(run.tr)
+	}
+	return res, nil
 }
 
 // RunSource parses and runs in one step.
@@ -249,7 +282,8 @@ type runState struct {
 	g     *graph.Graph
 	memo  map[string]string // defName@addr -> box ID
 	errs  []error
-	vboxN int // virtual box counter
+	vboxN int         // virtual box counter
+	tr    *obs.Tracer // per-run trace (nil = tracing off; all ops nil-safe)
 }
 
 func (r *runState) notef(line int, format string, args ...any) {
@@ -491,6 +525,13 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 	b := graph.NewBox(id, def.name, def.ctype.Name, addr)
 	r.g.Add(b)
 
+	sp := r.tr.StartSpan("box:" + def.name)
+	sp.TagHex("addr", addr)
+	var reads0 uint64
+	if sp != nil {
+		reads0, _ = r.in.Env.Target.Stats().Snapshot()
+	}
+
 	// Batch-fetch the whole object before walking its fields: on
 	// snapshot-backed targets this is one transaction instead of one per
 	// Text/Link item, which is where the KGDB latency model bleeds.
@@ -504,6 +545,7 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 	}
 
 	for _, rv := range def.views {
+		vsp := r.tr.StartSpan("view:" + rv.name)
 		gv := &graph.View{Name: rv.name}
 		for _, item := range rv.items {
 			gi, err := r.evalItem(item, sc)
@@ -515,7 +557,13 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 			gv.Items = append(gv.Items, gi)
 		}
 		b.AddView(gv)
+		vsp.End()
 	}
+	if sp != nil {
+		reads1, _ := r.in.Env.Target.Stats().Snapshot()
+		sp.TagUint("reads", reads1-reads0)
+	}
+	sp.End()
 	return id, nil
 }
 

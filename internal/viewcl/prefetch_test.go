@@ -1,0 +1,119 @@
+package viewcl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"visualinux/internal/expr"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
+	"visualinux/internal/target"
+	"visualinux/internal/viewcl"
+)
+
+// The per-hop prefetch hint pays off exactly when a list element straddles a
+// page boundary: the walk's link-word read and the later whole-struct
+// materialization read then live on different pages, and the hint's
+// element-sized prefetch lets the snapshot pull both in one coalesced fill.
+// This fixture builds such a list deterministically: every task_struct is
+// placed 200 bytes before a page boundary, so bytes [0,200) — including pid —
+// sit on one page and bytes [200,480) — including the tasks list_head at
+// offset 360 — sit on the next.
+const straddleProgram = `
+define T as Box<task_struct> [
+    Text pid, comm
+]
+
+root = ${&straddle_tasks}
+lst = List(@root).forEach |node| {
+    yield T<task_struct.tasks>(@node)
+}
+plot @lst
+`
+
+const straddleElems = 6
+
+func buildStraddleKernel(t *testing.T) *kernelsim.Builder {
+	t.Helper()
+	b := kernelsim.NewBuilder()
+	head := b.Alloc("list_head")
+	b.InitList(head.Addr)
+	b.Symbol("straddle_tasks", head)
+
+	ts := b.Reg.MustLookup("task_struct")
+	if ts.Size() >= 4096 {
+		t.Fatalf("task_struct grew past a page (%d bytes); fixture needs re-tuning", ts.Size())
+	}
+	tasksF, ok := ts.FieldByName("tasks")
+	if !ok {
+		t.Fatal("task_struct.tasks missing")
+	}
+	const preBoundary = 200 // bytes of the element kept on the first page
+	if tasksF.Offset < preBoundary {
+		t.Fatalf("task_struct.tasks at offset %d no longer crosses the %d-byte split", tasksF.Offset, preBoundary)
+	}
+	for i := 0; i < straddleElems; i++ {
+		// Burn up to 200 bytes before the next page boundary, so the
+		// element allocated next starts there and spans two pages.
+		b.AllocRaw(4096-preBoundary, 4096)
+		o := b.Alloc("task_struct")
+		if o.Addr%4096 != 4096-preBoundary {
+			t.Fatalf("element %d at %#x does not straddle", i, o.Addr)
+		}
+		o.Set("pid", uint64(100+i))
+		o.SetStr("comm", fmt.Sprintf("straddle-%d", i))
+		b.ListAddTail(head.Addr, o.FieldAddr("tasks"))
+	}
+	return b
+}
+
+func runStraddle(t *testing.T, b *kernelsim.Builder, hints bool) (fills, txns, hintCount uint64) {
+	t.Helper()
+	o := obs.NewObserver()
+	counted := target.WithStats(b.Tgt)
+	snap := target.NewSnapshot(counted).Instrument(o)
+	env := expr.NewEnv(snap)
+	kernelsim.RegisterHelpers(env)
+	in := viewcl.New(env)
+	in.Obs = o
+	in.PrefetchHints = hints
+	res, err := in.RunSource("straddle", straddleProgram)
+	if err != nil {
+		t.Fatalf("run (hints=%v): %v", hints, err)
+	}
+	if got := len(res.Graph.ByType("task_struct")); got != straddleElems {
+		t.Fatalf("extracted %d tasks, want %d", got, straddleElems)
+	}
+	_, _, tx := counted.Stats().Totals()
+	return o.SnapFills.Value(), tx, o.PrefetchHints.Value()
+}
+
+// TestPrefetchCoalescesStraddlingElements is the prefetch satellite's
+// deterministic verification: with hints on, each hop's element prefetch
+// merges the walk fill and the materialization fill into one link
+// transaction, halving the fill count on a page-straddling list.
+func TestPrefetchCoalescesStraddlingElements(t *testing.T) {
+	fillsOff, txnsOff, hOff := runStraddle(t, buildStraddleKernel(t), false)
+	fillsOn, txnsOn, hOn := runStraddle(t, buildStraddleKernel(t), true)
+
+	if hOff != 0 {
+		t.Fatalf("hints issued with hints disabled: %d", hOff)
+	}
+	if hOn != straddleElems {
+		t.Fatalf("hints = %d, want one per hop (%d)", hOn, straddleElems)
+	}
+	// Hintless: one fill for the head's page, then per element one fill for
+	// the link-word page (walk) and one for the rest (materialization).
+	if want := uint64(2*straddleElems + 1); fillsOff != want {
+		t.Fatalf("hintless fills = %d, want %d", fillsOff, want)
+	}
+	// Hinted: head fill plus ONE coalesced two-page fill per element.
+	if want := uint64(straddleElems + 1); fillsOn != want {
+		t.Fatalf("hinted fills = %d, want %d", fillsOn, want)
+	}
+	if txnsOn >= txnsOff {
+		t.Fatalf("link transactions did not drop: %d (on) vs %d (off)", txnsOn, txnsOff)
+	}
+	t.Logf("fills %d -> %d, link txns %d -> %d with %d hints",
+		fillsOff, fillsOn, txnsOff, txnsOn, hOn)
+}
