@@ -5,13 +5,17 @@
 #   make bench         the full benchmark suite, 1 iteration each
 #   make table4        regenerate the paper's Table 4 (+ cache before/after + JSON)
 #   make bench-regress re-run perfbench and fail if any figure's cached
-#                      kgdb_ms regressed >25% (+50ms slack) vs BENCH_1.json
+#                      kgdb_ms regressed >25% (+50ms slack) vs BENCH_1.json,
+#                      or the slow-link (PacketSize=512 RSP) cost regressed
+#                      vs BENCH_3.json
+#   make race-link     race-detector pass over the read pipeline packages
+#                      (gdbrsp client/server, target cache, core workers)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress table4
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp
 
-ci: vet build race bench-smoke bench-regress
+ci: vet build race race-link bench-smoke bench-regress
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +29,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-link:
+	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/core
+
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .
 
@@ -32,8 +39,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
+	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
+
+table4-rsp:
+	$(GO) run ./cmd/perfbench -rspjson BENCH_3.json

@@ -12,6 +12,11 @@
 //	perfbench -perread 5ms       # tune the modeled round-trip latency
 //	perfbench -procs 10          # scale the workload population
 //	perfbench -json BENCH_1.json # also write per-figure results as JSON
+//	perfbench -rspjson BENCH_3.json
+//	                             # also measure the slow-link personality — a
+//	                             # PacketSize=512 RSP stub behind the snapshot
+//	                             # cache, deterministic modeled cost — and
+//	                             # write it as JSON (benchguard-compatible)
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -23,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"visualinux/internal/gdbrsp"
 	"visualinux/internal/kernelsim"
 	"visualinux/internal/obs"
 	"visualinux/internal/perf"
@@ -43,18 +49,35 @@ type benchRecord struct {
 	CacheSpeedup   float64 `json:"cache_speedup"`
 }
 
+// rspRecord is one BENCH_3.json entry: the slow-link personality — a small
+// negotiated PacketSize, annex continuation batching, snapshot cache — with
+// the purely modeled link cost in kgdb_ms (benchguard keys on figure +
+// kgdb_ms, so the same guard binary watches this file too).
+type rspRecord struct {
+	Figure        string  `json:"figure"`
+	Objects       int     `json:"objects"`
+	PacketSize    int     `json:"packet_size"`
+	Transactions  uint64  `json:"transactions"`
+	Continuations uint64  `json:"continuations"`
+	BytesRead     uint64  `json:"bytes_read"`
+	KGDBMs        float64 `json:"kgdb_ms"`
+}
+
 func main() {
 	sleep := flag.Bool("sleep", false, "really sleep per read instead of virtual accounting")
 	rsp := flag.Bool("rsp", false, "also measure extraction through a real GDB-RSP loopback socket")
 	jsonOut := flag.String("json", "", "write per-figure results to this JSON file (e.g. BENCH_1.json)")
+	rspJSONOut := flag.String("rspjson", "", "write the slow-link (PacketSize-constrained RSP, cached, modeled) results to this JSON file (e.g. BENCH_3.json)")
+	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
 	perByte := flag.Duration("perbyte", 2*time.Microsecond, "modeled KGDB cost per byte")
+	perCont := flag.Duration("percont", 50*time.Microsecond, "modeled cost per continuation packet of an open transfer")
 	procs := flag.Int("procs", 0, "workload processes (0 = paper default of 5)")
 	churn := flag.Int("churn", 0, "age the state through N live-transition rounds before measuring")
 	flag.Parse()
 
-	model := target.LatencyModel{PerRead: *perRead, PerByte: *perByte, Sleep: *sleep}
+	model := target.LatencyModel{PerRead: *perRead, PerByte: *perByte, PerContinuation: *perCont, Sleep: *sleep}
 	opts := kernelsim.Options{Processes: *procs, Churn: *churn}
 
 	uncached, err := perf.Table4Uncached(opts, model)
@@ -91,6 +114,40 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(perf.FormatRows("Extra: extraction through a real GDB-RSP loopback socket", rows))
+	}
+
+	if *rspJSONOut != "" {
+		// The slow-link personality: a PacketSize-constrained stub, the
+		// snapshot cache on top, cost priced by the deterministic link model
+		// (no wall clock), so the file is byte-stable across runs.
+		rspModel := target.LatencyModel{PerRead: *perRead, PerByte: *perByte, PerContinuation: *perCont}
+		rows, err := perf.Table4RSPCached(opts, rspModel, gdbrsp.WithPacketSize(*packetSize))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: rspjson: %v\n", err)
+			os.Exit(1)
+		}
+		recs := make([]rspRecord, len(rows))
+		for i, r := range rows {
+			recs[i] = rspRecord{
+				Figure:        r.FigureID,
+				Objects:       r.Objects,
+				PacketSize:    *packetSize,
+				Transactions:  r.Transactions,
+				Continuations: r.Continuations,
+				BytesRead:     uint64(r.KBytes * 1024),
+				KGDBMs:        r.TotalMS,
+			}
+		}
+		blob, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: rspjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*rspJSONOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: rspjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (slow-link personality, PacketSize=%d, modeled)\n", *rspJSONOut, *packetSize)
 	}
 
 	if *traceOut != "" {

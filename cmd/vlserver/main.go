@@ -35,10 +35,21 @@ func main() {
 			log.Fatalf("vlserver: %v", err)
 		}
 		panesOut, err := core.ExtractFiguresInto(session, k, figs, *workers)
-		if err != nil {
-			log.Fatalf("vlserver: workspace extraction: %v", err)
+		attached := 0
+		for _, p := range panesOut {
+			if p != nil {
+				attached++
+			}
 		}
-		fmt.Printf("vlserver: workspace attached: %d figures extracted concurrently\n", len(panesOut))
+		if err != nil {
+			// One bad figure must not take the workspace down: the good
+			// panes are already attached — serve them, report the rest.
+			log.Printf("vlserver: workspace extraction: %v", err)
+		}
+		if attached == 0 {
+			log.Fatalf("vlserver: workspace extraction produced no panes")
+		}
+		fmt.Printf("vlserver: workspace attached: %d/%d figures extracted concurrently\n", attached, len(figs))
 	} else if *figure != "" {
 		if _, err := session.VPlotFigure(*figure); err != nil {
 			log.Fatalf("vlserver: startup plot: %v", err)

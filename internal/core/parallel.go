@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,9 +20,11 @@ import (
 // of the shared target, so per-figure Graph.Stats stay accurate while the
 // underlying read-only memory is shared freely.
 //
-// Results keep the order of figs. The first extraction error aborts nothing
-// else (every figure is still attempted) but is returned after all workers
-// finish.
+// Results keep the order of figs. A failing figure aborts nothing else:
+// every figure is still attempted, the panes that extracted are returned
+// (failed slots stay nil), and the failures come back joined in err. Callers
+// wanting all-or-nothing check err; callers serving a workspace keep the
+// good panes and report the bad.
 func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -49,12 +52,7 @@ func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) (
 		}(i, fig)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // ExtractFiguresInto extracts figs concurrently over s's kernel and attaches
@@ -65,6 +63,10 @@ func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) (
 // and every concurrent extraction still produces its own span tree. Pane
 // attachment happens after the join, single-threaded: the pane tree is the
 // session's shared mutable state.
+//
+// Like ExtractFigures, one failing figure never discards the others: every
+// successfully extracted figure is attached as a pane (failed slots stay
+// nil) and the failures come back joined in err.
 func ExtractFiguresInto(s *Session, k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,19 +100,18 @@ func ExtractFiguresInto(s *Session, k *kernelsim.Kernel, figs []vclstdlib.Figure
 		}(i, fig)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	out := make([]*panes.Pane, len(figs))
 	for i, fig := range figs {
+		if results[i] == nil {
+			continue // extraction failed; its error is already in errs[i]
+		}
 		s.log("vplot fig" + fig.ID)
 		p, err := s.attachPane("fig"+fig.ID, fig.Program, results[i])
 		if err != nil {
-			return nil, fmt.Errorf("figure %s: %w", fig.ID, err)
+			errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
+			continue
 		}
 		out[i] = p
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

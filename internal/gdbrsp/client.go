@@ -2,18 +2,63 @@ package gdbrsp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"visualinux/internal/ctypes"
+	"visualinux/internal/obs"
 	"visualinux/internal/target"
 )
+
+// maxRetransmits bounds how often one packet is re-sent on NAK ('-') before
+// the link is declared broken: a stub stuck NAK-ing would otherwise keep the
+// client retransmitting forever.
+const maxRetransmits = 8
+
+// ackScanLimit bounds how many junk bytes the client tolerates while waiting
+// for an ack: a stub streaming noise instead of '+'/'-' must not pin the
+// client in the scan loop.
+const ackScanLimit = 4096
+
+// defaultTimeout is the per-round-trip I/O deadline. Slow links are slow per
+// packet, not tens of seconds per packet.
+const defaultTimeout = 10 * time.Second
+
+// LinkError is a transport-level RSP failure: the link itself misbehaved
+// (NAK storm, noise, timeout, broken socket) as opposed to the stub cleanly
+// reporting an error reply. errors.Is/As through Err.
+type LinkError struct {
+	Op  string // "send", "ack", "recv"
+	Err error
+}
+
+func (e *LinkError) Error() string { return fmt.Sprintf("gdbrsp: link %s: %v", e.Op, e.Err) }
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// ErrNakLimit reports a stub that kept rejecting our packets.
+var ErrNakLimit = errors.New("retransmit limit exceeded (stub keeps NAK-ing)")
+
+// ErrAckNoise reports a stub that streamed garbage instead of an ack.
+var ErrAckNoise = errors.New("no ack within noise budget")
 
 // Client implements target.Target over an RSP connection: memory reads go
 // over the wire as $m packets; types and symbols are provided locally,
 // exactly as GDB gets them from vmlinux DWARF rather than from the stub.
+//
+// The client is shaped for slow, small-packet links. Reads larger than the
+// stub's negotiated packet bound prefer the qXfer:memory:read annex when the
+// stub advertises it: one memory transaction whose reply streams back in
+// continuation chunks, each chunk a cheap follow-up rather than a fresh
+// memory walk. Plain $m short replies (a stub serving less than asked —
+// packet bound or mapped-prefix end) are treated as partial progress and
+// resumed from the next byte, never a hard error. When the stub serves a
+// memory-map annex, the client loads it once and answers ClipMapped locally,
+// so batch prefetch passes can clip fills to mapped ranges without probing.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -27,8 +72,18 @@ type Client struct {
 
 	// packetMax is the stub's negotiated PacketSize (qSupported reply).
 	// $m replies are hex-encoded, so one packet carries packetMax/2 bytes of
-	// memory; larger reads split at that bound.
-	packetMax int
+	// memory; larger reads use the annex or split at that bound.
+	packetMax  int
+	hasMemRead bool // stub advertises qXfer:memory:read+
+	hasMemMap  bool // stub advertises qXfer:memory-map:read+
+
+	timeout time.Duration
+
+	memMapOnce   sync.Once
+	memMap       []target.Range // sorted, merged; nil until fetched
+	memMapLoaded bool
+
+	o *obs.Observer // optional: continuation accounting for /debug/metrics
 }
 
 // Dial connects to an RSP server and performs the initial handshake.
@@ -45,6 +100,7 @@ func Dial(addr string, reg *ctypes.Registry, symbols []target.Symbol) (*Client, 
 		types:   reg,
 		symbols: make(map[string]target.Symbol, len(symbols)),
 		byAddr:  make(map[uint64]string, len(symbols)),
+		timeout: defaultTimeout,
 	}
 	for _, s := range symbols {
 		c.symbols[s.Name] = s
@@ -57,12 +113,31 @@ func Dial(addr string, reg *ctypes.Registry, symbols []target.Symbol) (*Client, 
 		return nil, err
 	}
 	c.packetMax = parsePacketSize(features)
+	c.hasMemRead = hasFeature(features, "qXfer:memory:read+")
+	c.hasMemMap = hasFeature(features, "qXfer:memory-map:read+")
 	if _, err := c.roundTrip("?"); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return c, nil
 }
+
+// Instrument mirrors the client's continuation accounting into the
+// observer's shared counters (nil detaches).
+func (c *Client) Instrument(o *obs.Observer) *Client {
+	c.o = o
+	return c
+}
+
+// SetTimeout adjusts the per-round-trip I/O deadline (0 disables).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// PacketSize returns the negotiated packet bound (payload bytes).
+func (c *Client) PacketSize() int { return c.packetMax }
 
 // Close detaches and closes the connection.
 func (c *Client) Close() error {
@@ -80,39 +155,63 @@ func (c *Client) roundTrip(payload string) (string, error) {
 }
 
 func (c *Client) roundTripLocked(payload string) (string, error) {
-	if _, err := c.w.Write(encodePacket(payload)); err != nil {
-		return "", err
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
+	send := func() error {
+		if _, err := c.w.Write(encodePacket(payload)); err != nil {
+			return err
+		}
+		return c.w.Flush()
+	}
+	if err := send(); err != nil {
+		return "", &LinkError{Op: "send", Err: err}
 	}
 	// Expect the stub's ack, then its reply packet, then ack it.
+	retransmits, scanned := 0, 0
 	for {
 		b, err := c.r.ReadByte()
 		if err != nil {
-			return "", err
+			return "", &LinkError{Op: "ack", Err: err}
 		}
 		if b == '+' {
 			break
 		}
 		if b == '-' {
-			// retransmit
-			if _, err := c.w.Write(encodePacket(payload)); err != nil {
-				return "", err
+			retransmits++
+			if retransmits > maxRetransmits {
+				return "", &LinkError{Op: "ack", Err: ErrNakLimit}
 			}
-			if err := c.w.Flush(); err != nil {
-				return "", err
+			if err := send(); err != nil {
+				return "", &LinkError{Op: "send", Err: err}
 			}
+			continue
+		}
+		scanned++
+		if scanned > ackScanLimit {
+			return "", &LinkError{Op: "ack", Err: ErrAckNoise}
 		}
 	}
-	reply, err := readPacket(c.r)
+	reply, err := readPacket(c.r, c.recvMax())
 	if err != nil {
-		return "", err
+		return "", &LinkError{Op: "recv", Err: err}
 	}
 	if _, err := c.w.WriteString("+"); err != nil {
-		return "", err
+		return "", &LinkError{Op: "send", Err: err}
 	}
-	return reply, c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return "", &LinkError{Op: "send", Err: err}
+	}
+	return reply, nil
+}
+
+// recvMax is the reply payload bound the client enforces: the negotiated
+// PacketSize once known, our own buffer bound during the handshake.
+func (c *Client) recvMax() int {
+	if c.packetMax > 0 {
+		return c.packetMax
+	}
+	return maxPacket
 }
 
 // parsePacketSize extracts PacketSize=<hex> from a qSupported reply,
@@ -138,13 +237,39 @@ func parsePacketSize(features string) int {
 	return fallback
 }
 
-// ReadMemory implements target.Target via $m packets sized to the whole
-// request, splitting only when the request exceeds the stub's negotiated
-// packet bound. Reads counts logical requests; Transactions counts $m
-// packets actually sent (Transactions >= Reads when requests split).
+// hasFeature reports whether a qSupported reply lists the given feature.
+func hasFeature(features, want string) bool {
+	for _, f := range strings.Split(features, ";") {
+		if f == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadMemory implements target.Target. Reads that fit one packet go as a
+// single $m; larger reads prefer the qXfer:memory:read annex (one memory
+// transaction, continuation-chunked reply) and otherwise resume over short
+// $m replies. Reads counts logical requests; Transactions counts memory
+// round trips; Continuations counts annex follow-up chunks (streamed from
+// the stub's already-prepared reply, so they never re-pay the memory walk).
 func (c *Client) ReadMemory(addr uint64, buf []byte) error {
 	c.stats.Reads.Add(1)
 	c.stats.BytesRead.Add(uint64(len(buf)))
+	if len(buf) == 0 {
+		return nil
+	}
+	if c.hasMemRead && len(buf) > c.packetMax/2 {
+		return c.readAnnex(addr, buf)
+	}
+	return c.readM(addr, buf)
+}
+
+// readM reads via plain $m packets. A short reply is partial progress —
+// stubs legitimately serve less than asked (packet bound, mapped-prefix
+// end) — so the client resumes at the next unread byte. Only a reply with
+// no progress at all, an error reply, or over-delivery is a failure.
+func (c *Client) readM(addr uint64, buf []byte) error {
 	chunk := c.packetMax / 2 // hex encoding: 2 reply chars per memory byte
 	for off := 0; off < len(buf); {
 		n := len(buf) - off
@@ -163,13 +288,168 @@ func (c *Client) ReadMemory(addr uint64, buf []byte) error {
 		if err != nil {
 			return err
 		}
-		if len(data) != n {
-			return fmt.Errorf("gdbrsp: short read %d of %d", len(data), n)
+		if len(data) == 0 {
+			return fmt.Errorf("gdbrsp: empty $m reply at %#x (no progress)", addr+uint64(off))
+		}
+		if len(data) > n {
+			return fmt.Errorf("gdbrsp: stub over-delivered %d of %d at %#x", len(data), n, addr+uint64(off))
 		}
 		copy(buf[off:], data)
-		off += n
+		off += len(data) // short reply: resume from the next byte
 	}
 	return nil
+}
+
+// readAnnex reads via one qXfer:memory:read transaction whose reply streams
+// back in m/l continuation chunks. An `l` chunk ending before the full
+// length means the rest of the range is unreadable (mapped prefix ended):
+// the error reports how far the stub got, so callers can degrade precisely.
+func (c *Client) readAnnex(addr uint64, buf []byte) error {
+	c.stats.Transactions.Add(1)
+	length := uint64(len(buf))
+	for off := uint64(0); off < length; {
+		if off > 0 {
+			c.stats.Continuations.Add(1)
+			if c.o != nil {
+				c.o.LinkContinuations.Inc()
+			}
+		}
+		reply, err := c.roundTrip(fmt.Sprintf("qXfer:memory:read:%x,%x:%x,%x",
+			addr, length, off, length-off))
+		if err != nil {
+			return err
+		}
+		if len(reply) >= 1 && reply[0] == 'E' {
+			return fmt.Errorf("gdbrsp: stub error %s reading %#x", reply, addr+off)
+		}
+		if len(reply) == 0 || (reply[0] != 'm' && reply[0] != 'l') {
+			return fmt.Errorf("gdbrsp: malformed qXfer reply %.16q at %#x", reply, addr+off)
+		}
+		last := reply[0] == 'l'
+		data, err := decodeHex(reply[1:])
+		if err != nil {
+			return err
+		}
+		if uint64(len(data)) > length-off {
+			return fmt.Errorf("gdbrsp: stub over-delivered %d of %d at %#x", len(data), length-off, addr+off)
+		}
+		copy(buf[off:], data)
+		off += uint64(len(data))
+		if last {
+			if off < length {
+				return fmt.Errorf("gdbrsp: object ends after %d of %d bytes at %#x (unmapped tail)",
+					off, length, addr)
+			}
+			return nil
+		}
+		if len(data) == 0 {
+			return fmt.Errorf("gdbrsp: empty qXfer chunk at %#x (no progress)", addr+off)
+		}
+	}
+	return nil
+}
+
+// ClipMapped implements target.RangeProber from the stub's memory-map
+// annex. The map is fetched once per connection (metadata, like symbols)
+// and intersected locally, so batch prefetch passes clip for free. Without
+// the annex, ok is false and callers treat everything as potentially
+// mapped.
+func (c *Client) ClipMapped(addr, size uint64) ([]target.Range, bool) {
+	if !c.hasMemMap {
+		return nil, false
+	}
+	c.memMapOnce.Do(c.fetchMemMap)
+	if !c.memMapLoaded {
+		return nil, false
+	}
+	if size == 0 {
+		return nil, true
+	}
+	if addr+size < addr {
+		size = -addr
+	}
+	end := addr + size
+	var out []target.Range
+	i := sort.Search(len(c.memMap), func(i int) bool { return c.memMap[i].End() > addr })
+	for ; i < len(c.memMap) && c.memMap[i].Addr < end; i++ {
+		lo, hi := c.memMap[i].Addr, c.memMap[i].End()
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			out = append(out, target.Range{Addr: lo, Size: hi - lo})
+		}
+	}
+	return out, true
+}
+
+// MemoryMap returns the stub's merged mapped ranges (nil without the
+// annex), fetching them on first use.
+func (c *Client) MemoryMap() []target.Range {
+	if !c.hasMemMap {
+		return nil
+	}
+	c.memMapOnce.Do(c.fetchMemMap)
+	return c.memMap
+}
+
+// fetchMemMap pulls the memory-map annex ("addr,size;..." hex text) over
+// m/l continuation chunks and parses it.
+func (c *Client) fetchMemMap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var blob []byte
+	c.stats.Transactions.Add(1)
+	for off := uint64(0); ; {
+		if off > 0 {
+			c.stats.Continuations.Add(1)
+			if c.o != nil {
+				c.o.LinkContinuations.Inc()
+			}
+		}
+		reply, err := c.roundTripLocked(fmt.Sprintf("qXfer:memory-map:read::%x,%x",
+			off, uint64(c.packetMax)))
+		if err != nil {
+			return
+		}
+		if len(reply) == 0 || (reply[0] != 'm' && reply[0] != 'l') {
+			return // no usable map; leave memMapLoaded false
+		}
+		blob = append(blob, reply[1:]...)
+		off += uint64(len(reply) - 1)
+		if reply[0] == 'l' {
+			break
+		}
+		if len(reply) == 1 {
+			return // 'm' with no data: no progress
+		}
+	}
+	ranges, err := parseMemMap(string(blob))
+	if err != nil {
+		return
+	}
+	c.memMap = ranges
+	c.memMapLoaded = true
+}
+
+// parseMemMap parses "addr,size;addr,size;...;" into sorted ranges.
+func parseMemMap(s string) ([]target.Range, error) {
+	var out []target.Range
+	for _, part := range strings.Split(s, ";") {
+		if part == "" {
+			continue
+		}
+		addr, size, err := splitAddrLen(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, target.Range{Addr: addr, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out, nil
 }
 
 // LookupSymbol implements target.Target from the locally-loaded table.
@@ -190,4 +470,7 @@ func (c *Client) Types() *ctypes.Registry { return c.types }
 // Stats implements target.Target.
 func (c *Client) Stats() *target.Stats { return &c.stats }
 
-var _ target.Target = (*Client)(nil)
+var (
+	_ target.Target      = (*Client)(nil)
+	_ target.RangeProber = (*Client)(nil)
+)

@@ -5,35 +5,75 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"visualinux/internal/target"
 )
 
+// minPacket is the smallest PacketSize the server will run with: enough for
+// one qXfer command frame and at least a few bytes of hex reply.
+const minPacket = 64
+
 // Server speaks the gdbstub side of RSP, serving memory reads from a
 // backing target (the simulated kernel). It is the QEMU-gdbstub stand-in.
+//
+// The server is built for slow, small-packet links: arbitrarily large reads
+// are served over a small negotiated PacketSize via continuation — the
+// qXfer:memory:read annex answers in `m`/`l` chunked replies — and a plain
+// `$m` request that exceeds the packet bound gets a standards-correct short
+// reply (the longest prefix that fits), which the client resumes from the
+// next byte. When the backing target knows its memory map, the server also
+// serves a qXfer:memory-map:read annex so clients can clip batch fills to
+// mapped ranges without probing.
 type Server struct {
-	backing target.Target
-	ln      net.Listener
+	backing   target.Target
+	ln        net.Listener
+	packetMax int
 
 	mu     sync.Mutex
 	closed bool
 }
 
+// ServerOption configures a Server before it starts listening.
+type ServerOption func(*Server)
+
+// WithPacketSize sets the advertised PacketSize (payload bytes), clamped to
+// [minPacket, maxPacket]. Small sizes model constrained stubs (KGDB over
+// serial advertises far less than QEMU's gdbstub).
+func WithPacketSize(n int) ServerOption {
+	return func(s *Server) {
+		if n < minPacket {
+			n = minPacket
+		}
+		if n > maxPacket {
+			n = maxPacket
+		}
+		s.packetMax = n
+	}
+}
+
 // Serve starts an RSP server on addr ("127.0.0.1:0" for an ephemeral
 // port). It returns immediately; connections are handled in goroutines.
-func Serve(addr string, backing target.Target) (*Server, error) {
+func Serve(addr string, backing target.Target, opts ...ServerOption) (*Server, error) {
+	s := &Server{backing: backing, packetMax: maxPacket}
+	for _, o := range opts {
+		o(s)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("gdbrsp: listen: %w", err)
 	}
-	s := &Server{backing: backing, ln: ln}
+	s.ln = ln
 	go s.acceptLoop()
 	return s, nil
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// PacketSize returns the advertised packet bound (payload bytes).
+func (s *Server) PacketSize() int { return s.packetMax }
 
 // Close stops the listener.
 func (s *Server) Close() error {
@@ -53,12 +93,21 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// stubConn is the per-connection state: buffered I/O plus the serialized
+// memory map, cached so a chunked qXfer:memory-map:read sequence reads one
+// consistent snapshot of the map even if the image mutates between stops.
+type stubConn struct {
+	s       *Server
+	mapBlob []byte
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	st := &stubConn{s: s}
 	for {
-		payload, err := readPacket(r)
+		payload, err := readPacket(r, s.packetMax)
 		if err != nil {
 			return
 		}
@@ -66,7 +115,7 @@ func (s *Server) handle(conn net.Conn) {
 		if _, err := w.WriteString("+"); err != nil {
 			return
 		}
-		reply, kill := s.dispatch(payload)
+		reply, kill := st.dispatch(payload)
 		if _, err := w.Write(encodePacket(reply)); err != nil {
 			return
 		}
@@ -84,8 +133,10 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // readPacket consumes one $...#cs frame, tolerating interrupt bytes and
-// acks in the stream.
-func readPacket(r *bufio.Reader) (string, error) {
+// acks in the stream. Payloads above max (the negotiated PacketSize) are
+// rejected: accepting more would silently void the bound both ends agreed
+// on.
+func readPacket(r *bufio.Reader, max int) (string, error) {
 	for {
 		c, err := r.ReadByte()
 		if err != nil {
@@ -103,8 +154,8 @@ func readPacket(r *bufio.Reader) (string, error) {
 					break
 				}
 				payload = append(payload, b)
-				if len(payload) > maxPacket*2 {
-					return "", fmt.Errorf("gdbrsp: oversized packet")
+				if len(payload) > max {
+					return "", fmt.Errorf("gdbrsp: packet exceeds negotiated size %d", max)
 				}
 			}
 			var cs [2]byte
@@ -128,7 +179,8 @@ func readPacket(r *bufio.Reader) (string, error) {
 }
 
 // dispatch computes the reply for one packet; kill reports session end.
-func (s *Server) dispatch(payload string) (reply string, kill bool) {
+func (c *stubConn) dispatch(payload string) (reply string, kill bool) {
+	s := c.s
 	switch {
 	case payload == "":
 		return "", false
@@ -137,18 +189,21 @@ func (s *Server) dispatch(payload string) (reply string, kill bool) {
 		if err != nil {
 			return errorReply(0x16), false // EINVAL
 		}
-		if length > maxPacket/2 {
-			length = maxPacket / 2
+		// A reply is hex (2 chars per byte) and must fit the negotiated
+		// packet: larger requests get a short reply — the standards-correct
+		// signal (not an error) that the client should resume at addr+n.
+		if bound := uint64(s.packetMax / 2); length > bound {
+			length = bound
 		}
-		buf := make([]byte, length)
-		if err := s.backing.ReadMemory(addr, buf); err != nil {
-			return errorReply(0x0e), false // EFAULT
+		data := s.readMappedPrefix(addr, length)
+		if len(data) == 0 && length > 0 {
+			return errorReply(0x0e), false // EFAULT: not even the first byte
 		}
-		var sb []byte
-		for _, b := range buf {
-			sb = append(sb, hexByte(b)...)
-		}
-		return string(sb), false
+		return hexEncode(data), false
+	case hasPrefix(payload, "qXfer:memory:read:"):
+		return s.xferMemoryRead(payload[len("qXfer:memory:read:"):]), false
+	case hasPrefix(payload, "qXfer:memory-map:read:"):
+		return c.xferMemoryMap(payload[len("qXfer:memory-map:read:"):]), false
 	case payload == "?":
 		return "S05", false // stopped by SIGTRAP, like a fresh attach
 	case payload == "g":
@@ -163,7 +218,11 @@ func (s *Server) dispatch(payload string) (reply string, kill bool) {
 	case payload == "vMustReplyEmpty":
 		return "", false
 	case hasPrefix(payload, "qSupported"):
-		return fmt.Sprintf("PacketSize=%x;qXfer:features:read-", maxPacket), false
+		features := fmt.Sprintf("PacketSize=%x;qXfer:features:read-;qXfer:memory:read+", s.packetMax)
+		if _, ok := s.backing.(mappedRanger); ok {
+			features += ";qXfer:memory-map:read+"
+		}
+		return features, false
 	case payload == "D": // detach
 		return "OK", true
 	case payload == "k": // kill
@@ -177,6 +236,131 @@ func (s *Server) dispatch(payload string) (reply string, kill bool) {
 	default:
 		return "", false // unsupported -> empty reply per RSP
 	}
+}
+
+// mappedRanger is what the backing must expose for the memory-map annex.
+type mappedRanger interface {
+	MappedRanges() []target.Range
+}
+
+// chunkBytes is how many memory bytes one continuation reply carries: the
+// `m`/`l` marker plus 2 hex chars per byte must fit the negotiated packet.
+func (s *Server) chunkBytes() uint64 { return uint64((s.packetMax - 1) / 2) }
+
+// xferMemoryRead serves one window of a qXfer:memory:read:ADDR,LEN:OFF,N
+// request. The annex names the whole object ([ADDR, ADDR+LEN)); OFF,N is the
+// client's window into it. Replies are `m<hex>` (more follows) or `l<hex>`
+// (object ends with this chunk). A chunk that stops short of the window —
+// the read ran off the mapped prefix — is returned as `l`: the object ends
+// early, and the client sees exactly how many bytes were readable.
+func (s *Server) xferMemoryRead(spec string) string {
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return errorReply(0x16)
+	}
+	addr, length, err := splitAddrLen(spec[:i])
+	if err != nil {
+		return errorReply(0x16)
+	}
+	off, n, err := splitAddrLen(spec[i+1:])
+	if err != nil || off > length {
+		return errorReply(0x16)
+	}
+	window := length - off
+	if n < window {
+		window = n
+	}
+	if bound := s.chunkBytes(); window > bound {
+		window = bound
+	}
+	if window == 0 {
+		return "l"
+	}
+	data := s.readMappedPrefix(addr+off, window)
+	if len(data) == 0 {
+		if off == 0 {
+			return errorReply(0x0e) // nothing readable at all
+		}
+		return "l" // mapped prefix ends exactly at off
+	}
+	if uint64(len(data)) < window || off+uint64(len(data)) == length {
+		return "l" + hexEncode(data)
+	}
+	return "m" + hexEncode(data)
+}
+
+// xferMemoryMap serves the target's memory map as "addr,size;addr,size;..."
+// (hex, merged mapped ranges, ascending), windowed by OFF,N with the same
+// m/l continuation framing as memory reads. The map is serialized once per
+// sequence (a request at offset 0) so chunked fetches stay consistent.
+func (c *stubConn) xferMemoryMap(spec string) string {
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return errorReply(0x16)
+	}
+	off, n, err := splitAddrLen(spec[i+1:])
+	if err != nil {
+		return errorReply(0x16)
+	}
+	mr, ok := c.s.backing.(mappedRanger)
+	if !ok {
+		return "" // unsupported -> empty reply per RSP
+	}
+	if off == 0 || c.mapBlob == nil {
+		var sb []byte
+		for _, r := range mr.MappedRanges() {
+			sb = append(sb, fmt.Sprintf("%x,%x;", r.Addr, r.Size)...)
+		}
+		c.mapBlob = sb
+	}
+	if off >= uint64(len(c.mapBlob)) {
+		return "l"
+	}
+	window := uint64(len(c.mapBlob)) - off
+	if n < window {
+		window = n
+	}
+	// The map is plain text, not hex: one reply carries packetMax-1 chars.
+	if bound := uint64(c.s.packetMax - 1); window > bound {
+		window = bound
+	}
+	chunk := c.mapBlob[off : off+window]
+	if off+window == uint64(len(c.mapBlob)) {
+		return "l" + string(chunk)
+	}
+	return "m" + string(chunk)
+}
+
+// readMappedPrefix reads up to length bytes at addr, returning the longest
+// readable prefix. A fully readable range costs one backing read; a range
+// running off the mapped prefix degrades to page-bounded chunks so the
+// prefix ends exactly at the mapping edge (the backing's granularity).
+func (s *Server) readMappedPrefix(addr, length uint64) []byte {
+	buf := make([]byte, length)
+	if err := s.backing.ReadMemory(addr, buf); err == nil {
+		return buf
+	}
+	got := uint64(0)
+	for got < length {
+		cur := addr + got
+		n := length - got
+		if room := target.PageSize - cur%target.PageSize; n > room {
+			n = room
+		}
+		if err := s.backing.ReadMemory(cur, buf[got:got+n]); err != nil {
+			break
+		}
+		got += n
+	}
+	return buf[:got]
+}
+
+func hexEncode(data []byte) string {
+	out := make([]byte, 0, 2*len(data))
+	for _, b := range data {
+		out = append(out, hexByte(b)...)
+	}
+	return string(out)
 }
 
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -30,11 +30,12 @@ func TestParsePacketSize(t *testing.T) {
 }
 
 // TestSplitLargeRead drives a 3-page read through a loopback server and
-// checks (a) the bytes survive the split, (b) the client accounts one
-// logical read but multiple $m transactions.
+// checks (a) the bytes survive, (b) with the qXfer:memory:read annex the
+// whole read is one memory transaction whose reply streams back in
+// continuation chunks — not one transaction per packet.
 func TestSplitLargeRead(t *testing.T) {
 	const base = uint64(0x4000_0000)
-	const size = 3 * 4096 // > maxPacket/2, must split into several packets
+	const size = 3 * 4096 // > maxPacket/2, needs several reply packets
 
 	m := mem.New()
 	want := make([]byte, size)
@@ -54,6 +55,9 @@ func TestSplitLargeRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	if !client.hasMemRead {
+		t.Fatal("server should advertise qXfer:memory:read+")
+	}
 
 	got := make([]byte, size)
 	if err := client.ReadMemory(base, got); err != nil {
@@ -70,12 +74,58 @@ func TestSplitLargeRead(t *testing.T) {
 	if bytesRead != size {
 		t.Errorf("bytes = %d, want %d", bytesRead, size)
 	}
-	wantTxns := uint64((size + maxPacket/2 - 1) / (maxPacket / 2))
-	if txns != wantTxns {
-		t.Errorf("transactions = %d, want %d (one per $m packet)", txns, wantTxns)
+	if txns != 1 {
+		t.Errorf("transactions = %d, want 1 (annex opens one transfer)", txns)
 	}
-	if txns <= reads {
-		t.Errorf("transactions (%d) should exceed reads (%d) for an oversized read", txns, reads)
+	conts := client.Stats().Continuations.Load()
+	wantConts := uint64((size+int(srv.chunkBytes())-1)/int(srv.chunkBytes())) - 1
+	if conts != wantConts {
+		t.Errorf("continuations = %d, want %d (follow-up chunks)", conts, wantConts)
+	}
+}
+
+// TestShortReadResumption forces the plain-$m path (no annex) and checks
+// the client treats short replies as partial progress, resuming from the
+// next byte instead of erroring — the standards-correct reading of a stub
+// that serves less than asked.
+func TestShortReadResumption(t *testing.T) {
+	const base = uint64(0x4100_0000)
+	const size = 3 * 4096
+
+	m := mem.New()
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i*13 + 5)
+	}
+	m.Write(base, want)
+	sim := target.NewSim(m, ctypes.NewRegistry())
+
+	srv, err := Serve("127.0.0.1:0", sim, WithPacketSize(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), sim.Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.hasMemRead = false // pretend the stub lacks the annex
+	// Make the client request more per $m than the stub's 512-byte bound
+	// allows, so every reply comes back short and must be resumed.
+	client.packetMax = maxPacket
+
+	got := make([]byte, size)
+	if err := client.ReadMemory(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed read corrupted data")
+	}
+	_, _, txns := client.Stats().Totals()
+	wantTxns := uint64((size + 512/2 - 1) / (512 / 2))
+	if txns != wantTxns {
+		t.Errorf("transactions = %d, want %d (one short reply resumed per packet)", txns, wantTxns)
 	}
 }
 

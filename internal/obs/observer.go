@@ -21,6 +21,11 @@ type Observer struct {
 	LinkReads *Counter
 	LinkBytes *Counter
 	LinkTxns  *Counter
+	// LinkContinuations counts continuation packets riding an already-open
+	// qXfer transfer on the RSP link: follow-up chunks of a reply the stub
+	// has already prepared, i.e. round trips that never re-pay the stub's
+	// memory-walk cost (bumped by gdbrsp.Client when instrumented).
+	LinkContinuations *Counter
 
 	// Snapshot cache behaviour (bumped by target.Snapshot when wired).
 	SnapHits          *Counter // page lookups served from cache
@@ -29,9 +34,10 @@ type Observer struct {
 	SnapInvalidations *Counter // Invalidate calls (stop-event boundaries)
 
 	// ViewCL-level behaviour.
-	PrefetchHints *Counter // container-iterator prefetch hints issued
-	Extractions   *Counter // completed VPlot extractions
-	TraceDrops    *Counter // spans dropped over tracer budgets
+	PrefetchHints     *Counter // container-iterator prefetch hints issued
+	BatchPrefetchRuns *Counter // coalesced cross-element batch-prefetch fills issued
+	Extractions       *Counter // completed VPlot extractions
+	TraceDrops        *Counter // spans dropped over tracer budgets
 }
 
 // NewObserver creates a fully wired observer with a fresh registry and a
@@ -42,18 +48,20 @@ func NewObserver() *Observer {
 		Registry: r,
 		Slow:     NewSlowLog(DefaultSlowLogSize),
 
-		LinkReads: r.Counter("vl_target_link_reads_total", "read transactions that reached the (modeled) debug link"),
-		LinkBytes: r.Counter("vl_target_link_bytes_total", "bytes transferred over the debug link"),
-		LinkTxns:  r.Counter("vl_target_link_transactions_total", "link-level round trips"),
+		LinkReads:         r.Counter("vl_target_link_reads_total", "read transactions that reached the (modeled) debug link"),
+		LinkBytes:         r.Counter("vl_target_link_bytes_total", "bytes transferred over the debug link"),
+		LinkTxns:          r.Counter("vl_target_link_transactions_total", "link-level round trips"),
+		LinkContinuations: r.Counter("vl_target_link_continuations_total", "qXfer continuation packets (chunks of an already-prepared stub reply)"),
 
 		SnapHits:          r.Counter("vl_snapshot_page_hits_total", "snapshot page lookups served from cache"),
 		SnapMisses:        r.Counter("vl_snapshot_page_misses_total", "snapshot pages fetched from the underlying target"),
 		SnapFills:         r.Counter("vl_snapshot_fill_transactions_total", "coalesced page-run fill reads issued by the snapshot"),
 		SnapInvalidations: r.Counter("vl_snapshot_invalidations_total", "snapshot invalidations (stop-event boundaries)"),
 
-		PrefetchHints: r.Counter("vl_prefetch_hints_total", "container-iterator prefetch hints issued"),
-		Extractions:   r.Counter("vl_extractions_total", "completed VPlot extractions"),
-		TraceDrops:    r.Counter("vl_trace_dropped_spans_total", "spans dropped over per-trace budgets"),
+		PrefetchHints:     r.Counter("vl_prefetch_hints_total", "container-iterator prefetch hints issued"),
+		BatchPrefetchRuns: r.Counter("vl_batch_prefetch_runs_total", "coalesced cross-element batch-prefetch fills issued by snapshots"),
+		Extractions:       r.Counter("vl_extractions_total", "completed VPlot extractions"),
+		TraceDrops:        r.Counter("vl_trace_dropped_spans_total", "spans dropped over per-trace budgets"),
 	}
 	r.GaugeFunc("vl_snapshot_hit_ratio", "live page-cache hit ratio (hits / lookups)", func() float64 {
 		h, m := o.SnapHits.Value(), o.SnapMisses.Value()

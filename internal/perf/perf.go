@@ -30,14 +30,15 @@ import (
 
 // Row is one measurement of one figure on one target.
 type Row struct {
-	FigureID     string
-	Objects      int
-	Reads        uint64 // read requests that reached the (modeled) link
-	Transactions uint64 // link round trips (>= Reads when requests split)
-	KBytes       float64
-	TotalMS      float64 // extraction cost
-	PerObjMS     float64
-	PerKBMS      float64
+	FigureID      string
+	Objects       int
+	Reads         uint64 // read requests that reached the (modeled) link
+	Transactions  uint64 // link round trips (>= Reads when requests split)
+	Continuations uint64 // follow-up packets of already-open transfers (RSP annex chunks)
+	KBytes        float64
+	TotalMS       float64 // extraction cost
+	PerObjMS      float64
+	PerKBMS       float64
 }
 
 // Pair is the Table 4 row: the same figure on both targets.

@@ -7,6 +7,7 @@ import (
 	"visualinux/internal/core"
 	"visualinux/internal/gdbrsp"
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/target"
 	"visualinux/internal/vclstdlib"
 )
 
@@ -20,9 +21,11 @@ type RSPSession struct {
 	Client *gdbrsp.Client
 }
 
-// NewRSPSession serves k over a loopback RSP socket and dials it.
-func NewRSPSession(k *kernelsim.Kernel) (*RSPSession, error) {
-	srv, err := gdbrsp.Serve("127.0.0.1:0", k.Target())
+// NewRSPSession serves k over a loopback RSP socket and dials it. Server
+// options model stub constraints — WithPacketSize(512) is a serial KGDB
+// stub, the default is QEMU-like.
+func NewRSPSession(k *kernelsim.Kernel, opts ...gdbrsp.ServerOption) (*RSPSession, error) {
+	srv, err := gdbrsp.Serve("127.0.0.1:0", k.Target(), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +55,51 @@ func (r *RSPSession) MeasureFigureRSP(fig vclstdlib.Figure) (Row, error) {
 	elapsed := time.Since(t0)
 	reads1, bytes1, txns1 := r.Client.Stats().Totals()
 	return makeRow(fig.ID, p.Graph.Stats.Objects, reads1-reads0, txns1-txns0, bytes1-bytes0, elapsed), nil
+}
+
+// MeasureFigureRSPCached extracts one figure through the RSP wire behind a
+// fresh snapshot cache (the live-session configuration) and prices the link
+// traffic with the latency model's deterministic LinkCost — opened transfers
+// pay the full per-transaction memory-walk cost, annex continuation chunks
+// pay only the wire turnaround. TotalMS is purely modeled: no wall clock, so
+// runs are comparable across packet sizes down to the microsecond.
+func (r *RSPSession) MeasureFigureRSPCached(fig vclstdlib.Figure, model target.LatencyModel) (Row, error) {
+	snap := target.NewSnapshot(r.Client)
+	s := core.SessionOver(r.Kernel, snap)
+	st := r.Client.Stats()
+	reads0, bytes0, txns0 := st.Totals()
+	conts0 := st.Continuations.Load()
+	p, err := s.VPlot(fig.ID, fig.Program)
+	if err != nil {
+		return Row{}, err
+	}
+	reads1, bytes1, txns1 := st.Totals()
+	conts := st.Continuations.Load() - conts0
+	modeled := model.LinkCost(txns1-txns0, conts, bytes1-bytes0)
+	row := makeRow(fig.ID, p.Graph.Stats.Objects, reads1-reads0, txns1-txns0, bytes1-bytes0, modeled)
+	row.Continuations = conts
+	return row, nil
+}
+
+// Table4RSPCached measures every figure over the RSP wire behind the
+// snapshot cache with modeled link pricing — the "KGDB over a real packet
+// protocol" personality the slow-link benchmarks compare across PacketSize.
+func Table4RSPCached(opts kernelsim.Options, model target.LatencyModel, srvOpts ...gdbrsp.ServerOption) ([]Row, error) {
+	k := kernelsim.Build(opts)
+	sess, err := NewRSPSession(k, srvOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	var out []Row
+	for _, fig := range vclstdlib.Figures() {
+		row, err := sess.MeasureFigureRSPCached(fig, model)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s (rsp cached): %w", fig.ID, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 // Table4RSP measures every figure over the RSP wire.

@@ -27,6 +27,18 @@ func (c *Counted) Prefetch(addr, size uint64) {
 	}
 }
 
+// PrefetchRanges implements BatchPrefetcher when the underlying target does.
+func (c *Counted) PrefetchRanges(ranges []Range) {
+	if bp, ok := c.under.(BatchPrefetcher); ok {
+		bp.PrefetchRanges(ranges)
+	}
+}
+
+// ClipMapped implements RangeProber when the underlying target does.
+func (c *Counted) ClipMapped(addr, size uint64) ([]Range, bool) {
+	return ClipMapped(c.under, addr, size)
+}
+
 // Under returns the wrapped target.
 func (c *Counted) Under() Target { return c.under }
 

@@ -114,6 +114,18 @@ func (in *Instrumented) Prefetch(addr, size uint64) {
 	}
 }
 
+// PrefetchRanges implements BatchPrefetcher when the underlying target does.
+func (in *Instrumented) PrefetchRanges(ranges []Range) {
+	if bp, ok := in.under.(BatchPrefetcher); ok {
+		bp.PrefetchRanges(ranges)
+	}
+}
+
+// ClipMapped implements RangeProber when the underlying target does.
+func (in *Instrumented) ClipMapped(addr, size uint64) ([]Range, bool) {
+	return ClipMapped(in.under, addr, size)
+}
+
 // Under returns the wrapped target.
 func (in *Instrumented) Under() Target { return in.under }
 

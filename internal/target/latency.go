@@ -14,6 +14,11 @@ import (
 type LatencyModel struct {
 	PerRead time.Duration // round-trip cost charged per transaction
 	PerByte time.Duration // serial bandwidth cost per transferred byte
+	// PerContinuation is the round-trip cost of a follow-up packet of an
+	// already-open transfer (a qXfer chunk reply): the stub streams a reply
+	// it has already prepared, so a continuation pays the wire turnaround
+	// but never the ~PerRead memory-walk cost of opening a transfer.
+	PerContinuation time.Duration
 	// Sleep really sleeps per read instead of accounting on the virtual
 	// clock, turning modeled time into wall time for live demos.
 	Sleep bool
@@ -24,10 +29,21 @@ func (m LatencyModel) Cost(n int) time.Duration {
 	return m.PerRead + time.Duration(n)*m.PerByte
 }
 
+// LinkCost prices a whole transfer mix on the modeled link: txns opened
+// transfers, conts continuation packets, n bytes moved. This is the
+// deterministic cost function the RSP packet-size benchmarks use — no wall
+// clock, so the comparison across packet sizes is exact.
+func (m LatencyModel) LinkCost(txns, conts, n uint64) time.Duration {
+	return time.Duration(txns)*m.PerRead +
+		time.Duration(conts)*m.PerContinuation +
+		time.Duration(n)*m.PerByte
+}
+
 // DefaultKGDB is the "KGDB (rpi-400)" personality of Table 4.
 var DefaultKGDB = LatencyModel{
-	PerRead: 5 * time.Millisecond,
-	PerByte: 2 * time.Microsecond,
+	PerRead:         5 * time.Millisecond,
+	PerByte:         2 * time.Microsecond,
+	PerContinuation: 50 * time.Microsecond,
 }
 
 // Latency wraps a target with a latency model. Every ReadMemory that
@@ -60,6 +76,13 @@ func (l *Latency) ReadMemory(addr uint64, buf []byte) error {
 
 // Under returns the wrapped target.
 func (l *Latency) Under() Target { return l.under }
+
+// ClipMapped implements RangeProber when the underlying target does. The
+// memory map is metadata (DWARF-side, not guest reads), so no latency is
+// charged.
+func (l *Latency) ClipMapped(addr, size uint64) ([]Range, bool) {
+	return ClipMapped(l.under, addr, size)
+}
 
 // VirtualElapsed returns the modeled time accumulated so far. In Sleep
 // mode it stays zero: the cost was already paid in wall time.

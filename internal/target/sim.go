@@ -86,4 +86,56 @@ func (s *Sim) Types() *ctypes.Registry { return s.reg }
 // Stats implements Target.
 func (s *Sim) Stats() *Stats { return &s.stats }
 
-var _ Target = (*Sim)(nil)
+// ClipMapped implements RangeProber at the backing memory's page
+// granularity: the simulated machine's memory map is local metadata, so
+// probing costs no link traffic — the same way QEMU's gdbstub serves its
+// memory map from the machine model, not from guest reads.
+func (s *Sim) ClipMapped(addr, size uint64) ([]Range, bool) {
+	if size == 0 {
+		return nil, true
+	}
+	if addr+size < addr {
+		size = -addr // clamp a wrapping range at the top of the address space
+	}
+	// Walk by remaining bytes, not by an exclusive end address: a clamped
+	// range reaching the very top of the address space has end == 0, which
+	// would wrap every comparison.
+	var out []Range
+	cur := addr
+	for size > 0 {
+		step := mem.PageSize - cur%mem.PageSize
+		if step > size {
+			step = size
+		}
+		if s.Mem.Mapped(cur) {
+			if n := len(out); n > 0 && out[n-1].End() == cur {
+				out[n-1].Size += step
+			} else {
+				out = append(out, Range{Addr: cur, Size: step})
+			}
+		}
+		cur += step // wraps to 0 only on the final iteration
+		size -= step
+	}
+	return out, true
+}
+
+// MappedRanges returns the merged mapped ranges of the whole image, sorted
+// ascending — what the gdbrsp server serves as its memory-map annex.
+func (s *Sim) MappedRanges() []Range {
+	bases := s.Mem.MappedRanges()
+	var out []Range
+	for _, base := range bases {
+		if n := len(out); n > 0 && out[n-1].End() == base {
+			out[n-1].Size += mem.PageSize
+		} else {
+			out = append(out, Range{Addr: base, Size: mem.PageSize})
+		}
+	}
+	return out
+}
+
+var (
+	_ Target      = (*Sim)(nil)
+	_ RangeProber = (*Sim)(nil)
+)

@@ -1,6 +1,8 @@
 package target
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -36,11 +38,12 @@ type Snapshot struct {
 	hits          atomic.Uint64 // page lookups served from cache
 	misses        atomic.Uint64 // pages fetched from the underlying target
 	invalidations atomic.Uint64 // Invalidate calls (stop-event boundaries)
+	batchRuns     atomic.Uint64 // coalesced batch-prefetch fills issued
 
 	// Observer counter handles (nil-safe when uninstrumented): the same
 	// events as the atomic fields above, but aggregated process-wide so
 	// every snapshot in every worker feeds one /debug/metrics view.
-	mHits, mMisses, mFills, mInval *obs.Counter
+	mHits, mMisses, mFills, mInval, mBatchRuns *obs.Counter
 }
 
 // NewSnapshot wraps t with a fresh, empty cache.
@@ -58,6 +61,7 @@ func (s *Snapshot) Under() Target { return s.under }
 func (s *Snapshot) Instrument(o *obs.Observer) *Snapshot {
 	if o != nil {
 		s.mHits, s.mMisses, s.mFills, s.mInval = o.SnapHits, o.SnapMisses, o.SnapFills, o.SnapInvalidations
+		s.mBatchRuns = o.BatchPrefetchRuns
 	}
 	return s
 }
@@ -79,6 +83,9 @@ func (s *Snapshot) CacheStats() (hits, misses uint64) {
 
 // Invalidations reports how many times the cache has been dropped.
 func (s *Snapshot) Invalidations() uint64 { return s.invalidations.Load() }
+
+// BatchRuns reports how many coalesced batch-prefetch fills were issued.
+func (s *Snapshot) BatchRuns() uint64 { return s.batchRuns.Load() }
 
 // HitRatio reports the fraction of page lookups served from cache
 // (0 when nothing has been looked up yet).
@@ -132,9 +139,99 @@ func (s *Snapshot) Prefetch(addr, size uint64) {
 	_ = s.ensure(addr, size)
 }
 
+// maxBatchRun bounds one coalesced batch-prefetch fill: merged element runs
+// longer than this (large arrays, whole slabs) are split so a single fill
+// never exceeds the link's appetite.
+const maxBatchRun = 256 << 10
+
+// PrefetchRanges implements BatchPrefetcher: the cross-element batch pass.
+// Every range a container walk yielded is page-aligned, sorted, and merged —
+// adjacent elements' page runs (array slots, contiguous slab objects) become
+// single fills — and each merged run is then filled like Prefetch would,
+// clipped to the target's memory map when it exposes one. One unmapped page
+// inside a merged run therefore costs only itself, never the whole fill.
+func (s *Snapshot) PrefetchRanges(ranges []Range) {
+	type span struct{ first, last uint64 } // inclusive page bases
+	spans := make([]span, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Size == 0 {
+			continue
+		}
+		if r.Addr+r.Size-1 < r.Addr {
+			r.Size = -r.Addr // clamp a wrapping range at the top
+		}
+		spans = append(spans, span{r.Addr &^ (PageSize - 1), (r.Addr + r.Size - 1) &^ (PageSize - 1)})
+	}
+	if len(spans) == 0 {
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].first < spans[j].first })
+	merged := spans[:1]
+	for _, sp := range spans[1:] {
+		cur := &merged[len(merged)-1]
+		if cur.last+PageSize > cur.last && sp.first <= cur.last+PageSize {
+			if sp.last > cur.last {
+				cur.last = sp.last
+			}
+		} else {
+			merged = append(merged, sp)
+		}
+	}
+	for _, sp := range merged {
+		for base := sp.first; ; {
+			end := sp.last
+			if end-base >= maxBatchRun {
+				end = base + maxBatchRun - PageSize
+			}
+			s.prefetchRun(base, end)
+			if end == sp.last {
+				break
+			}
+			base = end + PageSize
+		}
+	}
+}
+
+// prefetchRun is one batch fill of the pages [first, last]: residency is
+// checked under the read lock, and only a run that actually misses counts as
+// a batch run and reaches the link.
+func (s *Snapshot) prefetchRun(first, last uint64) {
+	s.mu.RLock()
+	missing := false
+	for base := first; ; base += PageSize {
+		if _, ok := s.pages[base]; ok {
+			s.hits.Add(1)
+			s.mHits.Inc()
+		} else {
+			missing = true
+		}
+		if base == last {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if !missing {
+		return
+	}
+	s.batchRuns.Add(1)
+	s.mBatchRuns.Inc()
+	s.mu.Lock()
+	_ = s.fillLocked(first, last)
+	s.mu.Unlock()
+}
+
 // ensure makes every page covering [addr, addr+size) cache-resident,
-// fetching runs of contiguous missing pages in one read each.
+// fetching runs of contiguous missing pages in one read each. Ranges that
+// wrap past the top of the address space (a garbage or poisoned pointer fed
+// to Prefetch) are clamped: without the clamp, last wraps below first and
+// the page loops never terminate.
 func (s *Snapshot) ensure(addr, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	if addr+size-1 < addr {
+		size = -addr
+	}
 	first := addr &^ (PageSize - 1)
 	last := (addr + size - 1) &^ (PageSize - 1)
 
@@ -159,6 +256,13 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.fillLocked(first, last)
+}
+
+// fillLocked fetches every missing page in [first, last] (inclusive page
+// bases), coalescing runs of contiguous missing pages into one read each.
+// Caller holds s.mu.
+func (s *Snapshot) fillLocked(first, last uint64) error {
 	var firstErr error
 	for base := first; ; base += PageSize {
 		if _, ok := s.pages[base]; !ok {
@@ -170,18 +274,8 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 				}
 				end += PageSize
 			}
-			run := make([]byte, end-base+PageSize)
-			if err := s.under.ReadMemory(base, run); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-			} else {
-				s.mFills.Inc()
-				for off := uint64(0); off < uint64(len(run)); off += PageSize {
-					s.pages[base+off] = run[off : off+PageSize : off+PageSize]
-					s.misses.Add(1)
-					s.mMisses.Inc()
-				}
+			if err := s.fillRun(base, end); err != nil && firstErr == nil {
+				firstErr = err
 			}
 			base = end
 		}
@@ -190,6 +284,77 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 		}
 	}
 	return firstErr
+}
+
+// fillRun reads the pages [base, end] (inclusive bases) into the cache.
+// When the target chain exposes a memory map, the run is clipped to mapped
+// ranges before any read is issued — unmapped stretches are skipped, not
+// attempted — and an error is still reported so ReadMemory keeps its
+// fail-on-unreadable contract. Without a map, a failed multi-page run is
+// retried page by page so the mapped pages around a hole land in the cache
+// anyway.
+func (s *Snapshot) fillRun(base, end uint64) error {
+	size := end - base + PageSize
+	if clipped, ok := ClipMapped(s.under, base, size); ok {
+		var firstErr error
+		covered := uint64(0)
+		for _, r := range clipped {
+			// Defensive page alignment: the query is page-aligned, so a sane
+			// prober answers in whole pages; re-align and clamp regardless.
+			lo := r.Addr &^ (PageSize - 1)
+			hi := (r.End() - 1) &^ (PageSize - 1)
+			if lo < base {
+				lo = base
+			}
+			if hi > end {
+				hi = end
+			}
+			if lo > hi {
+				continue
+			}
+			if err := s.readRun(lo, hi-lo+PageSize); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			covered += hi - lo + PageSize
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		if covered < size {
+			return fmt.Errorf("target: %d of %d bytes unmapped in fill %#x+%#x",
+				size-covered, size, base, size)
+		}
+		return nil
+	}
+	err := s.readRun(base, size)
+	if err == nil || size == PageSize {
+		return err
+	}
+	// No memory map to clip against: degrade to per-page fills so one
+	// unmapped page no longer fails the whole multi-page fill.
+	var firstErr error
+	for off := uint64(0); off < size; off += PageSize {
+		if perr := s.readRun(base+off, PageSize); perr != nil && firstErr == nil {
+			firstErr = perr
+		}
+	}
+	return firstErr
+}
+
+// readRun issues one coalesced read of a page-aligned run and caches every
+// page of it. Caller holds s.mu.
+func (s *Snapshot) readRun(base, size uint64) error {
+	run := make([]byte, size)
+	if err := s.under.ReadMemory(base, run); err != nil {
+		return err
+	}
+	s.mFills.Inc()
+	for off := uint64(0); off < size; off += PageSize {
+		s.pages[base+off] = run[off : off+PageSize : off+PageSize]
+		s.misses.Add(1)
+		s.mMisses.Inc()
+	}
+	return nil
 }
 
 // LookupSymbol implements Target.
@@ -205,7 +370,13 @@ func (s *Snapshot) Types() *ctypes.Registry { return s.under.Types() }
 // (the underlying target's Stats count what actually crossed the link).
 func (s *Snapshot) Stats() *Stats { return &s.stats }
 
+// ClipMapped implements RangeProber when the underlying chain does.
+func (s *Snapshot) ClipMapped(addr, size uint64) ([]Range, bool) {
+	return ClipMapped(s.under, addr, size)
+}
+
 var (
-	_ Target     = (*Snapshot)(nil)
-	_ Prefetcher = (*Snapshot)(nil)
+	_ Target          = (*Snapshot)(nil)
+	_ Prefetcher      = (*Snapshot)(nil)
+	_ BatchPrefetcher = (*Snapshot)(nil)
 )

@@ -39,6 +39,11 @@ type Stats struct {
 	Reads        atomic.Uint64 // ReadMemory calls (logical read requests)
 	BytesRead    atomic.Uint64 // total bytes transferred
 	Transactions atomic.Uint64 // link-level round trips (>= Reads when reads split)
+	// Continuations counts follow-up packets of an already-open transfer
+	// (qXfer chunk replies): round trips that stream a reply the stub has
+	// already prepared, so they never re-pay the per-transaction memory-walk
+	// cost the paper measures at ~5 ms.
+	Continuations atomic.Uint64
 }
 
 // CountRead records one logical read of n bytes carried by one transaction.
@@ -53,6 +58,7 @@ func (s *Stats) Reset() {
 	s.Reads.Store(0)
 	s.BytesRead.Store(0)
 	s.Transactions.Store(0)
+	s.Continuations.Store(0)
 }
 
 // Snapshot returns the current (reads, bytes) totals.
@@ -88,6 +94,69 @@ type Prefetcher interface {
 	Prefetch(addr, size uint64)
 }
 
+// Range describes one contiguous span of target memory.
+type Range struct {
+	Addr uint64
+	Size uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() uint64 { return r.Addr + r.Size }
+
+// RangeProber is implemented by targets that know the target's memory map.
+// ClipMapped intersects [addr, addr+size) with the mapped ranges, returning
+// the readable subranges in ascending order. ok is false when the target
+// cannot tell (an RSP stub without a memory-map annex); callers must then
+// treat the whole range as potentially mapped. Probing is metadata, like
+// symbol lookup: it never costs link transactions once the map is loaded.
+type RangeProber interface {
+	ClipMapped(addr, size uint64) (ranges []Range, ok bool)
+}
+
+// ClipMapped probes t's memory map when it has one. See RangeProber.
+func ClipMapped(t Target, addr, size uint64) ([]Range, bool) {
+	if p, ok := t.(RangeProber); ok {
+		return p.ClipMapped(addr, size)
+	}
+	return nil, false
+}
+
+// BatchPrefetcher is implemented by caching targets that can fill many
+// ranges at once, merging adjacent ranges into coalesced link transactions
+// and clipping them to the mapped memory map.
+type BatchPrefetcher interface {
+	PrefetchRanges(ranges []Range)
+}
+
+// PrefetchBatch hints that every given range is about to be read field by
+// field — the cross-element companion of Prefetch: a container walk collects
+// all yielded element extents and hands them over in one pass, so adjacent
+// elements (array slots, contiguous slab objects) merge into single fills.
+// Advisory like Prefetch: errors are swallowed, unmapped stretches are
+// skipped, raw targets ignore it.
+func PrefetchBatch(t Target, ranges []Range) {
+	rs := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Addr == 0 || r.Size == 0 {
+			continue
+		}
+		if r.Size > maxPrefetch {
+			r.Size = maxPrefetch
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return
+	}
+	if bp, ok := t.(BatchPrefetcher); ok {
+		bp.PrefetchRanges(rs)
+		return
+	}
+	for _, r := range rs {
+		Prefetch(t, r.Addr, r.Size)
+	}
+}
+
 // maxPrefetch bounds a single coalesced object fetch; anything larger is
 // walked via containers anyway, so prefetching it whole would waste link
 // bandwidth.
@@ -102,6 +171,9 @@ func Prefetch(t Target, addr, size uint64) {
 	}
 	if size > maxPrefetch {
 		size = maxPrefetch
+	}
+	if addr+size < addr {
+		size = -addr // clamp a wrapping range (poisoned pointer) at the top
 	}
 	if p, ok := t.(Prefetcher); ok {
 		p.Prefetch(addr, size)

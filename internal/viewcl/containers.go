@@ -24,6 +24,7 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 		return vval{}, err
 	}
 	sp.TagUint("elems", uint64(len(elems)))
+	r.batchPrefetch(n, elems)
 	var ids []string
 	for i, el := range elems {
 		isp := r.tr.StartSpan("iter")
@@ -134,6 +135,36 @@ func (r *runState) prefetchElem(h elemHint, addr uint64) {
 	if r.in.Obs != nil {
 		r.in.Obs.PrefetchHints.Inc()
 	}
+}
+
+// batchPrefetch coalesces the fills for every element a container walk
+// yielded into merged page runs before materialization touches them one by
+// one. Per-hop prefetch (prefetchElem) can only see one element at a time —
+// the walk discovers addresses sequentially — but once iterate returns, the
+// full element set is known, so adjacent elements' pages merge into single
+// link transactions and unmapped holes are clipped out instead of failing a
+// whole multi-page fill. Elements cover the lvalue kinds per-hop prefetch
+// never touched (Array, PipeRing) as well as hinted pointer-chasing walks.
+func (r *runState) batchPrefetch(n *ContainerNode, elems []expr.Value) {
+	if !r.in.PrefetchHints || len(elems) < 2 {
+		return
+	}
+	hint := r.containerHint(n)
+	ranges := make([]target.Range, 0, len(elems))
+	for _, el := range elems {
+		switch {
+		case el.HasAddr && el.Type != nil && el.Type.Size() > 0:
+			ranges = append(ranges, target.Range{Addr: el.Addr, Size: el.Type.Size()})
+		case hint.on && el.Type != nil && el.Type.IsPointer() && el.Bits != 0 && el.Bits >= hint.off:
+			ranges = append(ranges, target.Range{Addr: el.Bits - hint.off, Size: hint.size})
+		}
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	// No counter bump here: the snapshot layer counts actual batch fill
+	// runs (vl_batch_prefetch_runs_total); resident ranges cost nothing.
+	target.PrefetchBatch(r.in.Env.Target, ranges)
 }
 
 // cellBox wraps a raw scalar element as a small virtual box.
