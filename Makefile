@@ -6,14 +6,17 @@
 #   make table4        regenerate the paper's Table 4 (+ cache before/after + JSON)
 #   make bench-regress re-run perfbench and fail if any figure's cached
 #                      kgdb_ms regressed >25% (+50ms slack) vs BENCH_1.json,
-#                      or the slow-link (PacketSize=512 RSP) cost regressed
-#                      vs BENCH_3.json
+#                      the slow-link (PacketSize=512 RSP) cost regressed
+#                      vs BENCH_3.json, or the steady-state incremental
+#                      cost regressed vs BENCH_4.json (same 25%/50ms gate,
+#                      plus a 0.9 box reuse-ratio floor)
 #   make race-link     race-detector pass over the read pipeline packages
-#                      (gdbrsp client/server, target cache, core workers)
+#                      (gdbrsp client/server, target cache, memory journal,
+#                      interpreter memo, server, core workers)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady
 
 ci: vet build race race-link bench-smoke bench-regress
 
@@ -30,7 +33,7 @@ race:
 	$(GO) test -race ./...
 
 race-link:
-	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/core
+	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .
@@ -39,12 +42,16 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
 	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
+	$(GO) run ./cmd/benchguard -reusefloor 0.9 BENCH_4.json BENCH_4_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
 
 table4-rsp:
 	$(GO) run ./cmd/perfbench -rspjson BENCH_3.json
+
+table4-steady:
+	$(GO) run ./cmd/perfbench -steadyjson BENCH_4.json

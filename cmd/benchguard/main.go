@@ -6,6 +6,12 @@
 // Usage:
 //
 //	benchguard [-threshold 1.25] [-slack 50] BENCH_1.json BENCH_2.json
+//	benchguard -reusefloor 0.8 BENCH_4.base.json BENCH_4.json
+//
+// Two file shapes are understood: the flat per-figure array written by
+// perfbench -json / -rspjson (gated on kgdb_ms), and the steady-state
+// report written by perfbench -steadyjson (gated on each row's
+// steady_kgdb_ms, plus the whole-run reuse_ratio when -reusefloor is set).
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -26,12 +32,31 @@ type record struct {
 	KGDBMs float64 `json:"kgdb_ms"`
 }
 
+// steadyFile mirrors the perf.SteadyReport fields benchguard needs: the
+// per-figure steady-state link cost and the run-wide box reuse ratio.
+type steadyFile struct {
+	Rows []struct {
+		Figure   string  `json:"figure"`
+		SteadyMS float64 `json:"steady_kgdb_ms"`
+	} `json:"rows"`
+	ReuseRatio float64 `json:"reuse_ratio"`
+}
+
+// bench is one loaded file: per-figure costs plus, for steady-state
+// reports, the reuse ratio.
+type bench struct {
+	recs       map[string]record
+	reuseRatio float64
+	steady     bool
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 1.25, "max allowed kgdb_ms ratio vs baseline")
 	slack := flag.Float64("slack", 50, "absolute slack in ms (regressions smaller than this never fail)")
+	reuseFloor := flag.Float64("reusefloor", 0, "min reuse_ratio for steady-state reports (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 1.25] [-slack 50] BASELINE.json CURRENT.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 1.25] [-slack 50] [-reusefloor 0.8] BASELINE.json CURRENT.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -46,8 +71,8 @@ func main() {
 	}
 
 	failed := false
-	for _, c := range cur {
-		b, ok := base[c.Figure]
+	for _, c := range cur.recs {
+		b, ok := base.recs[c.Figure]
 		if !ok {
 			fmt.Printf("benchguard: %-12s new figure (%.1f ms), no baseline — ok\n", c.Figure, c.KGDBMs)
 			continue
@@ -65,10 +90,21 @@ func main() {
 				c.Figure, c.KGDBMs, b.KGDBMs, ratio)
 		}
 	}
-	for fig := range base {
-		if _, ok := lookup(cur, fig); !ok {
+	for fig := range base.recs {
+		if _, ok := cur.recs[fig]; !ok {
 			fmt.Printf("benchguard: %-12s MISSING from current run\n", fig)
 			failed = true
+		}
+	}
+	if *reuseFloor > 0 {
+		if !cur.steady {
+			fmt.Printf("benchguard: -reusefloor set but %s is not a steady-state report\n", flag.Arg(1))
+			failed = true
+		} else if cur.reuseRatio < *reuseFloor {
+			fmt.Printf("benchguard: reuse_ratio %.3f BELOW floor %.3f\n", cur.reuseRatio, *reuseFloor)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: reuse_ratio %.3f ok (floor %.3f)\n", cur.reuseRatio, *reuseFloor)
 		}
 	}
 	if failed {
@@ -78,23 +114,26 @@ func main() {
 	fmt.Println("benchguard: PASS")
 }
 
-func load(path string) (map[string]record, error) {
+func load(path string) (*bench, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var recs []record
-	if err := json.Unmarshal(blob, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(blob, &recs); err == nil {
+		out := &bench{recs: make(map[string]record, len(recs))}
+		for _, r := range recs {
+			out.recs[r.Figure] = r
+		}
+		return out, nil
 	}
-	out := make(map[string]record, len(recs))
-	for _, r := range recs {
-		out[r.Figure] = r
+	var sf steadyFile
+	if err := json.Unmarshal(blob, &sf); err != nil || len(sf.Rows) == 0 {
+		return nil, fmt.Errorf("%s: neither a perfbench array nor a steady-state report", path)
+	}
+	out := &bench{recs: make(map[string]record, len(sf.Rows)), reuseRatio: sf.ReuseRatio, steady: true}
+	for _, r := range sf.Rows {
+		out.recs[r.Figure] = record{Figure: r.Figure, KGDBMs: r.SteadyMS}
 	}
 	return out, nil
-}
-
-func lookup(m map[string]record, fig string) (record, bool) {
-	r, ok := m[fig]
-	return r, ok
 }

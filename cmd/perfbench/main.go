@@ -17,6 +17,11 @@
 //	                             # PacketSize=512 RSP stub behind the snapshot
 //	                             # cache, deterministic modeled cost — and
 //	                             # write it as JSON (benchguard-compatible)
+//	perfbench -steadyjson BENCH_4.json
+//	                             # also run the steady-state incremental
+//	                             # personality — attach, extract all figures,
+//	                             # one Dirty-Pipe mutation, stop, re-extract —
+//	                             # and write the cold-vs-steady report as JSON
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -68,6 +73,7 @@ func main() {
 	rsp := flag.Bool("rsp", false, "also measure extraction through a real GDB-RSP loopback socket")
 	jsonOut := flag.String("json", "", "write per-figure results to this JSON file (e.g. BENCH_1.json)")
 	rspJSONOut := flag.String("rspjson", "", "write the slow-link (PacketSize-constrained RSP, cached, modeled) results to this JSON file (e.g. BENCH_3.json)")
+	steadyJSONOut := flag.String("steadyjson", "", "write the steady-state incremental re-extraction report to this JSON file (e.g. BENCH_4.json)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -148,6 +154,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (slow-link personality, PacketSize=%d, modeled)\n", *rspJSONOut, *packetSize)
+	}
+
+	if *steadyJSONOut != "" {
+		// The incremental personality: one generation-tagged snapshot, one
+		// cold round, one Dirty-Pipe mutation, one steady round. Costs are
+		// pure virtual link time, so the file is byte-stable across runs.
+		steadyModel := target.LatencyModel{PerRead: *perRead, PerByte: *perByte, PerContinuation: *perCont, PerHashCheck: target.DefaultKGDB.PerHashCheck}
+		rep, err := perf.MeasureSteadyState(opts, steadyModel, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: steadyjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: steadyjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*steadyJSONOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: steadyjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nSteady-state incremental re-extraction (one Dirty-Pipe mutation between rounds):\n")
+		fmt.Printf("%-12s | %10s %10s | %6s %6s %6s\n",
+			"figure", "cold(ms)", "steady(ms)", "reused", "boxes+", "boxes=")
+		for _, r := range rep.Rows {
+			fmt.Printf("%-12s | %10.1f %10.1f | %6v %6d %6d\n",
+				r.FigureID, r.ColdMS, r.SteadyMS, r.Reused, r.BoxBuilds, r.BoxReuses)
+		}
+		fmt.Printf("steady round = %.1f%% of cold; box reuse ratio %.2f; %d/%d figures served whole\n",
+			rep.SteadyFraction*100, rep.ReuseRatio, rep.FiguresReused, rep.Figures)
+		fmt.Printf("wrote %s\n", *steadyJSONOut)
 	}
 
 	if *traceOut != "" {

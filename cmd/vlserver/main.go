@@ -24,9 +24,14 @@ func main() {
 	figure := flag.String("figure", "7-1", "figure to plot at startup ('' for none)")
 	workspace := flag.String("workspace", "", "comma-separated figure IDs (or 'all') to extract concurrently on attach, each with its own trace")
 	workers := flag.Int("workers", 0, "workspace extraction workers (0 = GOMAXPROCS)")
+	metricsEvery := flag.Duration("metrics-interval", 0, "periodically snapshot the metrics registry into the /debug/metrics/history ring (0 disables)")
 	flag.Parse()
 
 	o := obs.NewObserver()
+	if *metricsEvery > 0 {
+		stop := o.StartMetricsHistory(*metricsEvery)
+		defer stop()
+	}
 	session, k, _ := core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, o)
 
 	if *workspace != "" {
@@ -58,7 +63,7 @@ func main() {
 	_, bytes := k.Mem.Footprint()
 	fmt.Printf("vlserver: simulated kernel ready (%d tasks, %d KiB); listening on http://%s\n",
 		len(k.Tasks), bytes/1024, *addr)
-	fmt.Printf("vlserver: metrics at /debug/metrics, traces at /debug/trace/{pane|last}, slow log at /debug/slowlog\n")
+	fmt.Printf("vlserver: metrics at /debug/metrics (+/history), traces at /debug/trace/{pane|last}, slow log at /debug/slowlog\n")
 	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
 }
 

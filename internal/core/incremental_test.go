@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"testing"
+
+	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
+	"visualinux/internal/render"
+	"visualinux/internal/vclstdlib"
+)
+
+// coldText extracts one figure with a completely fresh session over the
+// kernel's raw target — the ground truth the incremental pipeline must
+// match byte for byte.
+func coldText(t *testing.T, k *kernelsim.Kernel, fig vclstdlib.Figure) string {
+	t.Helper()
+	s := core.SessionOver(k, k.Target())
+	p, err := s.VPlotFigure(fig.ID)
+	if err != nil {
+		t.Fatalf("cold extraction of %s: %v", fig.ID, err)
+	}
+	return render.Text(p.Graph)
+}
+
+// The repeated stop→mutate→resume cycle: every round's incremental output
+// must be byte-identical to a cold extractor's view of the same state, the
+// snapshot generation must be monotone, and the reuse counters must move
+// the right way (everything reused on a quiet round, the touched figure
+// re-extracted after a mutation).
+func TestIncrementalRoundsMatchColdExtraction(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	o := obs.NewObserver()
+	figs := vclstdlib.Figures()
+	x := core.NewIncrementalExtractor(k, k.Target(), figs, o)
+
+	mutate := []func() error{
+		nil, // round 1: quiet — everything must be figure-level reused
+		func() error { return k.PipeWrite(k.DirtyPipe, 64) },
+		func() error { _, err := k.SpawnTask(9001, "incrtest", 1); return err },
+		nil, // final quiet round: back to full reuse
+	}
+
+	if _, err := x.Round(); err != nil {
+		t.Fatalf("cold round: %v", err)
+	}
+	lastGen := x.Snapshot().Generation()
+
+	for round, m := range mutate {
+		if m != nil {
+			if err := m(); err != nil {
+				t.Fatalf("round %d mutation: %v", round, err)
+			}
+		}
+		x.Advance()
+		if g := x.Snapshot().Generation(); g <= lastGen {
+			t.Fatalf("round %d: generation not monotone (%d after %d)", round, g, lastGen)
+		} else {
+			lastGen = g
+		}
+
+		out, err := x.Round()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		reusedAll := true
+		for i, rr := range out {
+			if !rr.Reused {
+				reusedAll = false
+			}
+			got := render.Text(rr.Res.Graph)
+			if want := coldText(t, k, figs[i]); got != want {
+				t.Errorf("round %d: figure %s diverged from cold extraction", round, figs[i].ID)
+			}
+		}
+		if m == nil && !reusedAll {
+			t.Errorf("round %d: quiet round re-extracted figures", round)
+		}
+		if m != nil && reusedAll {
+			t.Errorf("round %d: mutation round reused every figure whole", round)
+		}
+	}
+
+	snap := x.Snapshot()
+	if snap.Advances() == 0 {
+		t.Error("no advances counted")
+	}
+	if snap.Promotions() == 0 {
+		t.Error("journal promoted nothing across quiet rounds")
+	}
+	hits, _ := snap.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits across rounds")
+	}
+	if o.FigureReuses.Value() == 0 {
+		t.Error("observer counted no figure reuses")
+	}
+	if x.Rounds() != len(mutate)+1 {
+		t.Errorf("Rounds() = %d, want %d", x.Rounds(), len(mutate)+1)
+	}
+}
+
+// Pane versions track figure-level deltas: a reused figure keeps its pane
+// version (the server's ETag then answers 304), a re-extracted figure bumps
+// it.
+func TestIncrementalPaneVersions(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	figs := []vclstdlib.Figure{mustFigure(t, "3-6"), mustFigure(t, "7-1")}
+	x := core.NewIncrementalExtractor(k, k.Target(), figs, nil)
+
+	out, err := x.Round()
+	if err != nil {
+		t.Fatalf("cold round: %v", err)
+	}
+	v0 := []int{out[0].Pane.Version, out[1].Pane.Version}
+
+	if err := k.PipeWrite(k.DirtyPipe, 64); err != nil {
+		t.Fatalf("PipeWrite: %v", err)
+	}
+	x.Advance()
+	out, err = x.Round()
+	if err != nil {
+		t.Fatalf("steady round: %v", err)
+	}
+	// 3-6 is the pipe figure: it must have re-extracted with a version
+	// bump; 7-1 (sockets) reads nothing the pipe write touches.
+	if out[0].Reused || out[0].Pane.Version != v0[0]+1 {
+		t.Errorf("pipe figure: reused=%v version %d→%d, want re-extracted with bump",
+			out[0].Reused, v0[0], out[0].Pane.Version)
+	}
+	if !out[1].Reused || out[1].Pane.Version != v0[1] {
+		t.Errorf("socket figure: reused=%v version %d→%d, want reused with stable version",
+			out[1].Reused, v0[1], out[1].Pane.Version)
+	}
+}
+
+func mustFigure(t *testing.T, id string) vclstdlib.Figure {
+	t.Helper()
+	fig, ok := vclstdlib.FigureByID(id)
+	if !ok {
+		t.Fatalf("unknown figure %s", id)
+	}
+	return fig
+}

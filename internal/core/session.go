@@ -353,6 +353,9 @@ func (s *Session) VCtrl(cmd string) (string, error) {
 				}
 			}
 		}
+		if n > 0 {
+			s.Tree.BumpEpoch()
+		}
 		return fmt.Sprintf("%d boxes expanded", n), nil
 	case "layout":
 		return s.Tree.Layout(), nil
@@ -432,6 +435,7 @@ func (s *Session) VChat(paneID int, text string) (string, error) {
 	if err := p.Engine.Apply(prog); err != nil {
 		return prog, fmt.Errorf("vchat: synthesized program failed: %w", err)
 	}
+	s.Tree.BumpEpoch()
 	return prog, nil
 }
 

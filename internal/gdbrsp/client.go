@@ -76,6 +76,8 @@ type Client struct {
 	packetMax  int
 	hasMemRead bool // stub advertises qXfer:memory:read+
 	hasMemMap  bool // stub advertises qXfer:memory-map:read+
+	hasMemHash bool // stub advertises qXfer:memory-hash:read+
+	hasDirty   bool // stub advertises qXfer:dirty-ranges:read+
 
 	timeout time.Duration
 
@@ -115,6 +117,8 @@ func Dial(addr string, reg *ctypes.Registry, symbols []target.Symbol) (*Client, 
 	c.packetMax = parsePacketSize(features)
 	c.hasMemRead = hasFeature(features, "qXfer:memory:read+")
 	c.hasMemMap = hasFeature(features, "qXfer:memory-map:read+")
+	c.hasMemHash = hasFeature(features, "qXfer:memory-hash:read+")
+	c.hasDirty = hasFeature(features, "qXfer:dirty-ranges:read+")
 	if _, err := c.roundTrip("?"); err != nil {
 		conn.Close()
 		return nil, err
@@ -435,6 +439,105 @@ func (c *Client) fetchMemMap() {
 	c.memMapLoaded = true
 }
 
+// fetchTextAnnex pulls one plain-text annex blob (qXfer:<annex>:read:<arg>)
+// over m/l continuation chunks, with the usual accounting: one transaction
+// for the sequence, continuations for the follow-up chunks.
+func (c *Client) fetchTextAnnex(annex, arg string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var blob []byte
+	c.stats.Transactions.Add(1)
+	for off := uint64(0); ; {
+		if off > 0 {
+			c.stats.Continuations.Add(1)
+			if c.o != nil {
+				c.o.LinkContinuations.Inc()
+			}
+		}
+		reply, err := c.roundTripLocked(fmt.Sprintf("qXfer:%s:read:%s:%x,%x",
+			annex, arg, off, uint64(c.packetMax)))
+		if err != nil {
+			return "", err
+		}
+		if len(reply) >= 1 && reply[0] == 'E' {
+			return "", fmt.Errorf("gdbrsp: stub error %s on qXfer:%s", reply, annex)
+		}
+		if len(reply) == 0 || (reply[0] != 'm' && reply[0] != 'l') {
+			return "", fmt.Errorf("gdbrsp: malformed qXfer:%s reply %.16q", annex, reply)
+		}
+		blob = append(blob, reply[1:]...)
+		off += uint64(len(reply) - 1)
+		if reply[0] == 'l' {
+			break
+		}
+		if len(reply) == 1 {
+			return "", fmt.Errorf("gdbrsp: empty qXfer:%s chunk (no progress)", annex)
+		}
+	}
+	return string(blob), nil
+}
+
+// HashBlocks implements target.PageHasher over the qXfer:memory-hash:read
+// annex: SubPage-granular content hashes the stub computes against its own
+// memory. A handful of continuation chunks replaces refetching whole pages —
+// the cheap revalidation exchange of the incremental read path. ok=false
+// without the annex (callers fall back to refetching).
+func (c *Client) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	if !c.hasMemHash || size == 0 || addr%target.SubPage != 0 || size%target.SubPage != 0 {
+		return nil, false
+	}
+	blob, err := c.fetchTextAnnex("memory-hash", fmt.Sprintf("%x,%x", addr, size))
+	if err != nil {
+		return nil, false
+	}
+	want := int(size / target.SubPage)
+	if len(blob) != want*16 {
+		return nil, false
+	}
+	hashes := make([]uint64, want)
+	for i := range hashes {
+		v, err := parseHexU64(blob[i*16 : i*16+16])
+		if err != nil {
+			return nil, false
+		}
+		hashes[i] = v
+	}
+	c.stats.HashChecks.Add(1)
+	return hashes, true
+}
+
+// DirtySince implements target.DirtyTracker over the qXfer:dirty-ranges:read
+// annex: the stub's write journal since mark, as "NEXT;addr,size;...". An
+// error reply (history lost past mark) or a stub without the annex yields
+// ok=false, and the snapshot gracefully degrades to hash revalidation.
+func (c *Client) DirtySince(mark uint64) ([]target.Range, uint64, bool) {
+	if !c.hasDirty {
+		return nil, 0, false
+	}
+	blob, err := c.fetchTextAnnex("dirty-ranges", fmt.Sprintf("%x", mark))
+	if err != nil {
+		return nil, 0, false
+	}
+	parts := strings.Split(blob, ";")
+	next, err := parseHexU64(parts[0])
+	if err != nil {
+		return nil, 0, false
+	}
+	var out []target.Range
+	for _, p := range parts[1:] {
+		if p == "" {
+			continue
+		}
+		a, sz, err := splitAddrLen(p)
+		if err != nil {
+			return nil, 0, false
+		}
+		out = append(out, target.Range{Addr: a, Size: sz})
+	}
+	c.stats.HashChecks.Add(1)
+	return target.MergeRanges(out), next, true
+}
+
 // parseMemMap parses "addr,size;addr,size;...;" into sorted ranges.
 func parseMemMap(s string) ([]target.Range, error) {
 	var out []target.Range
@@ -471,6 +574,8 @@ func (c *Client) Types() *ctypes.Registry { return c.types }
 func (c *Client) Stats() *target.Stats { return &c.stats }
 
 var (
-	_ target.Target      = (*Client)(nil)
-	_ target.RangeProber = (*Client)(nil)
+	_ target.Target       = (*Client)(nil)
+	_ target.RangeProber  = (*Client)(nil)
+	_ target.PageHasher   = (*Client)(nil)
+	_ target.DirtyTracker = (*Client)(nil)
 )

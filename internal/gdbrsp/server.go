@@ -30,6 +30,11 @@ type Server struct {
 	backing   target.Target
 	ln        net.Listener
 	packetMax int
+	// noDirty / noHash suppress advertising the dirty-ranges and memory-hash
+	// annexes even when the backing could serve them — modeling older stubs,
+	// and letting tests pin the hash-fallback and refetch-fallback paths.
+	noDirty bool
+	noHash  bool
 
 	mu     sync.Mutex
 	closed bool
@@ -51,6 +56,18 @@ func WithPacketSize(n int) ServerOption {
 		}
 		s.packetMax = n
 	}
+}
+
+// WithoutDirtyAnnex disables the qXfer:dirty-ranges:read annex, modeling a
+// stub without a write journal; clients degrade to hash revalidation.
+func WithoutDirtyAnnex() ServerOption {
+	return func(s *Server) { s.noDirty = true }
+}
+
+// WithoutHashAnnex disables the qXfer:memory-hash:read annex, modeling a
+// stub that cannot hash its memory; clients degrade to whole-page refetch.
+func WithoutHashAnnex() ServerOption {
+	return func(s *Server) { s.noHash = true }
 }
 
 // Serve starts an RSP server on addr ("127.0.0.1:0" for an ephemeral
@@ -99,6 +116,13 @@ func (s *Server) acceptLoop() {
 type stubConn struct {
 	s       *Server
 	mapBlob []byte
+	// Chunked-annex reply caches, keyed by the annex argument so a
+	// continuation sequence reads one consistent blob. Rebuilt whenever a
+	// request arrives at offset 0 or with a different argument.
+	hashBlob  []byte
+	hashKey   string
+	dirtyBlob []byte
+	dirtyKey  string
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -204,6 +228,10 @@ func (c *stubConn) dispatch(payload string) (reply string, kill bool) {
 		return s.xferMemoryRead(payload[len("qXfer:memory:read:"):]), false
 	case hasPrefix(payload, "qXfer:memory-map:read:"):
 		return c.xferMemoryMap(payload[len("qXfer:memory-map:read:"):]), false
+	case hasPrefix(payload, "qXfer:memory-hash:read:"):
+		return c.xferMemoryHash(payload[len("qXfer:memory-hash:read:"):]), false
+	case hasPrefix(payload, "qXfer:dirty-ranges:read:"):
+		return c.xferDirtyRanges(payload[len("qXfer:dirty-ranges:read:"):]), false
 	case payload == "?":
 		return "S05", false // stopped by SIGTRAP, like a fresh attach
 	case payload == "g":
@@ -221,6 +249,14 @@ func (c *stubConn) dispatch(payload string) (reply string, kill bool) {
 		features := fmt.Sprintf("PacketSize=%x;qXfer:features:read-;qXfer:memory:read+", s.packetMax)
 		if _, ok := s.backing.(mappedRanger); ok {
 			features += ";qXfer:memory-map:read+"
+		}
+		if !s.noHash {
+			features += ";qXfer:memory-hash:read+"
+		}
+		if !s.noDirty {
+			if _, ok := s.backing.(target.DirtyTracker); ok {
+				features += ";qXfer:dirty-ranges:read+"
+			}
 		}
 		return features, false
 	case payload == "D": // detach
@@ -326,6 +362,120 @@ func (c *stubConn) xferMemoryMap(spec string) string {
 	}
 	chunk := c.mapBlob[off : off+window]
 	if off+window == uint64(len(c.mapBlob)) {
+		return "l" + string(chunk)
+	}
+	return "m" + string(chunk)
+}
+
+// xferMemoryHash serves qXfer:memory-hash:read:ADDR,LEN:OFF,N — SubPage-
+// granular FNV-1a 64 content hashes of [ADDR, ADDR+LEN), 16 hex chars per
+// block, windowed with the usual m/l continuation framing. The hash vector
+// is computed once per sequence (offset 0 or a new range) so a chunked
+// fetch sees one consistent snapshot. Unmapped blocks hash as 0, matching
+// the machine-side convention. This is the cheap revalidation primitive:
+// the debugger confirms a stale page unchanged for 16 hex chars per 256 B
+// instead of re-reading 4 KiB.
+func (c *stubConn) xferMemoryHash(spec string) string {
+	if c.s.noHash {
+		return "" // unsupported -> empty reply per RSP
+	}
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return errorReply(0x16)
+	}
+	addr, length, err := splitAddrLen(spec[:i])
+	if err != nil || addr%target.SubPage != 0 || length%target.SubPage != 0 || length == 0 {
+		return errorReply(0x16)
+	}
+	off, n, err := splitAddrLen(spec[i+1:])
+	if err != nil {
+		return errorReply(0x16)
+	}
+	key := spec[:i]
+	if off == 0 || c.hashKey != key || c.hashBlob == nil {
+		hashes, ok := target.HashBlocks(c.s.backing, addr, length)
+		if !ok {
+			hashes = c.hashLocally(addr, length)
+		}
+		blob := make([]byte, 0, 16*len(hashes))
+		for _, h := range hashes {
+			blob = append(blob, fmt.Sprintf("%016x", h)...)
+		}
+		c.hashBlob, c.hashKey = blob, key
+	}
+	return windowText(c.hashBlob, off, n, c.s.packetMax)
+}
+
+// hashLocally computes block hashes by reading the backing memory — the
+// fallback when the backing target has no native hasher.
+func (c *stubConn) hashLocally(addr, length uint64) []uint64 {
+	hashes := make([]uint64, 0, length/target.SubPage)
+	buf := make([]byte, target.SubPage)
+	for off := uint64(0); off < length; off += target.SubPage {
+		if err := c.s.backing.ReadMemory(addr+off, buf); err != nil {
+			hashes = append(hashes, 0)
+			continue
+		}
+		hashes = append(hashes, target.HashBlock(buf))
+	}
+	return hashes
+}
+
+// xferDirtyRanges serves qXfer:dirty-ranges:read:MARK:OFF,N — the write
+// journal since MARK as "NEXTMARK;addr,size;addr,size;..." (hex), windowed
+// with m/l framing. An error reply at offset 0 means the journal could not
+// answer (history lost past MARK, or no journal); the client then falls
+// back to hash revalidation. MARK=ffffffffffffffff arms a fresh cursor.
+func (c *stubConn) xferDirtyRanges(spec string) string {
+	if c.s.noDirty {
+		return ""
+	}
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return errorReply(0x16)
+	}
+	mark, err := parseHexU64(spec[:i])
+	if err != nil {
+		return errorReply(0x16)
+	}
+	off, n, err := splitAddrLen(spec[i+1:])
+	if err != nil {
+		return errorReply(0x16)
+	}
+	key := spec[:i]
+	if off == 0 || c.dirtyKey != key || c.dirtyBlob == nil {
+		dt, ok := c.s.backing.(target.DirtyTracker)
+		if !ok {
+			return ""
+		}
+		ranges, next, ok := dt.DirtySince(mark)
+		if !ok {
+			return errorReply(0x0b) // EAGAIN: history lost, re-arm and revalidate
+		}
+		blob := []byte(fmt.Sprintf("%x", next))
+		for _, r := range ranges {
+			blob = append(blob, fmt.Sprintf(";%x,%x", r.Addr, r.Size)...)
+		}
+		c.dirtyBlob, c.dirtyKey = blob, key
+	}
+	return windowText(c.dirtyBlob, off, n, c.s.packetMax)
+}
+
+// windowText frames one OFF,N window of a plain-text annex blob as an m/l
+// continuation reply, bounded by the negotiated packet size.
+func windowText(blob []byte, off, n uint64, packetMax int) string {
+	if off >= uint64(len(blob)) {
+		return "l"
+	}
+	window := uint64(len(blob)) - off
+	if n < window {
+		window = n
+	}
+	if bound := uint64(packetMax - 1); window > bound {
+		window = bound
+	}
+	chunk := blob[off : off+window]
+	if off+window == uint64(len(blob)) {
 		return "l" + string(chunk)
 	}
 	return "m" + string(chunk)

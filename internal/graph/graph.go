@@ -97,13 +97,21 @@ type View struct {
 	Items []Item
 }
 
-// Clone deep-copies the view.
+// Clone deep-copies the view, including per-item element slices and
+// attribute maps (so ViewQL UPDATEs on one copy never leak into another).
 func (v *View) Clone() *View {
 	nv := &View{Name: v.Name, Items: make([]Item, len(v.Items))}
 	copy(nv.Items, v.Items)
 	for i := range nv.Items {
 		if v.Items[i].Elems != nil {
 			nv.Items[i].Elems = append([]string(nil), v.Items[i].Elems...)
+		}
+		if v.Items[i].Attrs != nil {
+			attrs := make(map[string]string, len(v.Items[i].Attrs))
+			for k, val := range v.Items[i].Attrs {
+				attrs[k] = val
+			}
+			nv.Items[i].Attrs = attrs
 		}
 	}
 	return nv
@@ -129,6 +137,27 @@ func NewBox(id, label, typeName string, addr uint64) *Box {
 		Views: make(map[string]*View),
 		Attrs: make(map[string]string),
 	}
+}
+
+// Clone deep-copies the box. The extraction memo keeps pristine clones of
+// freshly built boxes and hands out further clones on reuse, so downstream
+// ViewQL mutation of one run's output cannot corrupt the cache.
+func (b *Box) Clone() *Box {
+	nb := &Box{
+		ID: b.ID, Label: b.Label, TypeName: b.TypeName, Addr: b.Addr,
+		Views: make(map[string]*View, len(b.Views)),
+		Attrs: make(map[string]string, len(b.Attrs)),
+	}
+	if b.ViewSeq != nil {
+		nb.ViewSeq = append([]string(nil), b.ViewSeq...)
+	}
+	for name, v := range b.Views {
+		nb.Views[name] = v.Clone()
+	}
+	for k, v := range b.Attrs {
+		nb.Attrs[k] = v
+	}
+	return nb
 }
 
 // AddView installs a view, keeping declaration order.

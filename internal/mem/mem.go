@@ -22,9 +22,32 @@ const PageSize = 4096
 // Memory is a sparse byte-addressable address space. The zero value is ready
 // to use. Memory is not safe for concurrent mutation; the debugger stops the
 // "machine" before reading, mirroring a stopped GDB inferior.
+//
+// Every Write is appended to a bounded journal of dirty ranges so a debugger
+// attached across stop events can ask "what changed since my last stop?"
+// instead of re-reading the world. WritesSince answers against a mark
+// (a journal sequence number) handed out by a previous call.
 type Memory struct {
 	pages map[uint64][]byte
+
+	// Write journal. journal[i] records the i-th surviving entry; seq of
+	// journal[0] is journalBase, and journalBase+len(journal) is the seq the
+	// NEXT write will get. Entries are never coalesced on append: a consumer
+	// holding a mark in the middle of a run must still see later writes.
+	journal     []WriteRange
+	journalBase uint64
 }
+
+// WriteRange is one journaled mutation: [Addr, Addr+Size).
+type WriteRange struct {
+	Addr uint64
+	Size uint64
+}
+
+// journalCap bounds the write journal. When it overflows, the oldest half is
+// dropped and journalBase advances; consumers holding marks older than the
+// base get ok=false from WritesSince and must fall back to revalidation.
+const journalCap = 4096
 
 // New returns an empty address space.
 func New() *Memory {
@@ -76,6 +99,9 @@ func (m *Memory) Read(addr uint64, dst []byte) error {
 
 // Write copies src into memory starting at addr, allocating pages as needed.
 func (m *Memory) Write(addr uint64, src []byte) {
+	if len(src) > 0 {
+		m.noteWrite(addr, uint64(len(src)))
+	}
 	for n := 0; n < len(src); {
 		p := m.page(addr, true)
 		off := int(addr & (PageSize - 1))
@@ -83,6 +109,37 @@ func (m *Memory) Write(addr uint64, src []byte) {
 		n += c
 		addr += uint64(c)
 	}
+}
+
+// noteWrite appends one range to the journal, dropping the oldest half when
+// the cap is hit so a long-running mutation burst costs O(1) amortized.
+func (m *Memory) noteWrite(addr, size uint64) {
+	if len(m.journal) >= journalCap {
+		drop := len(m.journal) / 2
+		m.journal = append(m.journal[:0], m.journal[drop:]...)
+		m.journalBase += uint64(drop)
+	}
+	m.journal = append(m.journal, WriteRange{Addr: addr, Size: size})
+}
+
+// WritesSince returns the ranges written since mark (a value returned by an
+// earlier call), the new mark to use next time, and whether the journal could
+// answer. A mark beyond the current cursor (e.g. ^uint64(0)) is clamped: it
+// returns no ranges and a fresh mark, which is how a consumer starts
+// tracking. ok=false means the journal overflowed past mark — the caller has
+// lost history and must fall back to content revalidation.
+func (m *Memory) WritesSince(mark uint64) (ranges []WriteRange, next uint64, ok bool) {
+	cur := m.journalBase + uint64(len(m.journal))
+	if mark >= cur {
+		return nil, cur, true
+	}
+	if mark < m.journalBase {
+		return nil, cur, false
+	}
+	tail := m.journal[mark-m.journalBase:]
+	ranges = make([]WriteRange, len(tail))
+	copy(ranges, tail)
+	return ranges, cur, true
 }
 
 // ReadU8 reads one byte.

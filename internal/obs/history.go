@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMetricsHistorySize bounds the push-metrics ring: at the default
+// 5 s snapshot interval, 120 points cover the last 10 minutes — enough for
+// a sparkline, small enough to never matter.
+const DefaultMetricsHistorySize = 120
+
+// MetricsPoint is one periodic registry snapshot: every scalar series by
+// name (see Registry.Values), stamped with a monotonically increasing
+// sequence number and wall-clock time.
+type MetricsPoint struct {
+	Seq    uint64             `json:"seq"`
+	UnixMS int64              `json:"unix_ms"`
+	Values map[string]float64 `json:"values"`
+}
+
+// MetricsHistory is a bounded ring of registry snapshots — the push
+// counterpart of the pull-only /debug/metrics endpoint, mirroring the slow
+// log's shape: fixed capacity, oldest entries dropped, safe for concurrent
+// writers and readers. The UI reads it at /debug/metrics/history to draw
+// sparklines without running a scraper.
+type MetricsHistory struct {
+	mu  sync.Mutex
+	cap int
+	seq uint64
+	buf []MetricsPoint // ring in insertion order; len <= cap
+}
+
+// NewMetricsHistory creates a ring keeping the most recent n points
+// (n <= 0 falls back to DefaultMetricsHistorySize).
+func NewMetricsHistory(n int) *MetricsHistory {
+	if n <= 0 {
+		n = DefaultMetricsHistorySize
+	}
+	return &MetricsHistory{cap: n}
+}
+
+// Snapshot appends one point sampled from r. Nil-safe on both sides.
+func (h *MetricsHistory) Snapshot(r *Registry) {
+	if h == nil || r == nil {
+		return
+	}
+	vals := r.Values()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	p := MetricsPoint{Seq: h.seq, UnixMS: time.Now().UnixMilli(), Values: vals}
+	if len(h.buf) < h.cap {
+		h.buf = append(h.buf, p)
+		return
+	}
+	copy(h.buf, h.buf[1:])
+	h.buf[len(h.buf)-1] = p
+}
+
+// Points returns the retained snapshots, oldest first.
+func (h *MetricsHistory) Points() []MetricsPoint {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]MetricsPoint, len(h.buf))
+	copy(out, h.buf)
+	return out
+}
+
+// Len reports how many points are retained.
+func (h *MetricsHistory) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.buf)
+}
+
+// Cap reports the ring capacity.
+func (h *MetricsHistory) Cap() int {
+	if h == nil {
+		return 0
+	}
+	return h.cap
+}
+
+// Start samples r into the ring every interval until the returned stop
+// function is called. One goroutine; stop is idempotent.
+func (h *MetricsHistory) Start(r *Registry, interval time.Duration) (stop func()) {
+	if h == nil || r == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.Snapshot(r)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

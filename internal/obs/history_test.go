@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The ring keeps exactly the newest cap points with monotone sequence
+// numbers, dropping the oldest.
+func TestMetricsHistoryRing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "test counter")
+	h := NewMetricsHistory(3)
+
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		h.Snapshot(r)
+	}
+	if h.Cap() != 3 || h.Len() != 3 {
+		t.Fatalf("cap/len = %d/%d, want 3/3", h.Cap(), h.Len())
+	}
+	pts := h.Points()
+	for i, p := range pts {
+		wantSeq := uint64(3 + i) // points 1 and 2 dropped
+		if p.Seq != wantSeq {
+			t.Errorf("point %d seq = %d, want %d", i, p.Seq, wantSeq)
+		}
+		if got := p.Values["test_total"]; got != float64(3+i) {
+			t.Errorf("point %d test_total = %v, want %d", i, got, 3+i)
+		}
+	}
+	// Points returns copies: mutating the result must not corrupt the ring.
+	pts[0].Values["test_total"] = -1
+	if h.Points()[0].Seq != 3 {
+		t.Error("ring corrupted by caller mutation")
+	}
+}
+
+// Nil receivers and registries are inert — the uninstrumented server path.
+func TestMetricsHistoryNilSafe(t *testing.T) {
+	var h *MetricsHistory
+	h.Snapshot(NewRegistry())
+	if h.Len() != 0 || h.Cap() != 0 || h.Points() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	NewMetricsHistory(1).Snapshot(nil)
+}
+
+// The periodic sampler feeds the ring until stopped; stop is idempotent.
+func TestMetricsHistoryStart(t *testing.T) {
+	r := NewRegistry()
+	h := NewMetricsHistory(8)
+	stop := h.Start(r, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+	if h.Len() == 0 {
+		t.Fatal("sampler produced no points")
+	}
+	n := h.Len()
+	time.Sleep(5 * time.Millisecond)
+	if h.Len() != n {
+		t.Fatal("sampler kept running after stop")
+	}
+}

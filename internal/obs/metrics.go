@@ -241,6 +241,34 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// Values returns a point-in-time numeric snapshot of every scalar series:
+// counters, gauges, and callback gauges by full series name, plus
+// `<name>_count` and `<name>_sum` for histograms. This is what the metrics
+// history ring stores — numbers a UI can chart directly, without parsing
+// the exposition text.
+func (r *Registry) Values() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counter)+len(r.gauge)+len(r.gfunc)+2*len(r.hist))
+	for name, c := range r.counter {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauge {
+		out[name] = g.Value()
+	}
+	for name, fn := range r.gfunc {
+		out[name] = fn()
+	}
+	for name, h := range r.hist {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Sum()
+	}
+	return out
+}
+
 // WritePrometheus renders every metric in the text exposition format,
 // deterministically ordered (sorted by base name, then series name) so the
 // output is golden-file testable.

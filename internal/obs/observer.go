@@ -31,13 +31,31 @@ type Observer struct {
 	SnapHits          *Counter // page lookups served from cache
 	SnapMisses        *Counter // pages fetched from the underlying target
 	SnapFills         *Counter // fill transactions (coalesced page-run reads)
-	SnapInvalidations *Counter // Invalidate calls (stop-event boundaries)
+	SnapInvalidations *Counter // Invalidate calls (wholesale cache drops)
+
+	// Incremental (generation-tagged) snapshot behaviour.
+	SnapAdvances       *Counter // Advance calls (incremental stop boundaries)
+	SnapRevalidations  *Counter // stale pages revalidated by content hash
+	SnapPromotions     *Counter // stale pages promoted clean by the write journal
+	SnapStaleRefetches *Counter // stale pages refetched whole (no hash capability)
+	SnapSubpageFills   *Counter // sub-page (256 B block) refetch runs issued
 
 	// ViewCL-level behaviour.
 	PrefetchHints     *Counter // container-iterator prefetch hints issued
 	BatchPrefetchRuns *Counter // coalesced cross-element batch-prefetch fills issued
 	Extractions       *Counter // completed VPlot extractions
 	TraceDrops        *Counter // spans dropped over tracer budgets
+
+	// Incremental extraction behaviour (bumped by the ViewCL memoizer and
+	// the core delta extractor).
+	BoxReuses    *Counter // boxes reused from the cross-run memo (clean content)
+	BoxBuilds    *Counter // boxes materialized from target reads
+	FigureReuses *Counter // whole figures served from the prior VPlot (clean read set)
+
+	// History is the bounded ring of periodic registry snapshots behind
+	// /debug/metrics/history (sparklines without a scraper). Populated by
+	// StartMetricsHistory or manual History.Snapshot calls.
+	History *MetricsHistory
 }
 
 // NewObserver creates a fully wired observer with a fresh registry and a
@@ -58,10 +76,22 @@ func NewObserver() *Observer {
 		SnapFills:         r.Counter("vl_snapshot_fill_transactions_total", "coalesced page-run fill reads issued by the snapshot"),
 		SnapInvalidations: r.Counter("vl_snapshot_invalidations_total", "snapshot invalidations (stop-event boundaries)"),
 
+		SnapAdvances:       r.Counter("vl_snapshot_advances_total", "incremental stop boundaries (Advance calls)"),
+		SnapRevalidations:  r.Counter("vl_snapshot_revalidations_total", "stale snapshot pages revalidated by content hash"),
+		SnapPromotions:     r.Counter("vl_snapshot_dirty_promotions_total", "stale snapshot pages promoted clean by the write journal"),
+		SnapStaleRefetches: r.Counter("vl_snapshot_stale_refetches_total", "stale snapshot pages refetched whole (no hash capability in the chain)"),
+		SnapSubpageFills:   r.Counter("vl_snapshot_subpage_fills_total", "sub-page (256 B block) refetch runs issued by snapshots"),
+
 		PrefetchHints:     r.Counter("vl_prefetch_hints_total", "container-iterator prefetch hints issued"),
 		BatchPrefetchRuns: r.Counter("vl_batch_prefetch_runs_total", "coalesced cross-element batch-prefetch fills issued by snapshots"),
 		Extractions:       r.Counter("vl_extractions_total", "completed VPlot extractions"),
 		TraceDrops:        r.Counter("vl_trace_dropped_spans_total", "spans dropped over per-trace budgets"),
+
+		BoxReuses:    r.Counter("vl_extract_box_reuse_total", "boxes reused from the cross-run extraction memo"),
+		BoxBuilds:    r.Counter("vl_extract_box_builds_total", "boxes materialized from target reads"),
+		FigureReuses: r.Counter("vl_extract_figure_reuse_total", "figures served whole from the prior VPlot (clean read set)"),
+
+		History: NewMetricsHistory(DefaultMetricsHistorySize),
 	}
 	r.GaugeFunc("vl_snapshot_hit_ratio", "live page-cache hit ratio (hits / lookups)", func() float64 {
 		h, m := o.SnapHits.Value(), o.SnapMisses.Value()
@@ -70,7 +100,24 @@ func NewObserver() *Observer {
 		}
 		return float64(h) / float64(h+m)
 	})
+	r.GaugeFunc("vl_extract_box_reuse_ratio", "fraction of boxes served from the cross-run memo (reuses / (reuses+builds))", func() float64 {
+		re, b := o.BoxReuses.Value(), o.BoxBuilds.Value()
+		if re+b == 0 {
+			return 0
+		}
+		return float64(re) / float64(re+b)
+	})
 	return o
+}
+
+// StartMetricsHistory starts the periodic registry snapshotter feeding
+// o.History and returns a stop function. Call it once per serving process;
+// tests drive o.History.Snapshot directly instead.
+func (o *Observer) StartMetricsHistory(interval time.Duration) (stop func()) {
+	if o == nil {
+		return func() {}
+	}
+	return o.History.Start(o.Registry, interval)
 }
 
 // ObserveStage records a pipeline-stage latency (stage in

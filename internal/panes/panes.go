@@ -49,6 +49,11 @@ type Pane struct {
 	Engine *viewql.Engine
 	// Selection holds the box IDs a secondary pane focuses on.
 	Selection []string
+	// Version counts content replacements (initially 1, bumped by
+	// Tree.Update). Together with the tree epoch it keys pane ETags: an
+	// unchanged version+epoch means the rendered bytes are unchanged, so
+	// the server can answer 304 instead of re-serializing.
+	Version int
 }
 
 // node is the split-tree structure.
@@ -64,6 +69,11 @@ type Tree struct {
 	panes  map[int]*Pane
 	byNode map[int]*node
 	nextID int
+	// epoch counts cross-pane attribute mutations (ViewQL refinements,
+	// expands, vchat). Panes share box objects, so a refinement applied to
+	// one pane can change what another renders without touching its
+	// Version; the epoch folds that into every pane's ETag.
+	epoch int
 }
 
 // NewTree creates a tree with one primary pane displaying g.
@@ -77,10 +87,33 @@ func NewTree(title string, g *graph.Graph) (*Tree, *Pane) {
 }
 
 func (t *Tree) newPane(kind Kind, title string, g *graph.Graph) *Pane {
-	p := &Pane{ID: t.nextID, Kind: kind, Title: title, Graph: g, Engine: viewql.NewEngine(g)}
+	p := &Pane{ID: t.nextID, Kind: kind, Title: title, Graph: g, Engine: viewql.NewEngine(g), Version: 1}
 	t.nextID++
 	t.panes[p.ID] = p
 	return p
+}
+
+// Epoch reports the cross-pane mutation counter.
+func (t *Tree) Epoch() int { return t.epoch }
+
+// BumpEpoch records a mutation of shared display state (box attributes)
+// outside the Refine path, e.g. a direct Engine.Apply or an expand.
+func (t *Tree) BumpEpoch() { t.epoch++ }
+
+// Update replaces a pane's content with a freshly extracted graph, bumping
+// its version: the incremental re-extraction path. The pane keeps its
+// identity and screen position; a fresh ViewQL engine is installed since
+// named sets reference the superseded graph's boxes. Secondary panes carved
+// from the old graph keep displaying the boxes they captured.
+func (t *Tree) Update(paneID int, g *graph.Graph) error {
+	p, ok := t.panes[paneID]
+	if !ok {
+		return fmt.Errorf("panes: no pane %d", paneID)
+	}
+	p.Graph = g
+	p.Engine = viewql.NewEngine(g)
+	p.Version++
+	return nil
 }
 
 // Pane looks up a pane by ID.
@@ -166,11 +199,14 @@ func (t *Tree) SelectInto(srcID int, refs []viewql.Ref, title string) (*Pane, er
 }
 
 // Refine applies a ViewQL program to the pane's graph (paper op 3).
+// Refinements mutate shared boxes, so the tree epoch advances even though
+// no pane's Version does.
 func (t *Tree) Refine(paneID int, viewqlSrc string) error {
 	p, ok := t.panes[paneID]
 	if !ok {
 		return fmt.Errorf("panes: no pane %d", paneID)
 	}
+	t.epoch++
 	return p.Engine.Apply(viewqlSrc)
 }
 

@@ -1,0 +1,69 @@
+package panes_test
+
+import (
+	"testing"
+
+	"visualinux/internal/panes"
+)
+
+// Pane versions move on content replacement (Update), the tree epoch on
+// shared display mutations (Refine/BumpEpoch) — the two halves of the
+// server's ETag validator.
+func TestVersionAndEpoch(t *testing.T) {
+	tree, p1 := panes.NewTree("main", mkGraph("g1", 3))
+	if p1.Version != 1 {
+		t.Fatalf("fresh pane version = %d, want 1", p1.Version)
+	}
+	if tree.Epoch() != 0 {
+		t.Fatalf("fresh tree epoch = %d, want 0", tree.Epoch())
+	}
+
+	p2, err := tree.Split(p1.ID, panes.Horizontal, "side", mkGraph("g2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Version != 1 {
+		t.Fatalf("split pane version = %d, want 1", p2.Version)
+	}
+
+	// Update replaces one pane's content: its version bumps, the sibling's
+	// does not, and the epoch is untouched.
+	if err := tree.Update(p1.ID, mkGraph("g1b", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Version != 2 || p2.Version != 1 {
+		t.Fatalf("versions after Update = %d/%d, want 2/1", p1.Version, p2.Version)
+	}
+	if tree.Epoch() != 0 {
+		t.Fatalf("epoch moved on Update: %d", tree.Epoch())
+	}
+	if p1.Graph.Name != "g1b" {
+		t.Fatalf("Update did not swap the graph: %s", p1.Graph.Name)
+	}
+	if len(p1.Graph.Boxes) != 4 {
+		t.Fatalf("updated pane has %d boxes, want 4", len(p1.Graph.Boxes))
+	}
+	if err := tree.Update(999, mkGraph("x", 1)); err == nil {
+		t.Fatal("Update of unknown pane succeeded")
+	}
+
+	// Refine mutates shared boxes: epoch bumps, versions stay.
+	if err := tree.Refine(p1.ID, "a = SELECT t FROM *\nUPDATE a WITH collapsed: true"); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Epoch() != 1 {
+		t.Fatalf("epoch after Refine = %d, want 1", tree.Epoch())
+	}
+	if p1.Version != 2 {
+		t.Fatalf("version moved on Refine: %d", p1.Version)
+	}
+	tree.BumpEpoch()
+	if tree.Epoch() != 2 {
+		t.Fatalf("epoch after BumpEpoch = %d, want 2", tree.Epoch())
+	}
+
+	// The ViewQL engine answers over the updated graph, not the original.
+	if err := tree.Refine(p1.ID, "b = SELECT t FROM *\nUPDATE b WITH collapsed: false"); err != nil {
+		t.Fatalf("refine over updated graph: %v", err)
+	}
+}

@@ -12,8 +12,27 @@ import (
 // keeps exactly its old behavior.
 func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
+}
+
+// handleMetricsHistory returns the bounded ring of periodic registry
+// snapshots as JSON, oldest first — the push counterpart of /debug/metrics,
+// so a UI can draw sparklines without running its own scraper. The ring
+// fills via Observer.StartMetricsHistory (vlserver's -metrics-interval).
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	o := s.session.Obs
+	s.mu.Unlock()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cap":    o.History.Cap(),
+		"points": o.History.Points(),
+	})
 }
 
 // handleMetrics writes the process-wide registry in Prometheus text

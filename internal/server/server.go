@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,11 +25,22 @@ type Server struct {
 	mu      sync.Mutex
 	session *core.Session
 	mux     *http.ServeMux
+	// paneCache keeps the last serialized body per pane+format, keyed by
+	// the same version/epoch ETag served to clients: an unchanged pane is
+	// neither re-rendered nor re-serialized, it's one buffer write.
+	paneCache map[string]*cachedPane
+}
+
+// cachedPane is one serialized pane representation.
+type cachedPane struct {
+	etag  string
+	ctype string
+	body  []byte
 }
 
 // New wraps a session.
 func New(s *core.Session) *Server {
-	srv := &Server{session: s, mux: http.NewServeMux()}
+	srv := &Server{session: s, mux: http.NewServeMux(), paneCache: make(map[string]*cachedPane)}
 	srv.mux.HandleFunc("/", srv.handleIndex)
 	srv.mux.HandleFunc("/api/vplot", srv.handleVPlot)
 	srv.mux.HandleFunc("/api/vctrl", srv.handleVCtrl)
@@ -197,6 +209,8 @@ func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
 		Title   string `json:"title"`
 		Boxes   int    `json:"boxes"`
 		Summary string `json:"summary"`
+		Version int    `json:"version"`
+		Epoch   int    `json:"epoch"`
 	}
 	var out []paneInfo
 	if s.session.Tree != nil {
@@ -204,6 +218,7 @@ func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
 			out = append(out, paneInfo{
 				ID: p.ID, Kind: p.Kind.String(), Title: p.Title,
 				Boxes: len(p.Graph.Boxes), Summary: p.Graph.Summary(),
+				Version: p.Version, Epoch: s.session.Tree.Epoch(),
 			})
 		}
 	}
@@ -227,18 +242,67 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no pane %d", id))
 		return
 	}
-	t0 := time.Now()
-	switch r.URL.Query().Get("format") {
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, render.Text(p.Graph))
-	case "dot":
-		w.Header().Set("Content-Type", "text/vnd.graphviz")
-		fmt.Fprint(w, render.DOT(p.Graph))
-	default:
-		writeJSON(w, http.StatusOK, render.ToJSON(p.Graph))
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
 	}
+	// Weak validator over pane version + tree epoch: the version moves when
+	// the pane's content is replaced (incremental re-extraction), the epoch
+	// when shared display attributes mutate (ViewQL/expand/vchat). A client
+	// revalidating an unchanged pane costs a 304, not a re-serialization.
+	etag := fmt.Sprintf(`W/"p%d.v%d.e%d.%s"`, p.ID, p.Version, s.session.Tree.Epoch(), format)
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	key := fmt.Sprintf("%d.%s", p.ID, format)
+	if c := s.paneCache[key]; c != nil && c.etag == etag {
+		w.Header().Set("Content-Type", c.ctype)
+		_, _ = w.Write(c.body)
+		return
+	}
+	t0 := time.Now()
+	var body []byte
+	var ctype string
+	switch format {
+	case "text":
+		ctype = "text/plain; charset=utf-8"
+		body = []byte(render.Text(p.Graph))
+	case "dot":
+		ctype = "text/vnd.graphviz"
+		body = []byte(render.DOT(p.Graph))
+	default:
+		ctype = "application/json"
+		j, err := json.MarshalIndent(render.ToJSON(p.Graph), "", "  ")
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		body = append(j, '\n')
+	}
+	s.paneCache[key] = &cachedPane{etag: etag, ctype: ctype, body: body}
+	w.Header().Set("Content-Type", ctype)
+	_, _ = w.Write(body)
 	s.session.Obs.ObserveStage("render", time.Since(t0))
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given entity tag (weak comparison; handles lists and "*").
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == etag || "W/"+part == etag || part == "W/"+etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {

@@ -39,6 +39,25 @@ func (c *Counted) ClipMapped(addr, size uint64) ([]Range, bool) {
 	return ClipMapped(c.under, addr, size)
 }
 
+// HashBlocks implements PageHasher when the underlying target does. A
+// served hash query is one stub-side metadata round trip.
+func (c *Counted) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	hashes, ok := HashBlocks(c.under, addr, size)
+	if ok {
+		c.stats.HashChecks.Add(1)
+	}
+	return hashes, ok
+}
+
+// DirtySince implements DirtyTracker when the underlying target does.
+func (c *Counted) DirtySince(mark uint64) ([]Range, uint64, bool) {
+	ranges, next, ok := DirtySince(c.under, mark)
+	if ok {
+		c.stats.HashChecks.Add(1)
+	}
+	return ranges, next, ok
+}
+
 // Under returns the wrapped target.
 func (c *Counted) Under() Target { return c.under }
 

@@ -126,6 +126,20 @@ func (in *Instrumented) ClipMapped(addr, size uint64) ([]Range, bool) {
 	return ClipMapped(in.under, addr, size)
 }
 
+// HashBlocks implements PageHasher when the underlying target does.
+func (in *Instrumented) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	hashes, ok := HashBlocks(in.under, addr, size)
+	if ok {
+		in.stats.HashChecks.Add(1)
+	}
+	return hashes, ok
+}
+
+// DirtySince implements DirtyTracker when the underlying target does.
+func (in *Instrumented) DirtySince(mark uint64) ([]Range, uint64, bool) {
+	return DirtySince(in.under, mark)
+}
+
 // Under returns the wrapped target.
 func (in *Instrumented) Under() Target { return in.under }
 

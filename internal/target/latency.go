@@ -19,6 +19,13 @@ type LatencyModel struct {
 	// it has already prepared, so a continuation pays the wire turnaround
 	// but never the ~PerRead memory-walk cost of opening a transfer.
 	PerContinuation time.Duration
+	// PerHashCheck is the round-trip cost of one stub-side metadata query —
+	// a block-hash exchange or a dirty-range journal poll. The stub walks
+	// memory it already has mapped and replies with a few dozen bytes, so
+	// this sits an order of magnitude under PerRead: revalidating a stale
+	// page by hash must be much cheaper than refetching it, or the
+	// incremental path would be pointless.
+	PerHashCheck time.Duration
 	// Sleep really sleeps per read instead of accounting on the virtual
 	// clock, turning modeled time into wall time for live demos.
 	Sleep bool
@@ -44,6 +51,7 @@ var DefaultKGDB = LatencyModel{
 	PerRead:         5 * time.Millisecond,
 	PerByte:         2 * time.Microsecond,
 	PerContinuation: 50 * time.Microsecond,
+	PerHashCheck:    500 * time.Microsecond,
 }
 
 // Latency wraps a target with a latency model. Every ReadMemory that
@@ -65,12 +73,7 @@ func WithLatency(t Target, model LatencyModel) *Latency {
 // ReadMemory implements Target, charging the model per transaction.
 func (l *Latency) ReadMemory(addr uint64, buf []byte) error {
 	l.stats.CountRead(len(buf))
-	cost := l.model.Cost(len(buf))
-	if l.model.Sleep {
-		time.Sleep(cost) // cost shows up on the wall clock instead
-	} else {
-		l.virtual.Add(int64(cost))
-	}
+	l.charge(l.model.Cost(len(buf)))
 	return l.under.ReadMemory(addr, buf)
 }
 
@@ -82,6 +85,40 @@ func (l *Latency) Under() Target { return l.under }
 // charged.
 func (l *Latency) ClipMapped(addr, size uint64) ([]Range, bool) {
 	return ClipMapped(l.under, addr, size)
+}
+
+// charge accounts one modeled cost on the virtual clock (or the wall
+// clock in Sleep mode).
+func (l *Latency) charge(cost time.Duration) {
+	if l.model.Sleep {
+		time.Sleep(cost)
+	} else {
+		l.virtual.Add(int64(cost))
+	}
+}
+
+// HashBlocks implements PageHasher when the underlying target does, charging
+// the metadata round trip plus the wire cost of the returned hashes.
+func (l *Latency) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	hashes, ok := HashBlocks(l.under, addr, size)
+	if ok {
+		l.stats.HashChecks.Add(1)
+		l.charge(l.model.PerHashCheck + time.Duration(len(hashes)*8)*l.model.PerByte)
+	}
+	return hashes, ok
+}
+
+// DirtySince implements DirtyTracker when the underlying target does. One
+// cheap metadata round trip: the journal lives on the stub side and its
+// reply is a handful of ranges.
+func (l *Latency) DirtySince(mark uint64) ([]Range, uint64, bool) {
+	d, have := l.under.(DirtyTracker)
+	if !have {
+		return nil, 0, false
+	}
+	ranges, next, ok := d.DirtySince(mark)
+	l.charge(l.model.PerHashCheck + time.Duration(len(ranges)*16)*l.model.PerByte)
+	return ranges, next, ok
 }
 
 // VirtualElapsed returns the modeled time accumulated so far. In Sleep

@@ -120,6 +120,49 @@ func (s *Sim) ClipMapped(addr, size uint64) ([]Range, bool) {
 	return out, true
 }
 
+// HashBlocks implements PageHasher: SubPage-granular FNV-1a hashes computed
+// locally against the backing memory — the machine-side half of stale-page
+// revalidation, free of link traffic and Stats accounting (a real stub
+// hashes its own memory; the debugger only pays for the exchange, which the
+// Latency layer prices). Unmapped blocks hash to 0 so a block that becomes
+// unmapped never compares equal to cached content.
+func (s *Sim) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	if addr%SubPage != 0 || size%SubPage != 0 {
+		return nil, false
+	}
+	hashes := make([]uint64, 0, size/SubPage)
+	buf := make([]byte, SubPage)
+	for off := uint64(0); off < size; off += SubPage {
+		if err := s.Mem.Read(addr+off, buf); err != nil {
+			hashes = append(hashes, 0)
+			continue
+		}
+		hashes = append(hashes, HashBlock(buf))
+	}
+	return hashes, true
+}
+
+// DirtySince implements DirtyTracker over the backing memory's write
+// journal: the ranges kernelsim mutated since mark, sorted and merged.
+func (s *Sim) DirtySince(mark uint64) ([]Range, uint64, bool) {
+	writes, next, ok := s.Mem.WritesSince(mark)
+	if !ok {
+		return nil, next, false
+	}
+	return MergeRanges(rangesOf(writes)), next, true
+}
+
+func rangesOf(writes []mem.WriteRange) []Range {
+	out := make([]Range, 0, len(writes))
+	for _, w := range writes {
+		if w.Size == 0 {
+			continue
+		}
+		out = append(out, Range{Addr: w.Addr, Size: w.Size})
+	}
+	return out
+}
+
 // MappedRanges returns the merged mapped ranges of the whole image, sorted
 // ascending — what the gdbrsp server serves as its memory-map annex.
 func (s *Sim) MappedRanges() []Range {

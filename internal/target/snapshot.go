@@ -1,6 +1,7 @@
 package target
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,10 +16,39 @@ import (
 // (so a page is either fully readable or fully absent).
 const PageSize = 4096
 
-// Snapshot is a page-granular read-through cache over any Target, valid
-// for the lifetime of one stop event: while the machine is stopped its
-// memory cannot change, so every page needs at most one fetch. Call
-// Invalidate when the target resumes.
+// spage is one cached page plus its incremental-validation state.
+type spage struct {
+	data []byte
+	// gen is the snapshot generation this page was last known valid for.
+	// A page whose gen lags the snapshot's is stale: its bytes are kept but
+	// must be revalidated (by dirty-range journal or content hash) before
+	// they may be served again.
+	gen uint64
+	// changed is the generation at which this page's content last actually
+	// differed — the figure-level delta check compares it against the
+	// generation a figure was extracted at.
+	changed uint64
+	// dirty flags SubPage blocks the write journal reported mutated since
+	// the page was last validated; they are refetched (just those blocks,
+	// not the page) on next access.
+	dirty uint16
+}
+
+// Snapshot is a page-granular read-through cache over any Target. Within one
+// stop event every page needs at most one fetch; across stop events the
+// cache is generation-tagged: Advance (the incremental resume boundary)
+// makes pages stale instead of dropping them, and stale pages are
+// revalidated lazily on next access —
+//
+//   - pages the target's write journal (DirtySince) covers are promoted for
+//     free, with only journal-flagged SubPage blocks refetched;
+//   - otherwise content hashes (HashBlocks) are exchanged and only
+//     mismatching blocks refetched;
+//   - a chain with neither capability refetches whole stale pages, which is
+//     still never worse than the old drop-everything Invalidate.
+//
+// Invalidate keeps its wholesale semantics for callers that really want a
+// cold cache.
 //
 // Layered over a Latency (or a real RSP link), a Snapshot converts the
 // many small field reads of an extraction into a few page-sized
@@ -33,22 +63,41 @@ type Snapshot struct {
 	stats Stats
 
 	mu    sync.RWMutex
-	pages map[uint64][]byte
+	pages map[uint64]*spage
+	gen   uint64 // current generation; bumped by Advance and Invalidate
+	// dirtyMark is the write-journal cursor of the last Advance; dirtyOK
+	// records whether the chain answered the last poll (the graceful
+	// degradation bit: false means hash revalidation carries the load).
+	dirtyMark uint64
+	dirtyOK   bool
 
 	hits          atomic.Uint64 // page lookups served from cache
-	misses        atomic.Uint64 // pages fetched from the underlying target
-	invalidations atomic.Uint64 // Invalidate calls (stop-event boundaries)
+	misses        atomic.Uint64 // pages fetched cold from the underlying target
+	invalidations atomic.Uint64 // Invalidate calls (wholesale drops)
 	batchRuns     atomic.Uint64 // coalesced batch-prefetch fills issued
+	advances      atomic.Uint64 // Advance calls (incremental stop boundaries)
+	revalidations atomic.Uint64 // stale pages revalidated by content hash
+	promotions    atomic.Uint64 // stale pages promoted clean by the write journal
+	staleRefetch  atomic.Uint64 // stale pages refetched whole (no hash capability)
+	subFills      atomic.Uint64 // sub-page block-run refetches issued
+	subBytes      atomic.Uint64 // bytes moved by sub-page refetches
 
 	// Observer counter handles (nil-safe when uninstrumented): the same
 	// events as the atomic fields above, but aggregated process-wide so
 	// every snapshot in every worker feeds one /debug/metrics view.
-	mHits, mMisses, mFills, mInval, mBatchRuns *obs.Counter
+	mHits, mMisses, mFills, mInval, mBatchRuns        *obs.Counter
+	mAdvances, mReval, mPromoted, mStaleRef, mSubFill *obs.Counter
 }
 
-// NewSnapshot wraps t with a fresh, empty cache.
+// NewSnapshot wraps t with a fresh, empty cache. If the chain journals
+// writes, the journal cursor is armed here — before anything is cached — so
+// the first Advance can promote pages the journal proves untouched.
 func NewSnapshot(t Target) *Snapshot {
-	return &Snapshot{under: t, pages: make(map[uint64][]byte)}
+	s := &Snapshot{under: t, pages: make(map[uint64]*spage), gen: 1}
+	if _, next, ok := DirtySince(t, ^uint64(0)); ok {
+		s.dirtyMark, s.dirtyOK = next, true
+	}
+	return s
 }
 
 // Under returns the wrapped target (e.g. to read its link-level stats).
@@ -62,18 +111,130 @@ func (s *Snapshot) Instrument(o *obs.Observer) *Snapshot {
 	if o != nil {
 		s.mHits, s.mMisses, s.mFills, s.mInval = o.SnapHits, o.SnapMisses, o.SnapFills, o.SnapInvalidations
 		s.mBatchRuns = o.BatchPrefetchRuns
+		s.mAdvances, s.mReval = o.SnapAdvances, o.SnapRevalidations
+		s.mPromoted, s.mStaleRef, s.mSubFill = o.SnapPromotions, o.SnapStaleRefetches, o.SnapSubpageFills
 	}
 	return s
 }
 
-// Invalidate drops every cached page. Call on resume: the stop event the
-// snapshot was valid for is over.
+// Invalidate drops every cached page — the wholesale (pre-incremental)
+// resume semantics, still right when the target reattached or the journal
+// is known garbage.
 func (s *Snapshot) Invalidate() {
 	s.mu.Lock()
-	s.pages = make(map[uint64][]byte)
+	s.pages = make(map[uint64]*spage)
+	s.gen++
 	s.mu.Unlock()
 	s.invalidations.Add(1)
 	s.mInval.Inc()
+}
+
+// Advance is the incremental stop-event boundary: the target ran and
+// stopped again. Cached pages become stale rather than gone. When the
+// chain's write journal can answer "what changed since the last stop",
+// untouched pages are promoted to the new generation immediately (zero link
+// traffic) and touched pages have exactly the mutated SubPage blocks
+// flagged for refetch; otherwise every page stays stale and is lazily
+// revalidated by content hash on next access.
+func (s *Snapshot) Advance() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	s.advances.Add(1)
+	s.mAdvances.Inc()
+
+	var dirty []Range
+	if s.dirtyOK {
+		ranges, next, ok := DirtySince(s.under, s.dirtyMark)
+		if ok {
+			dirty, s.dirtyMark = ranges, next
+		} else {
+			s.dirtyOK = false
+		}
+	}
+	if !s.dirtyOK {
+		// Journal unavailable or history lost: leave every page stale for
+		// hash revalidation, and re-arm the cursor so the NEXT stop can use
+		// the fast path again.
+		if _, next, ok := DirtySince(s.under, ^uint64(0)); ok {
+			s.dirtyMark, s.dirtyOK = next, true
+		}
+		return
+	}
+
+	// Journal answered: flag mutated blocks, promote everything else.
+	flagged := make(map[uint64]uint16)
+	for _, r := range dirty {
+		if r.Size == 0 {
+			continue
+		}
+		if r.Addr+r.Size-1 < r.Addr {
+			r.Size = -r.Addr
+		}
+		firstB := r.Addr / SubPage
+		lastB := (r.Addr + r.Size - 1) / SubPage
+		for b := firstB; ; b++ {
+			flagged[(b*SubPage)&^(PageSize-1)] |= 1 << (b % BlocksPerPage)
+			if b == lastB {
+				break
+			}
+		}
+	}
+	for base, p := range s.pages {
+		if p.gen != s.gen-1 {
+			// The page was already stale before this stop (a journal gap in
+			// its past): promotion would skip revalidating that older gap.
+			continue
+		}
+		p.gen = s.gen
+		if bits, hit := flagged[base]; hit {
+			p.dirty |= bits
+		} else {
+			s.promotions.Add(1)
+			s.mPromoted.Inc()
+		}
+	}
+}
+
+// Generation returns the current snapshot generation.
+func (s *Snapshot) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// RangesUnchangedSince revalidates every page covering the given ranges and
+// reports whether all of their content is unchanged since generation
+// `since`. This is the figure-level delta check: a figure whose recorded
+// read set is clean needs no re-extraction at all. The revalidation work is
+// the cheap kind (journal promotion or hash exchange) and is shared with any
+// extraction that does run afterwards.
+func (s *Snapshot) RangesUnchangedSince(ranges []Range, since uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range ranges {
+		if r.Size == 0 {
+			continue
+		}
+		if r.Addr+r.Size-1 < r.Addr {
+			r.Size = -r.Addr
+		}
+		first := r.Addr &^ (PageSize - 1)
+		last := (r.Addr + r.Size - 1) &^ (PageSize - 1)
+		if err := s.validateLocked(first, last); err != nil {
+			return false
+		}
+		for base := first; ; base += PageSize {
+			p := s.pages[base]
+			if p == nil || p.changed > since {
+				return false
+			}
+			if base == last {
+				break
+			}
+		}
+	}
+	return true
 }
 
 // CacheStats returns page-granular hit/miss counts.
@@ -81,8 +242,26 @@ func (s *Snapshot) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
-// Invalidations reports how many times the cache has been dropped.
+// Invalidations reports how many times the cache has been dropped wholesale.
 func (s *Snapshot) Invalidations() uint64 { return s.invalidations.Load() }
+
+// Advances reports how many incremental stop boundaries the cache crossed.
+func (s *Snapshot) Advances() uint64 { return s.advances.Load() }
+
+// Revalidations reports stale pages revalidated via content hashes.
+func (s *Snapshot) Revalidations() uint64 { return s.revalidations.Load() }
+
+// Promotions reports stale pages promoted clean by the write journal.
+func (s *Snapshot) Promotions() uint64 { return s.promotions.Load() }
+
+// StaleRefetches reports stale pages refetched whole (no hash capability).
+func (s *Snapshot) StaleRefetches() uint64 { return s.staleRefetch.Load() }
+
+// SubpageFills returns the count of sub-page block-run refetches and the
+// bytes they moved — the adaptive-granularity win for sparse pages.
+func (s *Snapshot) SubpageFills() (runs, bytes uint64) {
+	return s.subFills.Load(), s.subBytes.Load()
+}
 
 // BatchRuns reports how many coalesced batch-prefetch fills were issued.
 func (s *Snapshot) BatchRuns() uint64 { return s.batchRuns.Load() }
@@ -96,6 +275,10 @@ func (s *Snapshot) HitRatio() float64 {
 	}
 	return float64(h) / float64(h+m)
 }
+
+// current reports whether p may be served at generation gen without
+// revalidation.
+func (p *spage) current(gen uint64) bool { return p != nil && p.gen == gen && p.dirty == 0 }
 
 // ReadMemory implements Target, serving from cached pages and filling
 // misses through the underlying target.
@@ -115,11 +298,11 @@ func (s *Snapshot) ReadMemory(addr uint64, buf []byte) error {
 	for n := 0; n < len(buf) && resident; {
 		cur := addr + uint64(n)
 		p := s.pages[cur&^(PageSize-1)]
-		if p == nil {
-			resident = false // raced with Invalidate
+		if !p.current(s.gen) {
+			resident = false // raced with Invalidate/Advance
 			break
 		}
-		n += copy(buf[n:], p[cur&(PageSize-1):])
+		n += copy(buf[n:], p.data[cur&(PageSize-1):])
 	}
 	s.mu.RUnlock()
 	if !resident {
@@ -193,13 +376,13 @@ func (s *Snapshot) PrefetchRanges(ranges []Range) {
 }
 
 // prefetchRun is one batch fill of the pages [first, last]: residency is
-// checked under the read lock, and only a run that actually misses counts as
-// a batch run and reaches the link.
+// checked under the read lock, and only a run that actually misses (or needs
+// revalidation) counts as a batch run and reaches the link.
 func (s *Snapshot) prefetchRun(first, last uint64) {
 	s.mu.RLock()
 	missing := false
 	for base := first; ; base += PageSize {
-		if _, ok := s.pages[base]; ok {
+		if s.pages[base].current(s.gen) {
 			s.hits.Add(1)
 			s.mHits.Inc()
 		} else {
@@ -216,15 +399,15 @@ func (s *Snapshot) prefetchRun(first, last uint64) {
 	s.batchRuns.Add(1)
 	s.mBatchRuns.Inc()
 	s.mu.Lock()
-	_ = s.fillLocked(first, last)
+	_ = s.validateLocked(first, last)
 	s.mu.Unlock()
 }
 
-// ensure makes every page covering [addr, addr+size) cache-resident,
-// fetching runs of contiguous missing pages in one read each. Ranges that
-// wrap past the top of the address space (a garbage or poisoned pointer fed
-// to Prefetch) are clamped: without the clamp, last wraps below first and
-// the page loops never terminate.
+// ensure makes every page covering [addr, addr+size) cache-resident and
+// current, fetching runs of contiguous missing pages in one read each and
+// revalidating stale ones. Ranges that wrap past the top of the address
+// space (a garbage or poisoned pointer fed to Prefetch) are clamped: without
+// the clamp, last wraps below first and the page loops never terminate.
 func (s *Snapshot) ensure(addr, size uint64) error {
 	if size == 0 {
 		return nil
@@ -235,11 +418,11 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 	first := addr &^ (PageSize - 1)
 	last := (addr + size - 1) &^ (PageSize - 1)
 
-	// Fast path: everything already resident.
+	// Fast path: everything already resident and current.
 	s.mu.RLock()
 	missing := false
 	for base := first; ; base += PageSize {
-		if _, ok := s.pages[base]; ok {
+		if s.pages[base].current(s.gen) {
 			s.hits.Add(1)
 			s.mHits.Inc()
 		} else {
@@ -256,7 +439,156 @@ func (s *Snapshot) ensure(addr, size uint64) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.validateLocked(first, last)
+}
+
+// validateLocked brings every page of [first, last] (inclusive page bases)
+// resident and current: journal-flagged blocks are refetched sub-page,
+// remaining stale pages are revalidated by content hash (whole-page refetch
+// when the chain cannot hash), and missing pages are filled in coalesced
+// runs. Caller holds s.mu.
+func (s *Snapshot) validateLocked(first, last uint64) error {
+	s.revalidateStaleLocked(first, last)
 	return s.fillLocked(first, last)
+}
+
+// revalidateStaleLocked resolves every stale or dirty-flagged page in
+// [first, last]. Pages whose refetch fails are deleted so the fill pass
+// retries them whole and reports the error. Caller holds s.mu.
+func (s *Snapshot) revalidateStaleLocked(first, last uint64) {
+	// Pass A — journal fast path: pages current by generation but carrying
+	// dirty block flags refetch exactly those blocks.
+	for base := first; ; base += PageSize {
+		if p := s.pages[base]; p != nil && p.gen == s.gen && p.dirty != 0 {
+			s.refetchBlocksLocked(base, p, p.dirty)
+		}
+		if base == last {
+			break
+		}
+	}
+	// Pass B — hash revalidation: contiguous runs of generation-stale pages
+	// exchange content hashes in one query; only mismatching blocks refetch.
+	for base := first; ; {
+		p := s.pages[base]
+		if p == nil || p.gen == s.gen {
+			if base == last {
+				break
+			}
+			base += PageSize
+			continue
+		}
+		end := base
+		for end != last {
+			np := s.pages[end+PageSize]
+			if np == nil || np.gen == s.gen {
+				break
+			}
+			end += PageSize
+		}
+		s.revalidateRunLocked(base, end)
+		if end == last {
+			break
+		}
+		base = end + PageSize
+	}
+}
+
+// refetchBlocksLocked refetches the flagged SubPage blocks of one page,
+// coalescing adjacent flagged blocks into single reads, and promotes the
+// page. The fresh bytes are diffed against the cached ones so `changed` only
+// moves when content really moved (a journaled write of identical bytes does
+// not dirty dependent figures). On read failure the page is deleted; the
+// fill pass will retry it whole. Caller holds s.mu.
+func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
+	contentChanged := false
+	for i := 0; i < BlocksPerPage; {
+		if bits&(1<<i) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < BlocksPerPage && bits&(1<<(j+1)) != 0 {
+			j++
+		}
+		off := uint64(i) * SubPage
+		n := uint64(j-i+1) * SubPage
+		tmp := make([]byte, n)
+		if err := s.under.ReadMemory(base+off, tmp); err != nil {
+			delete(s.pages, base)
+			return
+		}
+		s.subFills.Add(1)
+		s.mSubFill.Inc()
+		s.subBytes.Add(n)
+		if !bytes.Equal(tmp, p.data[off:off+n]) {
+			contentChanged = true
+			copy(p.data[off:], tmp)
+		}
+		i = j + 1
+	}
+	p.dirty = 0
+	p.gen = s.gen
+	if contentChanged {
+		p.changed = s.gen
+	}
+}
+
+// revalidateRunLocked revalidates the generation-stale pages [base, end] by
+// one stub-side hash exchange, refetching only mismatching blocks. Without a
+// hasher in the chain each page is refetched whole (still diffed, so
+// `changed` stays accurate). Caller holds s.mu.
+func (s *Snapshot) revalidateRunLocked(base, end uint64) {
+	size := end - base + PageSize
+	hashes, ok := HashBlocks(s.under, base, size)
+	if !ok || len(hashes) != int(size/SubPage) {
+		for pb := base; ; pb += PageSize {
+			s.refetchPageLocked(pb)
+			if pb == end {
+				break
+			}
+		}
+		return
+	}
+	for pb := base; ; pb += PageSize {
+		p := s.pages[pb]
+		hs := hashes[(pb-base)/SubPage:][:BlocksPerPage]
+		var mismatch uint16
+		for i := 0; i < BlocksPerPage; i++ {
+			if HashBlock(p.data[i*SubPage:(i+1)*SubPage]) != hs[i] {
+				mismatch |= 1 << i
+			}
+		}
+		s.revalidations.Add(1)
+		s.mReval.Inc()
+		if mismatch == 0 {
+			p.dirty = 0
+			p.gen = s.gen // content unchanged: `changed` stays put
+		} else {
+			s.refetchBlocksLocked(pb, p, mismatch)
+		}
+		if pb == end {
+			break
+		}
+	}
+}
+
+// refetchPageLocked refetches one stale page whole (the no-capability
+// fallback), diffing content to keep `changed` accurate. Caller holds s.mu.
+func (s *Snapshot) refetchPageLocked(pb uint64) {
+	p := s.pages[pb]
+	tmp := make([]byte, PageSize)
+	if err := s.under.ReadMemory(pb, tmp); err != nil {
+		delete(s.pages, pb)
+		return
+	}
+	s.staleRefetch.Add(1)
+	s.mStaleRef.Inc()
+	if !bytes.Equal(tmp, p.data) {
+		p.changed = s.gen
+	}
+	p.data = tmp
+	p.dirty = 0
+	p.gen = s.gen
 }
 
 // fillLocked fetches every missing page in [first, last] (inclusive page
@@ -342,7 +674,7 @@ func (s *Snapshot) fillRun(base, end uint64) error {
 }
 
 // readRun issues one coalesced read of a page-aligned run and caches every
-// page of it. Caller holds s.mu.
+// page of it at the current generation. Caller holds s.mu.
 func (s *Snapshot) readRun(base, size uint64) error {
 	run := make([]byte, size)
 	if err := s.under.ReadMemory(base, run); err != nil {
@@ -350,7 +682,11 @@ func (s *Snapshot) readRun(base, size uint64) error {
 	}
 	s.mFills.Inc()
 	for off := uint64(0); off < size; off += PageSize {
-		s.pages[base+off] = run[off : off+PageSize : off+PageSize]
+		s.pages[base+off] = &spage{
+			data:    run[off : off+PageSize : off+PageSize],
+			gen:     s.gen,
+			changed: s.gen,
+		}
 		s.misses.Add(1)
 		s.mMisses.Inc()
 	}

@@ -1,0 +1,208 @@
+package target
+
+import (
+	"bytes"
+	"testing"
+
+	"visualinux/internal/ctypes"
+	"visualinux/internal/mem"
+)
+
+// hashOnly hides the write journal of the target under it while keeping
+// content hashing — the "stub without the dirty-ranges annex" personality.
+// Embedding the Target interface (not the concrete Sim) means only Target's
+// method set is promoted, so type assertions see exactly what's declared.
+type hashOnly struct{ Target }
+
+func (h hashOnly) HashBlocks(addr, size uint64) ([]uint64, bool) {
+	return HashBlocks(h.Target, addr, size)
+}
+
+// bare hides both revalidation capabilities: the dumbest possible stub.
+type bare struct{ Target }
+
+func genFixture(t *testing.T) (*mem.Memory, *Sim, uint64) {
+	t.Helper()
+	m := mem.New()
+	base := uint64(0x4000_0000)
+	data := make([]byte, 2*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.Write(base, data)
+	return m, NewSim(m, ctypes.NewRegistry()), base
+}
+
+func readPage(t *testing.T, s *Snapshot, addr uint64) []byte {
+	t.Helper()
+	buf := make([]byte, PageSize)
+	if err := s.ReadMemory(addr, buf); err != nil {
+		t.Fatalf("ReadMemory(%#x): %v", addr, err)
+	}
+	return buf
+}
+
+// Advance must keep untouched pages servable with zero link traffic when
+// the write journal answers, and the generation must be monotone.
+func TestAdvancePromotesUntouchedPages(t *testing.T) {
+	_, sim, base := genFixture(t)
+	c := WithStats(sim)
+	s := NewSnapshot(c)
+
+	readPage(t, s, base)
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	before := c.Stats().BytesRead.Load()
+
+	s.Advance()
+	if g := s.Generation(); g != 2 {
+		t.Fatalf("generation after Advance = %d, want 2", g)
+	}
+	if p := s.Promotions(); p == 0 {
+		t.Fatal("journal answered but no page was promoted clean")
+	}
+	readPage(t, s, base)
+	if d := c.Stats().BytesRead.Load() - before; d != 0 {
+		t.Fatalf("promoted page cost %d link bytes on re-read, want 0", d)
+	}
+	if s.Revalidations() != 0 || s.StaleRefetches() != 0 {
+		t.Fatalf("clean promotion took the slow path: reval=%d refetch=%d",
+			s.Revalidations(), s.StaleRefetches())
+	}
+}
+
+// The deterministic bytes-on-link contract of sub-page granularity: an
+// 8-byte mutation costs exactly one 256 B block on the wire after resume,
+// not a 4 KiB page — via the journal's dirty bits and, without a journal,
+// via hash revalidation.
+func TestSubPageRefetchBytesOnLink(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wrap func(Target) Target
+	}{
+		{"journal-dirty-bits", func(u Target) Target { return u }},
+		{"hash-revalidation", func(u Target) Target { return hashOnly{u} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, sim, base := genFixture(t)
+			c := WithStats(tc.wrap(sim))
+			s := NewSnapshot(c)
+
+			readPage(t, s, base)
+			// Mutate 8 bytes inside the second SubPage block.
+			patch := []byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}
+			m.Write(base+SubPage+16, patch)
+			before := c.Stats().BytesRead.Load()
+
+			s.Advance()
+			got := readPage(t, s, base)
+			if !bytes.Equal(got[SubPage+16:SubPage+24], patch) {
+				t.Fatalf("stale bytes served after Advance: %x", got[SubPage+16:SubPage+24])
+			}
+			if d := c.Stats().BytesRead.Load() - before; d != SubPage {
+				t.Fatalf("revalidating an 8-byte mutation moved %d link bytes, want exactly %d", d, SubPage)
+			}
+			fills, fillBytes := s.SubpageFills()
+			if fills != 1 || fillBytes != SubPage {
+				t.Fatalf("SubpageFills = %d runs / %d bytes, want 1 / %d", fills, fillBytes, SubPage)
+			}
+		})
+	}
+}
+
+// A stale page whose content did not change costs zero refetch bytes under
+// hash revalidation, and stays provably unchanged for the figure-level
+// delta check.
+func TestHashRevalidationCleanPage(t *testing.T) {
+	_, sim, base := genFixture(t)
+	c := WithStats(hashOnly{sim})
+	s := NewSnapshot(c)
+
+	readPage(t, s, base)
+	before := c.Stats().BytesRead.Load()
+	s.Advance()
+	readPage(t, s, base)
+	if d := c.Stats().BytesRead.Load() - before; d != 0 {
+		t.Fatalf("clean stale page refetched %d bytes under hash revalidation, want 0", d)
+	}
+	if s.Revalidations() == 0 {
+		t.Fatal("no hash revalidation counted")
+	}
+	if c.Stats().HashChecks.Load() == 0 {
+		t.Fatal("no hash round trip counted on the link stats")
+	}
+	if !s.RangesUnchangedSince([]Range{{Addr: base, Size: PageSize}}, 1) {
+		t.Fatal("revalidated-identical page reported as changed since gen 1")
+	}
+}
+
+// A chain with neither journal nor hashes falls back to whole-page
+// refetch — never worse than the old wholesale Invalidate.
+func TestStaleRefetchWithoutCapabilities(t *testing.T) {
+	_, sim, base := genFixture(t)
+	c := WithStats(bare{sim})
+	s := NewSnapshot(c)
+
+	readPage(t, s, base)
+	before := c.Stats().BytesRead.Load()
+	s.Advance()
+	readPage(t, s, base)
+	if d := c.Stats().BytesRead.Load() - before; d != PageSize {
+		t.Fatalf("capability-less stale page moved %d bytes, want %d", d, PageSize)
+	}
+	if s.StaleRefetches() == 0 {
+		t.Fatal("whole-page stale refetch not counted")
+	}
+}
+
+// RangesUnchangedSince distinguishes the mutated page from its neighbor
+// after the pages have been revalidated.
+func TestRangesUnchangedSinceTracksMutation(t *testing.T) {
+	m, sim, base := genFixture(t)
+	s := NewSnapshot(WithStats(sim))
+
+	readPage(t, s, base)
+	readPage(t, s, base+PageSize)
+	gen := s.Generation()
+
+	m.WriteU64(base+PageSize+64, 0xfeed_f00d)
+	s.Advance()
+	readPage(t, s, base)
+	readPage(t, s, base+PageSize)
+
+	if !s.RangesUnchangedSince([]Range{{Addr: base, Size: PageSize}}, gen) {
+		t.Fatal("untouched page reported changed")
+	}
+	if s.RangesUnchangedSince([]Range{{Addr: base + PageSize, Size: PageSize}}, gen) {
+		t.Fatal("mutated page reported unchanged")
+	}
+	if s.RangesUnchangedSince([]Range{{Addr: base, Size: 2 * PageSize}}, gen) {
+		t.Fatal("range overlapping the mutated page reported unchanged")
+	}
+}
+
+// Generations stay monotone across mixed Advance/Invalidate, and a page
+// cached before Invalidate is really gone (full refetch), unlike Advance.
+func TestGenerationMonotoneAcrossBoundaries(t *testing.T) {
+	_, sim, base := genFixture(t)
+	c := WithStats(sim)
+	s := NewSnapshot(c)
+
+	last := s.Generation()
+	for i := 0; i < 3; i++ {
+		readPage(t, s, base)
+		s.Advance()
+		if g := s.Generation(); g <= last {
+			t.Fatalf("generation not monotone: %d after %d", g, last)
+		} else {
+			last = g
+		}
+	}
+	before := c.Stats().BytesRead.Load()
+	s.Invalidate()
+	readPage(t, s, base)
+	if d := c.Stats().BytesRead.Load() - before; d != PageSize {
+		t.Fatalf("page after Invalidate moved %d bytes, want full %d", d, PageSize)
+	}
+}

@@ -19,6 +19,7 @@ package target
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"visualinux/internal/ctypes"
@@ -44,6 +45,10 @@ type Stats struct {
 	// already prepared, so they never re-pay the per-transaction memory-walk
 	// cost the paper measures at ~5 ms.
 	Continuations atomic.Uint64
+	// HashChecks counts stub-side metadata round trips (block-hash or
+	// dirty-range queries) issued to revalidate stale snapshot pages instead
+	// of refetching them.
+	HashChecks atomic.Uint64
 }
 
 // CountRead records one logical read of n bytes carried by one transaction.
@@ -59,6 +64,7 @@ func (s *Stats) Reset() {
 	s.BytesRead.Store(0)
 	s.Transactions.Store(0)
 	s.Continuations.Store(0)
+	s.HashChecks.Store(0)
 }
 
 // Snapshot returns the current (reads, bytes) totals.
@@ -102,6 +108,42 @@ type Range struct {
 
 // End returns the first address past the range.
 func (r Range) End() uint64 { return r.Addr + r.Size }
+
+// MergeRanges sorts ranges by address and merges overlapping or adjacent
+// ones, dropping empties. Wrapping ranges are clamped at the top of the
+// address space. The input slice may be reordered.
+func MergeRanges(ranges []Range) []Range {
+	rs := ranges[:0]
+	for _, r := range ranges {
+		if r.Size == 0 {
+			continue
+		}
+		if r.Addr+r.Size < r.Addr {
+			r.Size = -r.Addr
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Addr < rs[j].Addr })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		cur := &out[len(out)-1]
+		// Inclusive last addresses avoid end-address wraparound at the top
+		// of the address space (clamping guarantees Addr+Size-1 >= Addr).
+		curLast := cur.Addr + cur.Size - 1
+		rLast := r.Addr + r.Size - 1
+		if r.Addr == 0 || r.Addr-1 <= curLast { // overlapping or adjacent
+			if rLast > curLast {
+				cur.Size = rLast - cur.Addr + 1
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // RangeProber is implemented by targets that know the target's memory map.
 // ClipMapped intersects [addr, addr+size) with the mapped ranges, returning

@@ -131,7 +131,7 @@ func (r *runState) prefetchElem(h elemHint, addr uint64) {
 	if !h.on || addr == 0 || addr < h.off {
 		return
 	}
-	target.Prefetch(r.in.Env.Target, addr-h.off, h.size)
+	target.Prefetch(r.tgt(), addr-h.off, h.size)
 	if r.in.Obs != nil {
 		r.in.Obs.PrefetchHints.Inc()
 	}
@@ -164,14 +164,13 @@ func (r *runState) batchPrefetch(n *ContainerNode, elems []expr.Value) {
 	}
 	// No counter bump here: the snapshot layer counts actual batch fill
 	// runs (vl_batch_prefetch_runs_total); resident ranges cost nothing.
-	target.PrefetchBatch(r.in.Env.Target, ranges)
+	target.PrefetchBatch(r.tgt(), ranges)
 }
 
 // cellBox wraps a raw scalar element as a small virtual box.
 func (r *runState) cellBox(v expr.Value, idx int) (vval, error) {
-	id := fmt.Sprintf("cell#%d", r.vboxN)
-	r.vboxN++
-	text, raw, isNum, isStr := r.in.decorate(v, nil, r.in.Env)
+	id := fmt.Sprintf("cell#%d", r.nextVboxN())
+	text, raw, isNum, isStr := r.in.decorate(v, nil, r.cEnv(newScope(nil)))
 	b := graph.NewBox(id, "cell", "", 0)
 	b.AddView(&graph.View{Name: "default", Items: []graph.Item{
 		{Kind: graph.ItemText, Name: fmt.Sprintf("[%d]", idx), Value: text, Raw: raw, IsNum: isNum, IsStr: isStr},
@@ -229,7 +228,7 @@ func headAddr(v expr.Value) (uint64, error) {
 // iterList walks a circular doubly-linked list_head, yielding each node
 // pointer (excluding the head itself).
 func (r *runState) iterList(head expr.Value, line int, hint elemHint) ([]expr.Value, error) {
-	tgt := r.in.Env.Target
+	tgt := r.tgt()
 	hd, err := headAddr(head)
 	if err != nil {
 		return nil, errf(line, "List: %v", err)
@@ -261,7 +260,7 @@ func (r *runState) iterList(head expr.Value, line int, hint elemHint) ([]expr.Va
 
 // iterHList walks an hlist (head.first -> node.next...).
 func (r *runState) iterHList(head expr.Value, line int, hint elemHint) ([]expr.Value, error) {
-	tgt := r.in.Env.Target
+	tgt := r.tgt()
 	hd, err := headAddr(head)
 	if err != nil {
 		return nil, errf(line, "HList: %v", err)
@@ -289,7 +288,7 @@ func (r *runState) iterHList(head expr.Value, line int, hint elemHint) ([]expr.V
 
 // iterRBTree in-order walks an rb_root / rb_root_cached / rb_node*.
 func (r *runState) iterRBTree(root expr.Value, line int, hint elemHint) ([]expr.Value, error) {
-	tgt := r.in.Env.Target
+	tgt := r.tgt()
 	nodeT := r.in.Env.Types().MustLookup("rb_node")
 
 	var rootNode uint64
@@ -383,7 +382,7 @@ func (r *runState) iterArray(args []expr.Value, line int) ([]expr.Value, error) 
 // iterXArray walks an xarray in index order, yielding non-NULL entries as
 // void* values (value entries stay tagged; callers untag via xa_to_value).
 func (r *runState) iterXArray(xa expr.Value, line int) ([]expr.Value, error) {
-	tgt := r.in.Env.Target
+	tgt := r.tgt()
 	base, err := headAddr(xa)
 	if err != nil {
 		return nil, errf(line, "XArray: %v", err)
@@ -441,7 +440,7 @@ func (r *runState) iterXArray(xa expr.Value, line int) ([]expr.Value, error) {
 
 // iterPipeRing walks pipe_inode_info's occupied ring slots [tail, head).
 func (r *runState) iterPipeRing(pipe expr.Value, line int) ([]expr.Value, error) {
-	tgt := r.in.Env.Target
+	tgt := r.tgt()
 	base, err := headAddr(pipe)
 	if err != nil {
 		return nil, errf(line, "PipeRing: %v", err)

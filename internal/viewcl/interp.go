@@ -38,6 +38,13 @@ type Interp struct {
 	// a materialize-fill. On by default; tests toggle it to measure.
 	PrefetchHints bool
 
+	// Memo, when set, caches extracted boxes across runs: reads are
+	// recorded per box, and a later run reuses any box whose recorded
+	// bytes are provably unchanged (snapshot generations or content
+	// hashes) instead of re-reading and re-rendering it. Runs also report
+	// their page-granular ReadSet so callers can skip whole figures.
+	Memo *Memo
+
 	defs map[string]*boxDef
 }
 
@@ -86,6 +93,15 @@ type Result struct {
 	Errors []error // non-fatal extraction issues (NULL links, etc.)
 	// Trace is the extraction's span tree (nil unless Interp.Obs is set).
 	Trace *obs.SpanExport
+
+	// ReadSet is the page-granular, merged set of target ranges this run's
+	// output depends on (nil unless Interp.Memo is set). Callers use it
+	// with a snapshot's RangesUnchangedSince to reuse entire figures.
+	ReadSet []target.Range
+	// BoxesReused / BoxesBuilt split the run's boxes into memo clones vs
+	// fresh materializations.
+	BoxesReused int
+	BoxesBuilt  int
 }
 
 // LoadDefs registers the Box definitions of a program without plotting, so
@@ -139,6 +155,10 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		g:    graph.New(prog.Source),
 		memo: make(map[string]string),
 	}
+	if in.Memo != nil {
+		run.rec = &recorder{under: in.Env.Target, run: run}
+		run.pages = make(map[uint64]bool)
+	}
 	if in.Obs != nil {
 		run.tr = in.Obs.NewTrace("vplot:" + prog.Source)
 		// Attach the tracer down the target chain so link transactions
@@ -184,7 +204,15 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		Bytes:      bytes1 - bytes0,
 		DurationNS: time.Since(t0).Nanoseconds(),
 	}
-	res := &Result{Graph: run.g, Errors: run.errs}
+	res := &Result{Graph: run.g, Errors: run.errs,
+		BoxesReused: run.reused, BoxesBuilt: run.built}
+	if run.pages != nil {
+		rs := make([]target.Range, 0, len(run.pages))
+		for p := range run.pages {
+			rs = append(rs, target.Range{Addr: p, Size: target.PageSize})
+		}
+		res.ReadSet = target.MergeRanges(rs)
+	}
 	if run.tr != nil {
 		root := run.tr.Root()
 		root.TagUint("objects", uint64(run.g.Stats.Objects))
@@ -280,10 +308,83 @@ func (s *scope) lookup(name string) (*slot, bool) {
 type runState struct {
 	in    *Interp
 	g     *graph.Graph
-	memo  map[string]string // defName@addr -> box ID
+	memo  map[string]string // defName@addr -> box ID (this run)
 	errs  []error
 	vboxN int         // virtual box counter
 	tr    *obs.Tracer // per-run trace (nil = tracing off; all ops nil-safe)
+
+	// Cross-run memoization state (zero-valued unless in.Memo is set).
+	rec    *recorder       // read-recording target wrapper
+	frames []*memoFrame    // materialization recording stack
+	pages  map[uint64]bool // page bases the run's output depends on
+	reused int
+	built  int
+}
+
+// tgt is the target every extraction read goes through: the recording
+// wrapper when memoizing, the session chain otherwise.
+func (r *runState) tgt() target.Target {
+	if r.rec != nil {
+		return r.rec
+	}
+	return r.in.Env.Target
+}
+
+// nextVboxN consumes one virtual-box number. The resulting '#N' identity
+// depends on global evaluation order, so the frame it lands in can never be
+// reused from the memo — taint it.
+func (r *runState) nextVboxN() int {
+	if n := len(r.frames); n > 0 {
+		r.frames[n-1].tainted = true
+	}
+	n := r.vboxN
+	r.vboxN++
+	return n
+}
+
+// recordRead mirrors one successful target read into the innermost frame
+// (ordered ranges + running content sum) and the run-level page set.
+func (r *runState) recordRead(addr uint64, buf []byte) {
+	if n := len(r.frames); n > 0 {
+		fr := r.frames[n-1]
+		fr.reads = append(fr.reads, target.Range{Addr: addr, Size: uint64(len(buf))})
+		fr.sum = target.HashSum(fr.sum, buf)
+	}
+	r.notePages(addr, uint64(len(buf)))
+}
+
+// noteChild records a direct materialization in the innermost frame.
+func (r *runState) noteChild(def string, addr uint64) {
+	if n := len(r.frames); n > 0 {
+		fr := r.frames[n-1]
+		fr.children = append(fr.children, childRef{def: def, addr: addr})
+	}
+}
+
+// notePages adds [addr, addr+size) to the run-level page set.
+func (r *runState) notePages(addr, size uint64) {
+	if r.pages == nil || size == 0 {
+		return
+	}
+	first := addr &^ (target.PageSize - 1)
+	last := (addr + size - 1) &^ (target.PageSize - 1)
+	if last < first { // clamp wraparound at the top of the address space
+		last = ^uint64(0) &^ (target.PageSize - 1)
+	}
+	for p := first; ; p += target.PageSize {
+		r.pages[p] = true
+		if p == last {
+			break
+		}
+	}
+}
+
+// noteRanges adds a reused entry's ranges to the run-level page set, so
+// ReadSet stays complete even when no read actually happened.
+func (r *runState) noteRanges(ranges []target.Range) {
+	for _, rg := range ranges {
+		r.notePages(rg.Addr, rg.Size)
+	}
 }
 
 func (r *runState) notef(line int, format string, args ...any) {
@@ -312,7 +413,7 @@ func (r *runState) force(name string, sl *slot, sc *scope) (vval, error) {
 // cEnv builds an expression environment whose resolver walks the ViewCL
 // scope chain, so ${...} escapes see @bindings.
 func (r *runState) cEnv(sc *scope) *expr.Env {
-	env := &expr.Env{Target: r.in.Env.Target, Funcs: r.in.Env.Funcs, Vars: r.in.Env.Vars}
+	env := &expr.Env{Target: r.tgt(), Funcs: r.in.Env.Funcs, Vars: r.in.Env.Vars}
 	env.Resolver = func(name string) (expr.Value, bool) {
 		sl, ok := sc.lookup(name)
 		if !ok {
@@ -506,36 +607,96 @@ func (r *runState) evalConstruct(n *ConstructNode, sc *scope) (vval, error) {
 }
 
 // materialize creates (or returns the memoized) box instance for def@addr,
-// evaluating all of its views.
+// evaluating all of its views — or, when a cross-run Memo holds a verified
+// clean copy, reuses it without touching the target.
 func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 	key := def.name + "@" + fmt.Sprintf("%x", addr)
+	// Record the reference first: an enclosing memoized frame must replay
+	// this call on reuse even when the box is already materialized here.
+	r.noteChild(def.name, addr)
 	if id, ok := r.memo[key]; ok {
 		return id, nil
 	}
 	if len(r.g.Boxes) >= r.in.MaxObjects {
 		return "", fmt.Errorf("viewcl: object budget exceeded (%d boxes)", r.in.MaxObjects)
 	}
+	if r.in.Memo != nil {
+		if id, ok, err := r.reuseBox(key); err != nil {
+			return "", err
+		} else if ok {
+			return id, nil
+		}
+	}
+	return r.buildBox(key, def, addr)
+}
+
+// reuseBox serves def@addr from the cross-run memo when its recorded bytes
+// verify clean. The clone's items reference child IDs by value, so the
+// recorded children are re-materialized (usually memo hits themselves) in
+// the original order — behind a pre-tainted barrier frame so their refs
+// don't leak into whatever frame is currently recording.
+func (r *runState) reuseBox(key string) (string, bool, error) {
+	e := r.in.Memo.lookup(key)
+	if e == nil || !r.in.Memo.verify(key, e) {
+		return "", false, nil
+	}
+	b := e.box.Clone()
+	r.memo[key] = b.ID
+	r.g.Add(b)
+	r.reused++
+	r.in.Memo.noteReuse()
+	if r.in.Obs != nil {
+		r.in.Obs.BoxReuses.Inc()
+	}
+	r.noteRanges(e.merged)
+	r.frames = append(r.frames, &memoFrame{tainted: true})
+	defer func() { r.frames = r.frames[:len(r.frames)-1] }()
+	for _, c := range e.children {
+		cdef, ok := r.in.defs[c.def]
+		if !ok {
+			// The definition set changed under the memo; the reference
+			// cannot be satisfied, so the entry is unusable going forward.
+			r.in.Memo.reject(key)
+			continue
+		}
+		if _, err := r.materialize(cdef, c.addr); err != nil {
+			return "", false, err
+		}
+	}
+	return b.ID, true, nil
+}
+
+// buildBox materializes def@addr cold, recording its own-frame reads and
+// child references so the memo can replay it next run.
+func (r *runState) buildBox(key string, def *boxDef, addr uint64) (string, error) {
 	id := graph.BoxID(def.name, addr)
+	fr := newMemoFrame()
 	// Distinct defs over the same address must stay distinct boxes.
 	if _, clash := r.g.Get(id); clash {
-		id = fmt.Sprintf("%s#%d", id, r.vboxN)
-		r.vboxN++
+		id = fmt.Sprintf("%s#%d", id, r.nextVboxN())
+		fr.tainted = true // '#N' identity: never reusable
 	}
 	r.memo[key] = id
 	b := graph.NewBox(id, def.name, def.ctype.Name, addr)
 	r.g.Add(b)
+	r.built++
+	if r.in.Obs != nil {
+		r.in.Obs.BoxBuilds.Inc()
+	}
+	r.frames = append(r.frames, fr)
+	defer func() { r.frames = r.frames[:len(r.frames)-1] }()
 
 	sp := r.tr.StartSpan("box:" + def.name)
 	sp.TagHex("addr", addr)
 	var reads0 uint64
 	if sp != nil {
-		reads0, _ = r.in.Env.Target.Stats().Snapshot()
+		reads0, _ = r.tgt().Stats().Snapshot()
 	}
 
 	// Batch-fetch the whole object before walking its fields: on
 	// snapshot-backed targets this is one transaction instead of one per
 	// Text/Link item, which is where the KGDB latency model bleeds.
-	target.ReadStruct(r.in.Env.Target, addr, def.ctype)
+	target.ReadStruct(r.tgt(), addr, def.ctype)
 
 	// Instance scope: @this plus lazy where-bindings.
 	sc := newScope(nil)
@@ -551,8 +712,10 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 			gi, err := r.evalItem(item, sc)
 			if err != nil {
 				// Non-fatal: record the issue, keep the item as error text.
+				// The error may be transient, so the box is not memoizable.
 				r.notef(0, "%s.%s: %v", def.name, itemName(item), err)
 				gi = graph.Item{Kind: graph.ItemText, Name: itemName(item), Value: "<error>"}
+				fr.tainted = true
 			}
 			gv.Items = append(gv.Items, gi)
 		}
@@ -560,10 +723,13 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 		vsp.End()
 	}
 	if sp != nil {
-		reads1, _ := r.in.Env.Target.Stats().Snapshot()
+		reads1, _ := r.tgt().Stats().Snapshot()
 		sp.TagUint("reads", reads1-reads0)
 	}
 	sp.End()
+	if r.in.Memo != nil && !fr.tainted {
+		r.in.Memo.store(key, b, fr)
+	}
 	return id, nil
 }
 
@@ -666,8 +832,7 @@ func (r *runState) evalInlineBox(n *InlineBoxNode, sc *scope) (vval, error) {
 	if len(r.g.Boxes) >= r.in.MaxObjects {
 		return vval{}, fmt.Errorf("viewcl: object budget exceeded")
 	}
-	id := fmt.Sprintf("box#%d", r.vboxN)
-	r.vboxN++
+	id := fmt.Sprintf("box#%d", r.nextVboxN())
 	b := graph.NewBox(id, "Box", "", 0)
 	r.g.Add(b)
 	inner := newScope(sc)
@@ -694,8 +859,7 @@ func (r *runState) plotRoot(v vval, name string) (string, error) {
 	case vBox:
 		return v.boxID, nil
 	case vCont:
-		id := fmt.Sprintf("%s#%d", name, r.vboxN)
-		r.vboxN++
+		id := fmt.Sprintf("%s#%d", name, r.nextVboxN())
 		b := graph.NewBox(id, name, "", 0)
 		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
 			{Kind: graph.ItemContainer, Name: name, Elems: v.elems},
@@ -703,8 +867,7 @@ func (r *runState) plotRoot(v vval, name string) (string, error) {
 		r.g.Add(b)
 		return id, nil
 	case vNull:
-		id := fmt.Sprintf("%s#%d", name, r.vboxN)
-		r.vboxN++
+		id := fmt.Sprintf("%s#%d", name, r.nextVboxN())
 		b := graph.NewBox(id, name, "", 0)
 		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
 			{Kind: graph.ItemText, Name: name, Value: "NULL"},
