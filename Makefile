@@ -33,7 +33,7 @@ race:
 	$(GO) test -race ./...
 
 race-link:
-	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core
+	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core ./internal/vchat
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .

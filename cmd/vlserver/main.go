@@ -25,6 +25,7 @@ func main() {
 	workspace := flag.String("workspace", "", "comma-separated figure IDs (or 'all') to extract concurrently on attach, each with its own trace")
 	workers := flag.Int("workers", 0, "workspace extraction workers (0 = GOMAXPROCS)")
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically snapshot the metrics registry into the /debug/metrics/history ring (0 disables)")
+	baseline := flag.String("baseline", "", "perfbench result file (BENCH_4.json shape) whose steady_kgdb_ms rows become the /debug/diagnose baseline")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -33,6 +34,11 @@ func main() {
 		defer stop()
 	}
 	session, k, _ := core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, o)
+	if *baseline != "" {
+		if err := session.LoadBaselineFile(*baseline); err != nil {
+			log.Fatalf("vlserver: %v", err)
+		}
+	}
 
 	if *workspace != "" {
 		figs, err := workspaceFigures(*workspace)
@@ -63,7 +69,7 @@ func main() {
 	_, bytes := k.Mem.Footprint()
 	fmt.Printf("vlserver: simulated kernel ready (%d tasks, %d KiB); listening on http://%s\n",
 		len(k.Tasks), bytes/1024, *addr)
-	fmt.Printf("vlserver: metrics at /debug/metrics (+/history), traces at /debug/trace/{pane|last}, slow log at /debug/slowlog\n")
+	fmt.Printf("vlserver: metrics at /debug/metrics (+/history), traces at /debug/trace/{pane|last}, slow log at /debug/slowlog, diagnosis at /debug/diagnose/{pane|slowest}\n")
 	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
 }
 

@@ -27,7 +27,10 @@ const HelpText = `commands:
   vctrl expand <p> [set]  clear collapse attributes (the click-to-expand)
   vctrl layout            show the pane tree
   vctrl show <p> [dot]    render a pane
-  vchat [@pane] <text>    natural-language customization
+  vchat [@pane] <text>    natural-language customization; also answers
+                          "why is pane N slow?", "which pane is slowest?"
+                          and "what changed since the last stop?" from
+                          retained span trees
   vtrace [pane]           show the span tree of a pane's last extraction
   figures                 list figure IDs
   save <path>             persist the pane/plot state for reuse
@@ -216,10 +219,14 @@ func (r *Runner) vchat(rest string) {
 			}
 		}
 	}
-	prog, err := r.Session.VChat(pane, rest)
+	kind, out, err := r.Session.VChatAnswer(pane, rest)
 	if err != nil {
 		r.printf("error: %v\n", err)
 		return
 	}
-	r.printf("synthesized ViewQL:\n%s", prog)
+	if kind == core.AnswerDiagnosis {
+		r.printf("%s", out)
+		return
+	}
+	r.printf("synthesized ViewQL:\n%s", out)
 }

@@ -45,7 +45,11 @@ type Session struct {
 
 	traceMu   sync.Mutex
 	traces    map[int]*obs.SpanExport // pane ID -> last extraction trace
+	figures   map[int]string          // pane ID -> figure/extraction name
 	lastTrace int                     // pane ID of the most recent extraction
+
+	baselineMu sync.RWMutex
+	baseline   map[string]float64 // figure -> steady-state ms (e.g. BENCH_4.json)
 }
 
 // NewSession creates a session over an arbitrary target whose expression
@@ -57,6 +61,7 @@ func NewSession(t target.Target, env *expr.Env) *Session {
 		programs:     make(map[int]string),
 		secondarySrc: make(map[int]int),
 		traces:       make(map[int]*obs.SpanExport),
+		figures:      make(map[int]string),
 	}
 }
 
@@ -160,9 +165,11 @@ func (s *Session) recordExtraction(paneID int, name string, res *viewcl.Result) 
 	if res.Trace != nil {
 		s.traceMu.Lock()
 		s.traces[paneID] = res.Trace
+		s.figures[paneID] = name
 		s.lastTrace = paneID
 		s.traceMu.Unlock()
 		s.Obs.Slow.Record(fmt.Sprintf("pane %d (%s)", paneID, name), dur, res.Trace)
+		s.Obs.Traces.Record(paneID, name, float64(dur.Nanoseconds())/1e6, res.Trace)
 	}
 }
 

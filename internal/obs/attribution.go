@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stage names the attribution buckets a round's span tree is folded into.
+// They follow the span vocabulary the pipeline already emits:
+//
+//	link        target.read leaves — transactions (and their qXfer
+//	            continuations) that crossed the modeled/real debug link
+//	revalidate  snapshot.* spans — dirty-range promotion, hash exchange,
+//	            stale/sub-page refetch work at incremental stop boundaries
+//	memo        memo.verify spans — proving a cached box's bytes unchanged
+//	build       plot:/box:/view:/container:/iter spans — materializing
+//	            boxes and walking containers (self time, link excluded)
+//	render      render spans — serializing a pane for a client
+//	other       root self time and anything unclassified
+const (
+	StageLink       = "link"
+	StageRevalidate = "revalidate"
+	StageMemo       = "memo"
+	StageBuild      = "build"
+	StageRender     = "render"
+	StageOther      = "other"
+)
+
+// StageOf classifies one span name into its attribution bucket.
+func StageOf(name string) string {
+	switch {
+	case name == "target.read":
+		return StageLink
+	case strings.HasPrefix(name, "snapshot."):
+		return StageRevalidate
+	case strings.HasPrefix(name, "memo."):
+		return StageMemo
+	case strings.HasPrefix(name, "box:"), strings.HasPrefix(name, "view:"),
+		strings.HasPrefix(name, "container:"), name == "iter",
+		strings.HasPrefix(name, "plot:"):
+		return StageBuild
+	case name == "render":
+		return StageRender
+	}
+	return StageOther
+}
+
+// StageShare is one bucket of a round's attribution.
+type StageShare struct {
+	Stage string  `json:"stage"`
+	DurUS int64   `json:"dur_us"`
+	Share float64 `json:"share"` // fraction of the round's total
+	Spans int     `json:"spans"`
+}
+
+// StageBreakdown is a round's time folded into stages. Because every span's
+// self time (duration minus the sum of its children) is bucketed somewhere,
+// the stages sum to the root's duration up to microsecond rounding — the
+// conservation property diagnosis leans on.
+type StageBreakdown struct {
+	TotalUS int64 `json:"total_us"`
+	// ModelNS totals the model_ns tags on link spans: the modeled KGDB
+	// link nanoseconds behind the wall-clock numbers (0 on a fast target).
+	ModelNS int64        `json:"model_ns"`
+	Stages  []StageShare `json:"stages"` // sorted by DurUS descending
+}
+
+// Attribute folds a round's span tree into stage buckets by self time:
+// each span contributes its duration minus its children's to its own
+// stage, so nested stages (a target.read under snapshot.revalidate under
+// box:) split the time instead of double-counting it.
+func Attribute(tr *SpanExport) *StageBreakdown {
+	if tr == nil {
+		return nil
+	}
+	durs := make(map[string]int64)
+	spans := make(map[string]int)
+	var modelNS int64
+	var walk func(s *SpanExport)
+	walk = func(s *SpanExport) {
+		var childUS int64
+		for _, c := range s.Children {
+			childUS += c.DurUS
+			walk(c)
+		}
+		self := s.DurUS - childUS
+		if self < 0 {
+			self = 0
+		}
+		stage := StageOf(s.Name)
+		durs[stage] += self
+		spans[stage]++
+		if stage == StageLink {
+			if v, ok := s.Tags["model_ns"]; ok {
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					modelNS += n
+				}
+			}
+		}
+	}
+	walk(tr)
+	b := &StageBreakdown{TotalUS: tr.DurUS, ModelNS: modelNS}
+	for stage, d := range durs {
+		share := 0.0
+		if b.TotalUS > 0 {
+			share = float64(d) / float64(b.TotalUS)
+		}
+		b.Stages = append(b.Stages, StageShare{Stage: stage, DurUS: d, Share: share, Spans: spans[stage]})
+	}
+	sort.Slice(b.Stages, func(i, j int) bool {
+		if b.Stages[i].DurUS != b.Stages[j].DurUS {
+			return b.Stages[i].DurUS > b.Stages[j].DurUS
+		}
+		return b.Stages[i].Stage < b.Stages[j].Stage
+	})
+	return b
+}
+
+// Dominant returns the largest named (non-"other") stage, falling back to
+// "other" only when nothing else was observed at all.
+func (b *StageBreakdown) Dominant() StageShare {
+	if b == nil {
+		return StageShare{}
+	}
+	for _, s := range b.Stages {
+		if s.Stage != StageOther {
+			return s
+		}
+	}
+	if len(b.Stages) > 0 {
+		return b.Stages[0]
+	}
+	return StageShare{}
+}
+
+// Stage returns the named bucket (zero when absent).
+func (b *StageBreakdown) Stage(name string) StageShare {
+	if b == nil {
+		return StageShare{}
+	}
+	for _, s := range b.Stages {
+		if s.Stage == name {
+			return s
+		}
+	}
+	return StageShare{Stage: name}
+}
+
+// SumUS totals every bucket — by construction close to TotalUS; tests use
+// the pair to assert conservation.
+func (b *StageBreakdown) SumUS() int64 {
+	if b == nil {
+		return 0
+	}
+	var sum int64
+	for _, s := range b.Stages {
+		sum += s.DurUS
+	}
+	return sum
+}

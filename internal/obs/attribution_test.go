@@ -1,0 +1,131 @@
+package obs_test
+
+import (
+	"testing"
+
+	"visualinux/internal/obs"
+)
+
+// syntheticRound builds a span tree shaped like a real incremental
+// extraction round, with millisecond-scale durations so bucket math is
+// exact: a 10 ms root whose box build nests snapshot revalidation, which
+// nests link reads; plus memo verification with its own link read.
+func syntheticRound() *obs.SpanExport {
+	return &obs.SpanExport{
+		Name: "vplot:fig3-6", DurUS: 10000, // 0.5ms self
+		Children: []*obs.SpanExport{
+			{Name: "plot:thread", DurUS: 9000, // 1ms self
+				Children: []*obs.SpanExport{
+					{Name: "box:Task", DurUS: 7000, // 1ms self
+						Children: []*obs.SpanExport{
+							{Name: "snapshot.revalidate", DurUS: 4000, // 1ms self
+								Children: []*obs.SpanExport{
+									{Name: "target.read", DurUS: 2000, Tags: map[string]string{"model_ns": "1500000"}},
+									{Name: "snapshot.subpage", DurUS: 1000},
+								}},
+							{Name: "memo.verify", DurUS: 2000, // 1.5ms self
+								Children: []*obs.SpanExport{
+									{Name: "target.read", DurUS: 500, Tags: map[string]string{"model_ns": "400000"}},
+								}},
+						}},
+					{Name: "container:list", DurUS: 1000}, // 1ms build self
+				}},
+			{Name: "render", DurUS: 500},
+		},
+	}
+}
+
+func TestAttributeConservationAndBuckets(t *testing.T) {
+	b := obs.Attribute(syntheticRound())
+	if b.TotalUS != 10000 {
+		t.Fatalf("TotalUS = %d", b.TotalUS)
+	}
+	// Self-time bucketing conserves the root total exactly on this tree.
+	if b.SumUS() != b.TotalUS {
+		t.Fatalf("sum %d != total %d: attribution leaked time", b.SumUS(), b.TotalUS)
+	}
+	want := map[string]int64{
+		obs.StageLink:       2500, // both target.read leaves
+		obs.StageRevalidate: 2000, // revalidate self (1000) + subpage (1000)
+		obs.StageMemo:       1500, // memo.verify minus its link read
+		obs.StageBuild:      3000, // plot + box + container self time
+		obs.StageRender:     500,
+		obs.StageOther:      500, // root self time
+	}
+	for stage, us := range want {
+		if got := b.Stage(stage).DurUS; got != us {
+			t.Fatalf("stage %s = %dus, want %d", stage, got, us)
+		}
+	}
+	if b.ModelNS != 1900000 {
+		t.Fatalf("ModelNS = %d, want sum of model_ns tags", b.ModelNS)
+	}
+	if dom := b.Dominant(); dom.Stage != obs.StageBuild {
+		t.Fatalf("dominant = %q, want build", dom.Stage)
+	}
+	// Shares are fractions of the total.
+	if s := b.Stage(obs.StageLink).Share; s < 0.24 || s > 0.26 {
+		t.Fatalf("link share = %v, want 0.25", s)
+	}
+}
+
+func TestAttributeDominantSkipsOther(t *testing.T) {
+	// A tree where unclassified self time is the largest bucket: Dominant
+	// must still point at a named stage so diagnosis never answers "other".
+	tr := &obs.SpanExport{
+		Name: "vplot:x", DurUS: 1000,
+		Children: []*obs.SpanExport{{Name: "target.read", DurUS: 100}},
+	}
+	b := obs.Attribute(tr)
+	if b.Stage(obs.StageOther).DurUS != 900 {
+		t.Fatalf("other = %d", b.Stage(obs.StageOther).DurUS)
+	}
+	if dom := b.Dominant(); dom.Stage != obs.StageLink {
+		t.Fatalf("dominant = %q, want the largest NAMED stage", dom.Stage)
+	}
+}
+
+func TestAttributeClampsNegativeSelfTime(t *testing.T) {
+	// Children reported longer than the parent (rounding): self time clamps
+	// to zero instead of going negative.
+	tr := &obs.SpanExport{
+		Name: "box:T", DurUS: 10,
+		Children: []*obs.SpanExport{{Name: "target.read", DurUS: 15}},
+	}
+	b := obs.Attribute(tr)
+	if got := b.Stage(obs.StageBuild).DurUS; got != 0 {
+		t.Fatalf("build self = %d, want clamped 0", got)
+	}
+}
+
+func TestAttributeNil(t *testing.T) {
+	if obs.Attribute(nil) != nil {
+		t.Fatal("nil tree must attribute to nil")
+	}
+	var b *obs.StageBreakdown
+	if b.Dominant().Stage != "" || b.SumUS() != 0 || b.Stage(obs.StageLink).DurUS != 0 {
+		t.Fatal("nil breakdown accessors must be zero")
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	cases := map[string]string{
+		"target.read":         obs.StageLink,
+		"snapshot.revalidate": obs.StageRevalidate,
+		"snapshot.subpage":    obs.StageRevalidate,
+		"snapshot.refetch":    obs.StageRevalidate,
+		"memo.verify":         obs.StageMemo,
+		"box:Task":            obs.StageBuild,
+		"view:threads":        obs.StageBuild,
+		"container:list":      obs.StageBuild,
+		"iter":                obs.StageBuild,
+		"plot:main":           obs.StageBuild,
+		"render":              obs.StageRender,
+		"vplot:fig3-6":        obs.StageOther,
+	}
+	for name, want := range cases {
+		if got := obs.StageOf(name); got != want {
+			t.Fatalf("StageOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -89,24 +89,37 @@ func (h *MetricsHistory) Cap() int {
 }
 
 // Start samples r into the ring every interval until the returned stop
-// function is called. One goroutine; stop is idempotent.
+// function is called. One goroutine; stop is idempotent and does not
+// return until the sampler has exited, so no snapshot lands after it.
 func (h *MetricsHistory) Start(r *Registry, interval time.Duration) (stop func()) {
 	if h == nil || r == nil || interval <= 0 {
 		return func() {}
 	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	var once sync.Once
 	go func() {
+		defer close(exited)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
+				// A tick and the stop signal can be ready together;
+				// prefer stopping so the last observable Len() is final.
+				select {
+				case <-done:
+					return
+				default:
+				}
 				h.Snapshot(r)
 			case <-done:
 				return
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }

@@ -15,6 +15,10 @@ import (
 type Observer struct {
 	Registry *Registry
 	Slow     *SlowLog
+	// Traces retains the last few span trees per pane — the store the
+	// vchat diagnosis layer answers from (recency-based, unlike the
+	// slowest-per-label Slow log).
+	Traces *TraceStore
 
 	// Link-level traffic (bumped by target.Instrumented, i.e. only what
 	// actually crossed the modeled/real link — snapshot hits never count).
@@ -65,6 +69,7 @@ func NewObserver() *Observer {
 	o := &Observer{
 		Registry: r,
 		Slow:     NewSlowLog(DefaultSlowLogSize),
+		Traces:   NewTraceStore(DefaultTraceStoreDepth),
 
 		LinkReads:         r.Counter("vl_target_link_reads_total", "read transactions that reached the (modeled) debug link"),
 		LinkBytes:         r.Counter("vl_target_link_bytes_total", "bytes transferred over the debug link"),

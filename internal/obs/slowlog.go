@@ -18,12 +18,15 @@ type SlowEntry struct {
 // SlowLog is a bounded log of the N slowest extractions observed so far —
 // the "why was that pane slow?" ring the server exposes at /debug/slowlog.
 // Admission is by duration: once full, an entry must beat the current
-// fastest retained entry to get in.
+// fastest retained entry to get in. Retention is per label: only the
+// slowest round of each label is kept, so one hot pane's burst of slow
+// rounds occupies a single slot instead of evicting every other pane's
+// trace (diagnosis depends on each pane's record surviving).
 type SlowLog struct {
 	mu      sync.Mutex
 	max     int
 	seq     uint64
-	entries []SlowEntry // sorted by DurMS descending
+	entries []SlowEntry // sorted by DurMS descending; at most one per Label
 }
 
 // DefaultSlowLogSize is the retained-entry count of NewObserver's log.
@@ -46,6 +49,18 @@ func (l *SlowLog) Record(label string, dur time.Duration, trace *SpanExport) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
+	// One slot per label: a repeat offer either upgrades the label's
+	// retained entry (new personal worst) or is dropped outright.
+	for i := range l.entries {
+		if l.entries[i].Label != label {
+			continue
+		}
+		if ms <= l.entries[i].DurMS {
+			return
+		}
+		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+		break
+	}
 	if len(l.entries) >= l.max && ms <= l.entries[len(l.entries)-1].DurMS {
 		return
 	}

@@ -35,6 +35,49 @@ func TestSlowLogAdmission(t *testing.T) {
 	}
 }
 
+// TestSlowLogHotPaneDoesNotEvictOthers is the regression for the
+// diagnosis-breaking bug: pane 1 extracting slowly over and over used to
+// fill every slot, evicting pane 2's only retained trace. Retention is one
+// slot per label — a repeat offer upgrades the label's entry in place.
+func TestSlowLogHotPaneDoesNotEvictOthers(t *testing.T) {
+	l := obs.NewSlowLog(3)
+	p1 := &obs.SpanExport{Name: "vplot:fig3-6"}
+	p2 := &obs.SpanExport{Name: "vplot:fig7-1"}
+
+	// Two panes alternate, then pane 1 goes hot: a burst of rounds each
+	// slow enough that the old admission rule would have filled the log.
+	l.Record("pane 1 (fig3-6)", 20*time.Millisecond, p1)
+	l.Record("pane 2 (fig7-1)", 15*time.Millisecond, p2)
+	for i := 0; i < 10; i++ {
+		l.Record("pane 1 (fig3-6)", time.Duration(30+i)*time.Millisecond, p1)
+	}
+
+	got := l.Entries()
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want one slot per label: %+v", len(got), got)
+	}
+	if got[0].Label != "pane 1 (fig3-6)" || got[0].DurMS != 39 {
+		t.Fatalf("hot pane slot = %+v, want its personal worst (39ms)", got[0])
+	}
+	if got[1].Label != "pane 2 (fig7-1)" {
+		t.Fatalf("pane 2's trace was evicted by pane 1's burst: %+v", got)
+	}
+	if got[1].Trace == nil || got[1].Trace.Name != "vplot:fig7-1" {
+		t.Fatalf("pane 2 entry lost its trace: %+v", got[1])
+	}
+}
+
+// A faster repeat of the same label must not downgrade the retained entry.
+func TestSlowLogRepeatFasterRoundIgnored(t *testing.T) {
+	l := obs.NewSlowLog(3)
+	l.Record("pane 1 (fig3-6)", 50*time.Millisecond, nil)
+	l.Record("pane 1 (fig3-6)", 10*time.Millisecond, nil)
+	got := l.Entries()
+	if len(got) != 1 || got[0].DurMS != 50 {
+		t.Fatalf("entries = %+v, want the label's worst retained", got)
+	}
+}
+
 func TestSlowLogKeepsTrace(t *testing.T) {
 	tr := obs.NewTracer("root")
 	tr.StartSpan("child").End()

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultTraceStoreDepth is how many rounds of span trees TraceStore keeps
+// per pane. Diagnosis needs the latest round plus enough history to form a
+// steady-state baseline and answer "what changed since the last stop".
+const DefaultTraceStoreDepth = 8
+
+// TraceRecord is one retained extraction round for a pane: the full span
+// tree plus enough identity to answer questions about it without touching
+// /debug/trace.
+type TraceRecord struct {
+	Pane   int         `json:"pane"`
+	Figure string      `json:"figure"` // extraction name, e.g. "fig3-6"
+	Seq    uint64      `json:"seq"`    // store-wide admission order
+	DurMS  float64     `json:"dur_ms"` // whole-round wall duration
+	Trace  *SpanExport `json:"trace,omitempty"`
+}
+
+// TraceStore retains the last N span trees per pane — the substrate the
+// vchat diagnosis layer reads instead of the /debug/trace endpoint. Unlike
+// the SlowLog (slowest-per-label, admission by duration), the store is
+// purely recency-based: every round is kept, bounded per pane, so "why is
+// pane 3 slow?" always finds pane 3's latest tree even when pane 3 was
+// never slow enough for the slow log.
+//
+// Safe for concurrent writers and readers; nil-safe like the rest of obs.
+type TraceStore struct {
+	mu    sync.Mutex
+	depth int
+	seq   uint64
+	byID  map[int][]TraceRecord // oldest first, len <= depth
+}
+
+// NewTraceStore creates a store keeping the last depth rounds per pane
+// (depth <= 0 falls back to DefaultTraceStoreDepth).
+func NewTraceStore(depth int) *TraceStore {
+	if depth <= 0 {
+		depth = DefaultTraceStoreDepth
+	}
+	return &TraceStore{depth: depth, byID: make(map[int][]TraceRecord)}
+}
+
+// Record retains one extraction round for a pane, evicting the pane's
+// oldest round beyond the depth bound. A nil trace is ignored.
+func (ts *TraceStore) Record(pane int, figure string, durMS float64, trace *SpanExport) {
+	if ts == nil || trace == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.seq++
+	recs := append(ts.byID[pane], TraceRecord{
+		Pane: pane, Figure: figure, Seq: ts.seq, DurMS: durMS, Trace: trace,
+	})
+	if len(recs) > ts.depth {
+		recs = append(recs[:0], recs[len(recs)-ts.depth:]...)
+	}
+	ts.byID[pane] = recs
+}
+
+// Last returns a pane's most recent round.
+func (ts *TraceStore) Last(pane int) (TraceRecord, bool) {
+	if ts == nil {
+		return TraceRecord{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	recs := ts.byID[pane]
+	if len(recs) == 0 {
+		return TraceRecord{}, false
+	}
+	return recs[len(recs)-1], true
+}
+
+// History returns a pane's retained rounds, oldest first.
+func (ts *TraceStore) History(pane int) []TraceRecord {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceRecord, len(ts.byID[pane]))
+	copy(out, ts.byID[pane])
+	return out
+}
+
+// Panes lists every pane with at least one retained round, ascending.
+func (ts *TraceStore) Panes() []int {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]int, 0, len(ts.byID))
+	for id := range ts.byID {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len reports how many rounds are retained for a pane.
+func (ts *TraceStore) Len(pane int) int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.byID[pane])
+}

@@ -1,0 +1,91 @@
+package obs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"visualinux/internal/obs"
+)
+
+func smallTrace(name string) *obs.SpanExport {
+	return &obs.SpanExport{Name: name, DurUS: 100}
+}
+
+func TestTraceStoreBounds(t *testing.T) {
+	ts := obs.NewTraceStore(3)
+	for i := 1; i <= 5; i++ {
+		ts.Record(1, "fig3-6", float64(i), smallTrace(fmt.Sprintf("round%d", i)))
+	}
+	if ts.Len(1) != 3 {
+		t.Fatalf("Len = %d, want depth bound 3", ts.Len(1))
+	}
+	hist := ts.History(1)
+	if len(hist) != 3 || hist[0].DurMS != 3 || hist[2].DurMS != 5 {
+		t.Fatalf("history = %+v, want rounds 3..5 oldest first", hist)
+	}
+	last, ok := ts.Last(1)
+	if !ok || last.DurMS != 5 || last.Trace.Name != "round5" {
+		t.Fatalf("last = %+v", last)
+	}
+	if last.Seq <= hist[0].Seq {
+		t.Fatalf("seq not monotonic: last %d vs oldest %d", last.Seq, hist[0].Seq)
+	}
+}
+
+func TestTraceStoreIsRecencyBasedNotSlowest(t *testing.T) {
+	// Unlike the slow log, a fast round must replace visibility of a slow
+	// one: "why is pane 1 slow?" is about the latest round, always.
+	ts := obs.NewTraceStore(2)
+	ts.Record(1, "fig3-6", 500, smallTrace("slow"))
+	ts.Record(1, "fig3-6", 1, smallTrace("fast"))
+	last, _ := ts.Last(1)
+	if last.Trace.Name != "fast" {
+		t.Fatalf("last = %q, want the most recent round regardless of duration", last.Trace.Name)
+	}
+}
+
+func TestTraceStorePanesAndNilSafety(t *testing.T) {
+	ts := obs.NewTraceStore(0) // default depth
+	ts.Record(3, "fig7-1", 1, smallTrace("a"))
+	ts.Record(1, "fig3-6", 1, smallTrace("b"))
+	ts.Record(2, "fig4-5", 1, nil) // nil trace ignored
+	if got := ts.Panes(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("panes = %v, want [1 3]", got)
+	}
+	if _, ok := ts.Last(2); ok {
+		t.Fatal("nil trace must not be retained")
+	}
+
+	var nilStore *obs.TraceStore
+	nilStore.Record(1, "x", 1, smallTrace("c"))
+	if _, ok := nilStore.Last(1); ok {
+		t.Fatal("nil store Last must report false")
+	}
+	if nilStore.Panes() != nil || nilStore.History(1) != nil || nilStore.Len(1) != 0 {
+		t.Fatal("nil store accessors must be empty")
+	}
+}
+
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := obs.NewTraceStore(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ts.Record(g%3, "fig", 1, smallTrace("t"))
+				ts.Last(g % 3)
+				ts.History(g % 3)
+				ts.Panes()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, p := range ts.Panes() {
+		if n := ts.Len(p); n != 4 {
+			t.Fatalf("pane %d retained %d rounds, want 4", p, n)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"visualinux/internal/vchat"
 )
 
 // registerDebug mounts the observability surfaces. They answer 404 when the
@@ -15,6 +17,42 @@ func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
+	s.mux.HandleFunc("/debug/diagnose/", s.handleDiagnose)
+}
+
+// handleDiagnose answers "why is this pane slow?" over HTTP from the
+// pane's retained span trees — the machine-readable twin of the vchat
+// diagnosis path. GET /debug/diagnose/3 — pane 3; GET
+// /debug/diagnose/slowest — whichever pane's latest round was slowest.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.session.Obs == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/diagnose/")
+	var d *vchat.Diagnosis
+	var err error
+	if rest == "slowest" || rest == "" {
+		d, err = s.session.DiagnoseSlowest()
+	} else {
+		id, convErr := strconv.Atoi(rest)
+		if convErr != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id %q", rest))
+			return
+		}
+		d, err = s.session.Diagnose(id)
+	}
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pane":      d.Pane,
+		"diagnosis": d,
+		"rendered":  d.Render(),
+	})
 }
 
 // handleMetricsHistory returns the bounded ring of periodic registry

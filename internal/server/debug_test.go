@@ -133,3 +133,80 @@ func TestDebugEndpointsUnobserved(t *testing.T) {
 		}
 	}
 }
+
+// The diagnosis endpoint answers from retained span trees: a plotted pane
+// diagnoses by id or via "slowest", an unknown pane 404s, and the plain
+// server (no observer) keeps 404ing the whole surface.
+func TestDebugDiagnoseEndpoint(t *testing.T) {
+	ts := newObservedServer(t)
+	if resp, _ := post(t, ts, "/api/vplot", `{"figure":"7-1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("vplot status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/debug/diagnose/1", "/debug/diagnose/slowest"} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d: %s", path, resp.StatusCode, body)
+		}
+		var out struct {
+			Pane      int    `json:"pane"`
+			Rendered  string `json:"rendered"`
+			Diagnosis struct {
+				Suspect string `json:"suspect"`
+				TotalMS float64 `json:"total_ms"`
+				Breakdown struct {
+					TotalUS int64 `json:"total_us"`
+					Stages  []obs.StageShare `json:"stages"`
+				} `json:"breakdown"`
+			} `json:"diagnosis"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s: %v\n%s", path, err, body)
+		}
+		if out.Pane != 1 || out.Diagnosis.Suspect == "" || out.Diagnosis.Suspect == obs.StageOther {
+			t.Fatalf("%s: pane=%d suspect=%q", path, out.Pane, out.Diagnosis.Suspect)
+		}
+		if !strings.Contains(out.Rendered, "dominant stage: "+out.Diagnosis.Suspect) {
+			t.Fatalf("%s: rendered text disagrees with structure:\n%s", path, out.Rendered)
+		}
+		var sum int64
+		for _, st := range out.Diagnosis.Breakdown.Stages {
+			sum += st.DurUS
+		}
+		if total := out.Diagnosis.Breakdown.TotalUS; sum*10 < total*9 {
+			t.Fatalf("%s: stages sum %dus of %dus", path, sum, total)
+		}
+	}
+
+	if resp, body := get(t, ts, "/debug/diagnose/99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown pane status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := get(t, ts, "/debug/diagnose/nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad pane id status %d: %s", resp.StatusCode, body)
+	}
+
+	plain := newServer(t)
+	if resp, _ := get(t, plain, "/debug/diagnose/1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unobserved server status %d", resp.StatusCode)
+	}
+}
+
+// A diagnostic question through /api/vchat routes to the diagnosis path and
+// answers {"kind":"diagnosis"}; a visualization request keeps the
+// historical {"viewql"} shape.
+func TestVChatDiagnosisRouting(t *testing.T) {
+	ts := newObservedServer(t)
+	if resp, _ := post(t, ts, "/api/vplot", `{"figure":"7-1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("vplot status %d", resp.StatusCode)
+	}
+	resp, out := post(t, ts, "/api/vchat", `{"pane":1,"message":"why is pane 1 slow?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if out["kind"] != "diagnosis" || !strings.Contains(out["answer"].(string), "dominant stage:") {
+		t.Fatalf("diagnosis routing: %v", out)
+	}
+	if _, hasViewQL := out["viewql"]; hasViewQL {
+		t.Fatalf("diagnostic answer leaked a viewql field: %v", out)
+	}
+}

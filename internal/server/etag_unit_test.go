@@ -1,0 +1,42 @@
+package server
+
+import "testing"
+
+// Table-driven coverage of RFC 9110 §13.1.2 If-None-Match matching:
+// wildcard (bare, padded, inside a list), weak comparison in both
+// directions, and comma-separated candidate lists.
+func TestETagMatches(t *testing.T) {
+	const weak = `W/"p1.v2.e3.json"`
+	const strong = `"p1.v2.e3.json"`
+	cases := []struct {
+		name   string
+		header string
+		etag   string
+		want   bool
+	}{
+		{"empty header", "", weak, false},
+		{"wildcard", "*", weak, true},
+		{"wildcard padded", "  *  ", weak, true},
+		{"wildcard in list", `"nope", *`, weak, true},
+		{"wildcard matches strong tags too", "*", strong, true},
+
+		{"exact weak match", weak, weak, true},
+		{"exact strong match", strong, strong, true},
+		// Weak comparison: W/ prefixes ignored on either side.
+		{"strong header vs weak tag", strong, weak, true},
+		{"weak header vs strong tag", weak, strong, true},
+
+		{"different tag", `W/"p1.v9.e3.json"`, weak, false},
+		{"substring is not a match", `"p1.v2.e3"`, weak, false},
+
+		{"list hit", `"a", "b", ` + weak, weak, true},
+		{"list hit with weak mismatch shapes", `"a", ` + strong, weak, true},
+		{"list miss", `"a", "b", "c"`, weak, false},
+		{"list with spaces", `  "a" ,   ` + weak + `  `, weak, true},
+	}
+	for _, tc := range cases {
+		if got := etagMatches(tc.header, tc.etag); got != tc.want {
+			t.Errorf("%s: etagMatches(%q, %q) = %v, want %v", tc.name, tc.header, tc.etag, got, tc.want)
+		}
+	}
+}

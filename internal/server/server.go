@@ -192,12 +192,18 @@ func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prog, err := s.session.VChat(req.Pane, req.Message)
+	kind, out, err := s.session.VChatAnswer(req.Pane, req.Message)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"viewql": prog})
+	// Visualization requests keep the historical {"viewql": ...} shape;
+	// diagnostic questions answer {"kind":"diagnosis","answer":...}.
+	if kind == core.AnswerViewQL {
+		writeJSON(w, http.StatusOK, map[string]string{"viewql": out})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"kind": kind, "answer": out})
 }
 
 func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
@@ -288,17 +294,22 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 }
 
 // etagMatches reports whether an If-None-Match header value matches the
-// given entity tag (weak comparison; handles lists and "*").
+// given entity tag, using RFC 9110 §13.1.2 semantics: weak comparison
+// (W/ prefixes are ignored on both sides), comma-separated candidate
+// lists, and the "*" wildcard — which matches any current representation
+// wherever it appears, including sloppy clients that send it inside a
+// list or padded with whitespace.
 func etagMatches(header, etag string) bool {
 	if header == "" {
 		return false
 	}
-	if header == "*" {
-		return true
-	}
+	want := strings.TrimPrefix(etag, "W/")
 	for _, part := range strings.Split(header, ",") {
 		part = strings.TrimSpace(part)
-		if part == etag || "W/"+part == etag || part == "W/"+etag {
+		if part == "*" {
+			return true
+		}
+		if strings.TrimPrefix(part, "W/") == want {
 			return true
 		}
 	}

@@ -71,6 +71,15 @@ type Snapshot struct {
 	dirtyMark uint64
 	dirtyOK   bool
 
+	// tracer, when attached (per extraction, via AttachTracer), makes the
+	// revalidation ladder visible in the round's span tree: hash exchanges,
+	// journal-flagged block refetches and whole-page stale refetches emit
+	// snapshot.* spans, with the underlying link reads nested inside them.
+	// Without these spans, revalidation cost hides inside whichever box
+	// span happened to trigger it — the blind spot that made span-driven
+	// diagnosis misattribute steady-state rounds to graph build.
+	tracer atomic.Pointer[obs.Tracer]
+
 	hits          atomic.Uint64 // page lookups served from cache
 	misses        atomic.Uint64 // pages fetched cold from the underlying target
 	invalidations atomic.Uint64 // Invalidate calls (wholesale drops)
@@ -115,6 +124,17 @@ func (s *Snapshot) Instrument(o *obs.Observer) *Snapshot {
 		s.mPromoted, s.mStaleRef, s.mSubFill = o.SnapPromotions, o.SnapStaleRefetches, o.SnapSubpageFills
 	}
 	return s
+}
+
+// SetTracer attaches (or, with nil, detaches) the per-extraction tracer
+// that receives snapshot.* revalidation spans. Implements obs.TracerCarrier,
+// so target.AttachTracer reaches it through the chain walk.
+func (s *Snapshot) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// span opens a revalidation span on the attached tracer (nil-safe no-op
+// when no extraction is being traced).
+func (s *Snapshot) span(name string) *obs.Span {
+	return s.tracer.Load().StartSpan(name)
 }
 
 // Invalidate drops every cached page — the wholesale (pre-incremental)
@@ -500,6 +520,9 @@ func (s *Snapshot) revalidateStaleLocked(first, last uint64) {
 // not dirty dependent figures). On read failure the page is deleted; the
 // fill pass will retry it whole. Caller holds s.mu.
 func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
+	sp := s.span("snapshot.subpage")
+	sp.TagHex("page", base)
+	defer sp.End()
 	contentChanged := false
 	for i := 0; i < BlocksPerPage; {
 		if bits&(1<<i) == 0 {
@@ -539,6 +562,10 @@ func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
 // `changed` stays accurate). Caller holds s.mu.
 func (s *Snapshot) revalidateRunLocked(base, end uint64) {
 	size := end - base + PageSize
+	sp := s.span("snapshot.revalidate")
+	sp.TagHex("base", base)
+	sp.TagUint("pages", size/PageSize)
+	defer sp.End()
 	hashes, ok := HashBlocks(s.under, base, size)
 	if !ok || len(hashes) != int(size/SubPage) {
 		for pb := base; ; pb += PageSize {
@@ -575,6 +602,9 @@ func (s *Snapshot) revalidateRunLocked(base, end uint64) {
 // refetchPageLocked refetches one stale page whole (the no-capability
 // fallback), diffing content to keep `changed` accurate. Caller holds s.mu.
 func (s *Snapshot) refetchPageLocked(pb uint64) {
+	sp := s.span("snapshot.refetch")
+	sp.TagHex("page", pb)
+	defer sp.End()
 	p := s.pages[pb]
 	tmp := make([]byte, PageSize)
 	if err := s.under.ReadMemory(pb, tmp); err != nil {
@@ -712,7 +742,8 @@ func (s *Snapshot) ClipMapped(addr, size uint64) ([]Range, bool) {
 }
 
 var (
-	_ Target          = (*Snapshot)(nil)
-	_ Prefetcher      = (*Snapshot)(nil)
-	_ BatchPrefetcher = (*Snapshot)(nil)
+	_ Target            = (*Snapshot)(nil)
+	_ Prefetcher        = (*Snapshot)(nil)
+	_ BatchPrefetcher   = (*Snapshot)(nil)
+	_ obs.TracerCarrier = (*Snapshot)(nil)
 )

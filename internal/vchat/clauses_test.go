@@ -1,0 +1,73 @@
+package vchat
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression: splitClauses must split on bare " and "/" then " only between
+// complete clauses (next word opens an action), never inside noun phrases or
+// number lists.
+func TestSplitClauses(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		// Coordinated actions joined by a bare "and" must split.
+		{"hide kernel threads and sort tasks by pid",
+			[]string{"hide kernel threads", "sort tasks by pid"}},
+		{"shrink the superblocks and make the timers invisible",
+			[]string{"shrink the superblocks", "make the timers invisible"}},
+		// A number list after "except for" must NOT split.
+		{"trim all tasks except for pids 1 and 100",
+			[]string{"trim all tasks except for pids 1 and 100"}},
+		// A conjoined member phrase must NOT split.
+		{"hide sockets whose write and receive buffers are both empty",
+			[]string{"hide sockets whose write and receive buffers are both empty"}},
+		// " then " between clauses splits; existing ", and "/"; " separators
+		// keep working.
+		{"find the tasks with pid 1 then hide them",
+			[]string{"find the tasks with pid 1", "hide them"}},
+		{"shrink the tasks, and hide the timers; collapse the files",
+			[]string{"shrink the tasks", "hide the timers", "collapse the files"}},
+		{"find vmas that are not writable, then collapse these and hide the pages",
+			[]string{"find vmas that are not writable", "collapse these", "hide the pages"}},
+		// Mixed: a protected number list inside one clause of a real split.
+		{"trim tasks except for pids 1 and 100 and hide the superblocks",
+			[]string{"trim tasks except for pids 1 and 100", "hide the superblocks"}},
+		// Trailing period and whitespace are trimmed.
+		{"  shrink the tasks.  ", []string{"shrink the tasks"}},
+	}
+	for _, tc := range cases {
+		if got := splitClauses(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitClauses(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Intent
+		pane int
+	}{
+		{"why is pane 3 slow?", IntentDiagnosePane, 3},
+		{"Why is pane 12 so slow", IntentDiagnosePane, 12},
+		{"diagnose @2", IntentDiagnosePane, 2},
+		{"diagnose", IntentDiagnosePane, 0},
+		{"which pane is slowest?", IntentSlowestPane, 0},
+		{"what changed since the last stop?", IntentWhatChanged, 0},
+		{"what changed in pane 2 since the last resume", IntentWhatChanged, 2},
+		// Visualization requests stay on the synthesis path, even ones that
+		// mention panes or contain "slow"-adjacent words.
+		{"shrink the tasks that have no mm", IntentSynthesize, 0},
+		{"hide kernel threads and sort tasks by pid", IntentSynthesize, 0},
+		{"show the slow path handlers", IntentSynthesize, 0},
+	}
+	for _, tc := range cases {
+		intent, pane := Classify(tc.in)
+		if intent != tc.want || pane != tc.pane {
+			t.Errorf("Classify(%q) = (%v, %d), want (%v, %d)", tc.in, intent, pane, tc.want, tc.pane)
+		}
+	}
+}

@@ -90,20 +90,65 @@ func (s *synth) fresh() string {
 	return fmt.Sprintf("a%d", s.setN)
 }
 
+// clauseVerbs are the words that can open an independent clause. A bare
+// " and "/" then " splits a request only when what follows starts with one
+// of these, so coordinated actions ("hide kernel threads and sort tasks by
+// pid") split while noun-phrase conjunctions ("except for pids 1 and 100",
+// "X and Y are both empty") stay intact.
+var clauseVerbs = map[string]bool{
+	"shrink": true, "collapse": true, "trim": true, "hide": true,
+	"remove": true, "make": true, "display": true, "show": true,
+	"plot": true, "draw": true, "find": true, "select": true,
+	"sort": true, "let": true, "expand": true, "please": true,
+}
+
 // splitClauses breaks a request into independent actions.
 func splitClauses(text string) []string {
 	text = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), "."))
-	for _, sep := range []string{"; ", ", and ", ". "} {
+	for _, sep := range []string{"; ", ", and ", ". ", ", then ", " then "} {
 		text = strings.ReplaceAll(text, sep, "\x00")
 	}
 	var out []string
 	for _, c := range strings.Split(text, "\x00") {
-		c = strings.TrimSpace(c)
-		if c != "" {
-			out = append(out, c)
+		for _, part := range splitBareAnd(c) {
+			part = strings.TrimSpace(part)
+			if part != "" {
+				out = append(out, part)
+			}
 		}
 	}
 	return out
+}
+
+// splitBareAnd splits a clause on " and " boundaries that start a new
+// action (next word is a clause verb), leaving conjunctions inside noun
+// phrases and number lists alone.
+func splitBareAnd(text string) []string {
+	var out []string
+	rest := text
+	for {
+		low := strings.ToLower(rest)
+		idx := -1
+		for from := 0; ; {
+			i := strings.Index(low[from:], " and ")
+			if i < 0 {
+				break
+			}
+			i += from
+			after := strings.Fields(low[i+len(" and "):])
+			if len(after) > 0 && clauseVerbs[after[0]] {
+				idx = i
+				break
+			}
+			from = i + len(" and ")
+		}
+		if idx < 0 {
+			out = append(out, rest)
+			return out
+		}
+		out = append(out, rest[:idx])
+		rest = rest[idx+len(" and "):]
+	}
 }
 
 func norm(s string) string {
@@ -197,10 +242,12 @@ func (s *synth) groundMember(typeName, phrase string) (string, bool) {
 				return m, true
 			}
 		}
-		if m, ok := memberAliases[n]; ok {
-			for _, have := range members {
-				if have == m {
-					return m, true
+		for _, key := range []string{n, strings.TrimSuffix(n, "s")} {
+			if m, ok := memberAliases[key]; ok {
+				for _, have := range members {
+					if have == m {
+						return m, true
+					}
 				}
 			}
 		}

@@ -637,7 +637,20 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 // don't leak into whatever frame is currently recording.
 func (r *runState) reuseBox(key string) (string, bool, error) {
 	e := r.in.Memo.lookup(key)
-	if e == nil || !r.in.Memo.verify(key, e) {
+	if e == nil {
+		return "", false, nil
+	}
+	// The verification is spanned so steady-state rounds attribute their
+	// time to memo verification (generation checks, hash re-reads) instead
+	// of hiding it in the surrounding box build.
+	vsp := r.tr.StartSpan("memo.verify")
+	vsp.Tag("key", key)
+	ok := r.in.Memo.verify(key, e)
+	if !ok {
+		vsp.Tag("verdict", "rejected")
+	}
+	vsp.End()
+	if !ok {
 		return "", false, nil
 	}
 	b := e.box.Clone()
