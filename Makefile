@@ -7,16 +7,21 @@
 #   make bench-regress re-run perfbench and fail if any figure's cached
 #                      kgdb_ms regressed >25% (+50ms slack) vs BENCH_1.json,
 #                      the slow-link (PacketSize=512 RSP) cost regressed
-#                      vs BENCH_3.json, or the steady-state incremental
+#                      vs BENCH_3.json, the steady-state incremental
 #                      cost regressed vs BENCH_4.json (same 25%/50ms gate,
-#                      plus a 0.9 box reuse-ratio floor)
+#                      plus a 0.9 box reuse-ratio floor), or the compiled
+#                      engine's same-run CPU speedup over the tree-walking
+#                      interpreter fell below 3x / the steady round started
+#                      allocating (BENCH_6_CUR.json, absolute floors)
+#   make table6        regenerate the compiled-vs-interpreted CPU report
+#                      (BENCH_6.json)
 #   make race-link     race-detector pass over the read pipeline packages
 #                      (gdbrsp client/server, target cache, memory journal,
 #                      interpreter memo, server, core workers)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6
 
 ci: vet build race race-link bench-smoke bench-regress
 
@@ -42,10 +47,11 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
 	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
 	$(GO) run ./cmd/benchguard -reusefloor 0.9 BENCH_4.json BENCH_4_CUR.json
+	$(GO) run ./cmd/benchguard -speedupfloor 3 -allocceil 16 BENCH_6_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
@@ -55,3 +61,6 @@ table4-rsp:
 
 table4-steady:
 	$(GO) run ./cmd/perfbench -steadyjson BENCH_4.json
+
+table6:
+	$(GO) run ./cmd/perfbench -cpujson BENCH_6.json

@@ -7,11 +7,17 @@
 //
 //	benchguard [-threshold 1.25] [-slack 50] BENCH_1.json BENCH_2.json
 //	benchguard -reusefloor 0.8 BENCH_4.base.json BENCH_4.json
+//	benchguard -speedupfloor 3 -allocceil 16 BENCH_6.json
 //
-// Two file shapes are understood: the flat per-figure array written by
-// perfbench -json / -rspjson (gated on kgdb_ms), and the steady-state
+// Three file shapes are understood: the flat per-figure array written by
+// perfbench -json / -rspjson (gated on kgdb_ms), the steady-state
 // report written by perfbench -steadyjson (gated on each row's
-// steady_kgdb_ms, plus the whole-run reuse_ratio when -reusefloor is set).
+// steady_kgdb_ms, plus the whole-run reuse_ratio when -reusefloor is set),
+// and the CPU report written by perfbench -cpujson. The CPU gate takes a
+// single file: cpu_speedup is a same-run compiled-vs-interpreted ratio and
+// steady_round_allocs_op a runtime counter, so they are judged against
+// absolute floors rather than a baseline file whose wall-clock milliseconds
+// would not transfer across hosts.
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -54,7 +60,17 @@ func main() {
 	threshold := flag.Float64("threshold", 1.25, "max allowed kgdb_ms ratio vs baseline")
 	slack := flag.Float64("slack", 50, "absolute slack in ms (regressions smaller than this never fail)")
 	reuseFloor := flag.Float64("reusefloor", 0, "min reuse_ratio for steady-state reports (0 disables)")
+	speedupFloor := flag.Float64("speedupfloor", 0, "min same-run cpu_speedup for CPU reports (0 disables; single-file mode)")
+	allocCeil := flag.Float64("allocceil", -1, "max steady_round_allocs_op for CPU reports (negative disables; single-file mode)")
 	flag.Parse()
+	if *speedupFloor > 0 || *allocCeil >= 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -speedupfloor 3 [-allocceil 16] BENCH_6.json")
+			os.Exit(2)
+		}
+		guardCPU(flag.Arg(0), *speedupFloor, *allocCeil)
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 1.25] [-slack 50] [-reusefloor 0.8] BASELINE.json CURRENT.json")
 		os.Exit(2)
@@ -105,6 +121,54 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("benchguard: reuse_ratio %.3f ok (floor %.3f)\n", cur.reuseRatio, *reuseFloor)
+		}
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// cpuFile mirrors the perf.CPUReport fields the CPU gate needs.
+type cpuFile struct {
+	Rows []struct {
+		Figure  string  `json:"figure"`
+		Speedup float64 `json:"cpu_speedup"`
+	} `json:"rows"`
+	Speedup           float64 `json:"cpu_speedup"`
+	SteadyRoundAllocs float64 `json:"steady_round_allocs_op"`
+}
+
+// guardCPU applies the absolute floors of the CPU personality to one report:
+// the whole-sweep compiled-vs-interpreted speedup (a same-run ratio, so no
+// baseline file is involved) and the steady-round allocation count.
+func guardCPU(path string, speedupFloor, allocCeil float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var cf cpuFile
+	if err := json.Unmarshal(blob, &cf); err != nil || len(cf.Rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: not a perfbench -cpujson report\n", path)
+		os.Exit(2)
+	}
+	failed := false
+	if speedupFloor > 0 {
+		if cf.Speedup < speedupFloor {
+			fmt.Printf("benchguard: cpu_speedup %.2fx BELOW floor %.2fx\n", cf.Speedup, speedupFloor)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: cpu_speedup %.2fx ok (floor %.2fx)\n", cf.Speedup, speedupFloor)
+		}
+	}
+	if allocCeil >= 0 {
+		if cf.SteadyRoundAllocs > allocCeil {
+			fmt.Printf("benchguard: steady_round_allocs_op %.0f ABOVE ceiling %.0f\n", cf.SteadyRoundAllocs, allocCeil)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: steady_round_allocs_op %.0f ok (ceiling %.0f)\n", cf.SteadyRoundAllocs, allocCeil)
 		}
 	}
 	if failed {

@@ -22,6 +22,14 @@
 //	                             # personality — attach, extract all figures,
 //	                             # one Dirty-Pipe mutation, stop, re-extract —
 //	                             # and write the cold-vs-steady report as JSON
+//	perfbench -cpujson BENCH_6.json
+//	                             # also run the CPU personality — cold
+//	                             # extraction per figure through the compiled
+//	                             # closure-chain engine vs the tree-walking
+//	                             # interpreter, same process, no link cost —
+//	                             # and write the report as JSON. The speedup
+//	                             # column is a same-run internal ratio; the
+//	                             # absolute ms values are host wall-clock.
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -74,6 +82,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write per-figure results to this JSON file (e.g. BENCH_1.json)")
 	rspJSONOut := flag.String("rspjson", "", "write the slow-link (PacketSize-constrained RSP, cached, modeled) results to this JSON file (e.g. BENCH_3.json)")
 	steadyJSONOut := flag.String("steadyjson", "", "write the steady-state incremental re-extraction report to this JSON file (e.g. BENCH_4.json)")
+	cpuJSONOut := flag.String("cpujson", "", "write the compiled-vs-interpreted CPU report to this JSON file (e.g. BENCH_6.json)")
+	cpuIters := flag.Int("cpuiters", 0, "per-figure samples for -cpujson (0 = default)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -185,6 +195,28 @@ func main() {
 		fmt.Printf("steady round = %.1f%% of cold; box reuse ratio %.2f; %d/%d figures served whole\n",
 			rep.SteadyFraction*100, rep.ReuseRatio, rep.FiguresReused, rep.Figures)
 		fmt.Printf("wrote %s\n", *steadyJSONOut)
+	}
+
+	if *cpuJSONOut != "" {
+		// The CPU personality: both engines in one process against the fast
+		// in-process target, so the speedup is a same-run internal ratio.
+		rep, err := perf.MeasureCPU(opts, *cpuIters, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: cpujson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: cpujson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cpuJSONOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: cpujson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCPU personality (compiled closure chains vs tree-walking interpreter, same run):\n")
+		fmt.Print(perf.FormatCPU(rep))
+		fmt.Printf("wrote %s\n", *cpuJSONOut)
 	}
 
 	if *traceOut != "" {

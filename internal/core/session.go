@@ -81,17 +81,37 @@ func NewKernelSession(opts kernelsim.Options) (*Session, *kernelsim.Kernel) {
 	return s, k
 }
 
+// The kernelsim flag vocabularies never change at runtime, so every session
+// shares one immutable conversion instead of rebuilding the slices per
+// session (the server creates a session per figure per client). The shared
+// slices are never mutated; each session's Flags map stays private, so tests
+// overriding an entry only affect their own interpreter.
+var (
+	flagSetsOnce sync.Once
+	sharedFlags  map[string][]viewcl.Flag
+)
+
+func sharedFlagSets() map[string][]viewcl.Flag {
+	flagSetsOnce.Do(func() {
+		sharedFlags = make(map[string][]viewcl.Flag)
+		for id, set := range kernelsim.FlagSets() {
+			fl := make([]viewcl.Flag, 0, len(set))
+			for _, b := range set {
+				fl = append(fl, viewcl.Flag{Mask: b.Mask, Name: b.Name})
+			}
+			sharedFlags[id] = fl
+		}
+	})
+	return sharedFlags
+}
+
 // SessionOver wires a session over any target view of a built kernel
 // (fast or latency-wrapped), sharing the kernel's type registry.
 func SessionOver(k *kernelsim.Kernel, t target.Target) *Session {
 	env := expr.NewEnv(t)
 	kernelsim.RegisterHelpers(env)
 	s := NewSession(t, env)
-	for id, set := range kernelsim.FlagSets() {
-		var fl []viewcl.Flag
-		for _, b := range set {
-			fl = append(fl, viewcl.Flag{Mask: b.Mask, Name: b.Name})
-		}
+	for id, fl := range sharedFlagSets() {
 		s.Interp.Flags[id] = fl
 	}
 	return s

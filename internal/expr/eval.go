@@ -8,7 +8,11 @@ import (
 )
 
 func (n *numberNode) eval(env *Env) (Value, error) {
-	return MakeInt(env.Types().MustLookup("long"), n.v), nil
+	t := n.typ
+	if t == nil {
+		t = env.Types().MustLookup("long")
+	}
+	return MakeInt(t, n.v), nil
 }
 
 func (n *stringNode) eval(env *Env) (Value, error) { return MakeString(n.s), nil }
@@ -104,10 +108,14 @@ func (n *memberNode) eval(env *Env) (Value, error) {
 		}
 		base = MakeLValue(pt.Elem, base.Bits)
 	}
+	if c := n.cache.Load(); c != nil && c.base == base.Type {
+		return env.LoadField(base, c.f)
+	}
 	f, ok := base.Type.FieldByName(n.name)
 	if !ok {
 		return Value{}, fmt.Errorf("expr: %s has no member %q", base.Type, n.name)
 	}
+	n.cache.Store(&memberCache{base: base.Type, f: f})
 	return env.LoadField(base, f)
 }
 

@@ -3,6 +3,7 @@ package expr
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"visualinux/internal/ctypes"
 )
@@ -55,6 +56,34 @@ func (e *Expr) Eval(env *Env) (Value, error) {
 	return lv, nil
 }
 
+// ConstValue reports the expression's value when it is a literal atom —
+// true/false/NULL/nullptr, a number, or a string — whose evaluation never
+// consults the environment and so yields the same value in every run. The
+// ViewCL compiler folds such ${...} escapes at lowering time. reg resolves
+// the default literal type exactly as evaluation would.
+func (e *Expr) ConstValue(reg *ctypes.Registry) (Value, bool) {
+	switch n := e.root.(type) {
+	case *identNode:
+		switch n.name {
+		case "NULL", "nullptr":
+			return Value{Type: ctypes.VoidPtr}, true
+		case "true":
+			return MakeBool(true), true
+		case "false":
+			return MakeBool(false), true
+		}
+	case *numberNode:
+		t := n.typ
+		if t == nil {
+			t = reg.MustLookup("long")
+		}
+		return MakeInt(t, n.v), true
+	case *stringNode:
+		return MakeString(n.s), true
+	}
+	return Value{}, false
+}
+
 // EvalLValue evaluates without the final rvalue conversion, so the caller
 // can take the object's address (used by ViewCL box anchoring).
 func (e *Expr) EvalLValue(env *Env) (Value, error) {
@@ -73,7 +102,13 @@ type node interface {
 
 type identNode struct{ name string }
 type atVarNode struct{ name string }
-type numberNode struct{ v uint64 }
+type numberNode struct {
+	v uint64
+	// typ is the literal's C type, resolved once at parse time so hot
+	// evaluation loops skip the registry lookup. Nil when the parse-time
+	// registry does not know "long" (then eval falls back).
+	typ *ctypes.Type
+}
 type stringNode struct{ s string }
 type unaryNode struct {
 	op string
@@ -92,6 +127,17 @@ type memberNode struct {
 	x     node
 	name  string
 	arrow bool
+	// cache is a monomorphic inline cache for the field resolution: member
+	// chains are evaluated once per box per run, and the base type at a given
+	// syntactic position is almost always the same *ctypes.Type. The pointer
+	// is swapped atomically so a parsed Expr stays safe to share between
+	// concurrent evaluations.
+	cache atomic.Pointer[memberCache]
+}
+
+type memberCache struct {
+	base *ctypes.Type
+	f    ctypes.Field
 }
 type indexNode struct{ x, i node }
 type callNode struct {
@@ -322,7 +368,13 @@ func (p *parser) parsePrimary() (node, error) {
 	t := p.next()
 	switch t.Kind {
 	case tokNumber, tokChar:
-		return &numberNode{v: t.Num}, nil
+		n := &numberNode{v: t.Num}
+		if p.reg != nil {
+			if lt, ok := p.reg.Lookup("long"); ok {
+				n.typ = lt
+			}
+		}
+		return n, nil
 	case tokString:
 		return &stringNode{s: t.Text}, nil
 	case tokAtIdent:

@@ -132,10 +132,11 @@ type Box struct {
 
 // NewBox constructs an empty box.
 func NewBox(id, label, typeName string, addr uint64) *Box {
+	// Attrs stays nil until the first SetAttr: most boxes never get display
+	// attributes, and extraction builds boxes by the hundred per round.
 	return &Box{
 		ID: id, Label: label, TypeName: typeName, Addr: addr,
 		Views: make(map[string]*View),
-		Attrs: make(map[string]string),
 	}
 }
 
@@ -146,7 +147,6 @@ func (b *Box) Clone() *Box {
 	nb := &Box{
 		ID: b.ID, Label: b.Label, TypeName: b.TypeName, Addr: b.Addr,
 		Views: make(map[string]*View, len(b.Views)),
-		Attrs: make(map[string]string, len(b.Attrs)),
 	}
 	if b.ViewSeq != nil {
 		nb.ViewSeq = append([]string(nil), b.ViewSeq...)
@@ -154,8 +154,11 @@ func (b *Box) Clone() *Box {
 	for name, v := range b.Views {
 		nb.Views[name] = v.Clone()
 	}
-	for k, v := range b.Attrs {
-		nb.Attrs[k] = v
+	if len(b.Attrs) > 0 {
+		nb.Attrs = make(map[string]string, len(b.Attrs))
+		for k, v := range b.Attrs {
+			nb.Attrs[k] = v
+		}
 	}
 	return nb
 }
@@ -193,11 +196,15 @@ func (b *Box) Trimmed() bool { return b.Attrs[AttrTrimmed] == "true" }
 // Collapsed reports the collapsed attribute.
 func (b *Box) Collapsed() bool { return b.Attrs[AttrCollapsed] == "true" }
 
-// SetAttr assigns a display attribute ("false"/"" clears boolean attrs).
+// SetAttr assigns a display attribute ("false"/"" clears boolean attrs),
+// allocating the map on demand.
 func (b *Box) SetAttr(key, value string) {
 	if value == "" || value == "false" {
 		delete(b.Attrs, key)
 		return
+	}
+	if b.Attrs == nil {
+		b.Attrs = make(map[string]string)
 	}
 	b.Attrs[key] = value
 }
@@ -237,6 +244,11 @@ type Graph struct {
 	Boxes  map[string]*Box
 	Order  []string // insertion order for deterministic rendering
 	Stats  Stats
+
+	// arena is the current chunk of the graph-owned box store (NewBoxIn).
+	// Full chunks are dropped from here but stay alive through the Boxes
+	// pointers; a chunk is never reallocated, so handed-out *Box are stable.
+	arena []Box
 }
 
 // New creates an empty graph.
@@ -244,9 +256,52 @@ func New(name string) *Graph {
 	return &Graph{Name: name, Boxes: make(map[string]*Box)}
 }
 
+// NewSized creates an empty graph pre-sized for about n boxes, so repeated
+// extractions of a known figure skip the map-rehash and order-slice growth
+// of a cold build.
+func NewSized(name string, n int) *Graph {
+	if n <= 0 {
+		return New(name)
+	}
+	return &Graph{
+		Name:  name,
+		Boxes: make(map[string]*Box, n),
+		Order: make([]string, 0, n),
+		arena: make([]Box, 0, n),
+	}
+}
+
+// boxChunk is the arena fallback granularity: small, because a correctly
+// pre-sized graph (NewSized) never overflows its first chunk, and an unsized
+// one shouldn't hold a page of dead boxes per small graph.
+const boxChunk = 16
+
+// NewBoxIn allocates a box owned by the graph, carved from its chunked
+// arena — one allocation per boxChunk boxes instead of one per box. The box
+// lives exactly as long as the graph, which is what every extraction run
+// wants; use NewBox for a box with independent lifetime (memo clones).
+func (g *Graph) NewBoxIn(id, label, typeName string, addr uint64) *Box {
+	if len(g.arena) == cap(g.arena) {
+		g.arena = make([]Box, 0, boxChunk)
+	}
+	g.arena = append(g.arena, Box{
+		ID: id, Label: label, TypeName: typeName, Addr: addr,
+		Views: make(map[string]*View),
+	})
+	return &g.arena[len(g.arena)-1]
+}
+
 // BoxID builds the canonical box identifier for a typed object.
 func BoxID(label string, addr uint64) string {
-	return fmt.Sprintf("%s@0x%x", label, addr)
+	// Hand-rolled "%s@0x%x": one ID per box built makes this a measurable
+	// fraction of extraction allocations under fmt.
+	var tmp [16]byte
+	var sb strings.Builder
+	sb.Grow(len(label) + 3 + 16)
+	sb.WriteString(label)
+	sb.WriteString("@0x")
+	sb.Write(strconv.AppendUint(tmp[:0], addr, 16))
+	return sb.String()
 }
 
 // Add inserts a box (no-op if the ID is already present) and returns the

@@ -1,0 +1,188 @@
+package perf
+
+import (
+	"testing"
+
+	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/vclstdlib"
+)
+
+// The CPU personality's own tests: the report is structurally sound, the
+// steady-state serving path stays (near) allocation-free, and the compiled
+// engine's allocation footprint is far below the interpreter's. Wall-clock
+// ratios are asserted only by the benchguard gate over perfbench -cpujson
+// output, where best-of-batch measurement de-noises them; allocation counts
+// are deterministic enough to assert here directly.
+
+func TestMeasureCPUReport(t *testing.T) {
+	rep, err := MeasureCPU(kernelsim.Options{}, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Rows), len(vclstdlib.Figures()); got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	for _, r := range rep.Rows {
+		if r.CompiledMS <= 0 || r.InterpretedMS <= 0 {
+			t.Errorf("%s: non-positive cost (interp %.4f, compiled %.4f)", r.FigureID, r.InterpretedMS, r.CompiledMS)
+		}
+		if r.Objects == 0 {
+			t.Errorf("%s: no objects extracted", r.FigureID)
+		}
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("total speedup = %.2f, want > 0", rep.Speedup)
+	}
+	if rep.SteadyFigure != "7-1" {
+		t.Errorf("steady figure = %q, want 7-1", rep.SteadyFigure)
+	}
+	t.Log("\n" + FormatCPU(rep))
+}
+
+// TestSteadyRoundAllocs pins the zero-alloc steady state: an incremental
+// extractor round over an unchanged target serves retained figures and must
+// not allocate beyond trivial bookkeeping.
+func TestSteadyRoundAllocs(t *testing.T) {
+	fig, ok := vclstdlib.FigureByID("7-1")
+	if !ok {
+		t.Fatal("figure 7-1 missing")
+	}
+	k := kernelsim.Build(kernelsim.Options{})
+	x := core.NewIncrementalExtractor(k, k.Target(), []vclstdlib.Figure{fig}, nil)
+	for i := 0; i < 2; i++ { // cold round + warm-up
+		if _, err := x.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := x.Round(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("steady round allocates %.0f objects/op, want <= 16", allocs)
+	}
+}
+
+// TestCompiledColdAllocs asserts the compiled engine's cold-extraction
+// allocation footprint sits well below the tree-walking interpreter's on the
+// same figure — the arena/pool work is what keeps the steady state quiet.
+func TestCompiledColdAllocs(t *testing.T) {
+	fig, ok := vclstdlib.FigureByID("7-1")
+	if !ok {
+		t.Fatal("figure 7-1 missing")
+	}
+	k := kernelsim.Build(kernelsim.Options{})
+
+	run := func(interpret bool) float64 {
+		s := core.SessionOver(k, k.Target())
+		s.Interp.Interpret = interpret
+		if _, err := s.Interp.RunSource(fig.ID, fig.Program); err != nil { // warm-up
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := s.Interp.RunSource(fig.ID, fig.Program); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	compiled, interpreted := run(false), run(true)
+	if compiled*2 >= interpreted {
+		t.Errorf("compiled cold run allocates %.0f objects/op vs interpreted %.0f — want < half", compiled, interpreted)
+	}
+	t.Logf("cold allocs/op: compiled %.0f, interpreted %.0f", compiled, interpreted)
+}
+
+// BenchmarkCompiledCold sweeps all Table 2 figures per iteration through the
+// compiled closure-chain engine (the pprof entry point for the extraction
+// core).
+func BenchmarkCompiledCold(b *testing.B) {
+	benchCold(b, false)
+}
+
+// BenchmarkInterpretedCold is the same sweep through the tree-walking
+// interpreter kept behind Interp.Interpret — the pre-compilation baseline.
+func BenchmarkInterpretedCold(b *testing.B) {
+	benchCold(b, true)
+}
+
+func benchCold(b *testing.B, interpret bool) {
+	k := kernelsim.Build(kernelsim.Options{})
+	s := core.SessionOver(k, k.Target())
+	s.Interp.Interpret = interpret
+	figs := vclstdlib.Figures()
+	for _, f := range figs {
+		if _, err := s.Interp.RunSource(f.ID, f.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range figs {
+			if _, err := s.Interp.RunSource(f.ID, f.Program); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSteadyRoundReuse measures the quiescent serving path: extractor
+// rounds over an unchanged target, where every figure is served whole from
+// its prior result — the path the zero-alloc work pins.
+func BenchmarkSteadyRoundReuse(b *testing.B) {
+	fig, ok := vclstdlib.FigureByID("7-1")
+	if !ok {
+		b.Fatal("figure 7-1 missing")
+	}
+	k := kernelsim.Build(kernelsim.Options{})
+	x := core.NewIncrementalExtractor(k, k.Target(), []vclstdlib.Figure{fig}, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := x.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyRoundCompiled measures a live steady round: one small
+// mutation and a stop boundary per iteration, so dirtied figures re-extract
+// through their memos with the compiled engine underneath.
+func BenchmarkSteadyRoundCompiled(b *testing.B) {
+	benchSteadyMutating(b, false)
+}
+
+// BenchmarkSteadyRoundInterpreted is the same rounds with the extractor's
+// sessions forced onto the tree-walking interpreter.
+func BenchmarkSteadyRoundInterpreted(b *testing.B) {
+	benchSteadyMutating(b, true)
+}
+
+func benchSteadyMutating(b *testing.B, interpret bool) {
+	k := kernelsim.Build(kernelsim.Options{})
+	x := core.NewIncrementalExtractor(k, k.Target(), vclstdlib.Figures(), nil)
+	x.SetInterpret(interpret)
+	for i := 0; i < 2; i++ {
+		if _, err := x.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.PipeWrite(k.DirtyPipe, 64); err != nil {
+			b.Fatal(err)
+		}
+		x.Advance()
+		if _, err := x.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -11,13 +12,21 @@ import (
 
 // registerDebug mounts the observability surfaces. They answer 404 when the
 // session was built without an observer, so the plain (unobserved) server
-// keeps exactly its old behavior.
+// keeps exactly its old behavior. The pprof endpoints are the exception:
+// they profile the process, not the session, and are always available — the
+// server runs its own mux, so the net/http/pprof side effects on
+// http.DefaultServeMux never apply and the handlers are wired explicitly.
 func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("/debug/diagnose/", s.handleDiagnose)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // handleDiagnose answers "why is this pane slow?" over HTTP from the

@@ -152,10 +152,10 @@ func TestDebugDiagnoseEndpoint(t *testing.T) {
 			Pane      int    `json:"pane"`
 			Rendered  string `json:"rendered"`
 			Diagnosis struct {
-				Suspect string `json:"suspect"`
-				TotalMS float64 `json:"total_ms"`
+				Suspect   string  `json:"suspect"`
+				TotalMS   float64 `json:"total_ms"`
 				Breakdown struct {
-					TotalUS int64 `json:"total_us"`
+					TotalUS int64            `json:"total_us"`
 					Stages  []obs.StageShare `json:"stages"`
 				} `json:"breakdown"`
 			} `json:"diagnosis"`
@@ -208,5 +208,26 @@ func TestVChatDiagnosisRouting(t *testing.T) {
 	}
 	if _, hasViewQL := out["viewql"]; hasViewQL {
 		t.Fatalf("diagnostic answer leaked a viewql field: %v", out)
+	}
+}
+
+// The pprof surface profiles the process itself, so it must answer even on
+// a session built without an observer — unlike the other /debug/ endpoints.
+func TestDebugPprofEndpoint(t *testing.T) {
+	s, _ := core.NewKernelSession(kernelsim.Options{})
+	ts := httptest.NewServer(server.New(s))
+	t.Cleanup(ts.Close)
+
+	resp, body := get(t, ts, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{"goroutine", "heap"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("pprof index missing %q:\n%s", want, body)
+		}
+	}
+	if resp, _ := get(t, ts, "/debug/pprof/heap?debug=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile status %d", resp.StatusCode)
 	}
 }

@@ -20,6 +20,7 @@ package target
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"visualinux/internal/ctypes"
@@ -235,42 +236,59 @@ func ReadStruct(t Target, addr uint64, typ *ctypes.Type) {
 
 // --- scalar read helpers ------------------------------------------------------
 
+// scratch8 pools the byte buffers the scalar helpers read through. A local
+// array would be cleaner, but a slice of it passed through the Target
+// interface escapes, and these helpers run once per pointer chase — the
+// per-call heap traffic was a top allocation site under profile.
+var scratch8 = sync.Pool{New: func() any { return new([8]byte) }}
+
 // ReadU8 reads one byte.
 func ReadU8(t Target, addr uint64) (uint8, error) {
-	var b [1]byte
-	if err := t.ReadMemory(addr, b[:]); err != nil {
+	bp := scratch8.Get().(*[8]byte)
+	err := t.ReadMemory(addr, bp[:1])
+	v := bp[0]
+	scratch8.Put(bp)
+	if err != nil {
 		return 0, err
 	}
-	return b[0], nil
+	return v, nil
 }
 
 // ReadU16 reads a little-endian 16-bit value.
 func ReadU16(t Target, addr uint64) (uint16, error) {
-	var b [2]byte
-	if err := t.ReadMemory(addr, b[:]); err != nil {
+	bp := scratch8.Get().(*[8]byte)
+	err := t.ReadMemory(addr, bp[:2])
+	v := uint16(bp[0]) | uint16(bp[1])<<8
+	scratch8.Put(bp)
+	if err != nil {
 		return 0, err
 	}
-	return uint16(b[0]) | uint16(b[1])<<8, nil
+	return v, nil
 }
 
 // ReadU32 reads a little-endian 32-bit value.
 func ReadU32(t Target, addr uint64) (uint32, error) {
-	var b [4]byte
-	if err := t.ReadMemory(addr, b[:]); err != nil {
+	bp := scratch8.Get().(*[8]byte)
+	err := t.ReadMemory(addr, bp[:4])
+	v := uint32(bp[0]) | uint32(bp[1])<<8 | uint32(bp[2])<<16 | uint32(bp[3])<<24
+	scratch8.Put(bp)
+	if err != nil {
 		return 0, err
 	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	return v, nil
 }
 
 // ReadU64 reads a little-endian 64-bit value.
 func ReadU64(t Target, addr uint64) (uint64, error) {
-	var b [8]byte
-	if err := t.ReadMemory(addr, b[:]); err != nil {
-		return 0, err
-	}
+	bp := scratch8.Get().(*[8]byte)
+	err := t.ReadMemory(addr, bp[:8])
 	var v uint64
 	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
+		v = v<<8 | uint64(bp[i])
+	}
+	scratch8.Put(bp)
+	if err != nil {
+		return 0, err
 	}
 	return v, nil
 }

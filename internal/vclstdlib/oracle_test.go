@@ -1,0 +1,179 @@
+package vclstdlib_test
+
+import (
+	"testing"
+
+	"visualinux/internal/expr"
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/render"
+	"visualinux/internal/target"
+	"visualinux/internal/vclstdlib"
+	"visualinux/internal/viewcl"
+)
+
+// The compiled ViewCL engine (closure chains, slot frames, pooled run state)
+// must be observationally identical to the tree-walking interpreter it
+// replaced — the interpreter is kept behind Interp.Interpret exactly so it
+// can serve as the differential oracle here. "Identical" means byte-equal
+// rendered plots and equal extraction-issue lists, across every stdlib
+// figure and case study, cold and across a stop→mutate→resume memo cycle.
+
+// oraclePrograms is the full corpus both engines must agree on.
+func oraclePrograms() map[string]string {
+	progs := map[string]string{
+		"maple":      vclstdlib.MapleTreeProgram,
+		"stackrot":   vclstdlib.StackRotProgram,
+		"dirtypipe":  vclstdlib.DirtyPipeProgram,
+		"quickstart": vclstdlib.QuickstartProgram,
+	}
+	for _, fig := range vclstdlib.Figures() {
+		progs[fig.ID] = fig.Program
+	}
+	return progs
+}
+
+func errStrings(errs []error) []string {
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		out[i] = e.Error()
+	}
+	return out
+}
+
+func TestCompiledMatchesInterpretedOracle(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	for id, prog := range oraclePrograms() {
+		id, prog := id, prog
+		t.Run(id, func(t *testing.T) {
+			comp := newInterp(t, k)
+			intp := newInterp(t, k)
+			intp.Interpret = true
+
+			cres, err := comp.RunSource(id, prog)
+			if err != nil {
+				t.Fatalf("compiled: %v", err)
+			}
+			ires, err := intp.RunSource(id, prog)
+			if err != nil {
+				t.Fatalf("interpreted: %v", err)
+			}
+			ct, it := render.Text(cres.Graph), render.Text(ires.Graph)
+			if ct != it {
+				t.Fatalf("engines diverge on %s:\n--- compiled ---\n%s\n--- interpreted ---\n%s", id, ct, it)
+			}
+			ce, ie := errStrings(cres.Errors), errStrings(ires.Errors)
+			if len(ce) != len(ie) {
+				t.Fatalf("issue counts diverge: compiled %v vs interpreted %v", ce, ie)
+			}
+			for i := range ce {
+				if ce[i] != ie[i] {
+					t.Errorf("issue %d diverges:\ncompiled:    %s\ninterpreted: %s", i, ce[i], ie[i])
+				}
+			}
+		})
+	}
+}
+
+// Error programs must fail identically too: same message, same evaluation
+// order (definition lookup before argument evaluation, anchors after).
+func TestOracleErrorParity(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{})
+	bad := map[string]string{
+		"unknown-type": `plot NoSuchBox(${init_task})`,
+		"unbound-var":  `plot @nobody`,
+		"circular": `define T: task_struct { Text pid }
+x = @y
+y = @x
+plot T(${&init_task})` + "\n" + `plot @x`,
+		"bad-anchor": `define T: task_struct { Text pid }
+plot T<task_struct.no_such_field>(${&init_task})`,
+		"scalar-plot": `plot ${init_task.pid}`,
+	}
+	for id, prog := range bad {
+		id, prog := id, prog
+		t.Run(id, func(t *testing.T) {
+			comp := newInterp(t, k)
+			intp := newInterp(t, k)
+			intp.Interpret = true
+			_, cerr := comp.RunSource(id, prog)
+			_, ierr := intp.RunSource(id, prog)
+			if (cerr == nil) != (ierr == nil) {
+				t.Fatalf("one engine failed, the other did not: compiled=%v interpreted=%v", cerr, ierr)
+			}
+			if cerr != nil && cerr.Error() != ierr.Error() {
+				t.Errorf("error text diverges:\ncompiled:    %v\ninterpreted: %v", cerr, ierr)
+			}
+		})
+	}
+}
+
+// memoOracle builds one engine (compiled or interpreted) with the full
+// incremental wiring: snapshot-backed reads and a cross-run memo.
+func memoOracle(t testing.TB, k *kernelsim.Kernel, interpret bool) (*target.Snapshot, *viewcl.Interp) {
+	t.Helper()
+	snap := target.NewSnapshot(k.Target())
+	env := expr.NewEnv(snap)
+	kernelsim.RegisterHelpers(env)
+	in := viewcl.New(env)
+	for id, set := range kernelsim.FlagSets() {
+		var fl []viewcl.Flag
+		for _, b := range set {
+			fl = append(fl, viewcl.Flag{Mask: b.Mask, Name: b.Name})
+		}
+		in.Flags[id] = fl
+	}
+	in.Memo = viewcl.NewMemo(snap)
+	in.Interpret = interpret
+	return snap, in
+}
+
+// The engines must also agree through a stop→mutate→resume cycle with the
+// memo active: cold extraction, a kernel-side mutation (the StackRot maple
+// tree rebuild), then a warm re-extraction that reuses clean boxes and
+// rebuilds dirty ones.
+func TestOracleMemoCycleMatches(t *testing.T) {
+	k := kernelsim.Build(kernelsim.Options{DisableStackRot: true})
+	victim := k.ByPID[100]
+	k.Symbol("stackrot_mm", k.At("mm_struct", victim.Get("mm")))
+
+	csnap, cin := memoOracle(t, k, false)
+	isnap, iin := memoOracle(t, k, true)
+
+	run := func(in *viewcl.Interp, phase string) *viewcl.Result {
+		res, err := in.RunSource("stackrot", vclstdlib.StackRotProgram)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		return res
+	}
+	c1, i1 := run(cin, "compiled cold"), run(iin, "interpreted cold")
+	if a, b := render.Text(c1.Graph), render.Text(i1.Graph); a != b {
+		t.Fatalf("cold plots diverge:\n--- compiled ---\n%s\n--- interpreted ---\n%s", a, b)
+	}
+
+	// Mutate: a new mapping rebuilds the maple tree and queues the replaced
+	// nodes on the RCU list (the StackRot step moment).
+	if _, err := k.MapRegion(100, 0x7100_0000_0000, 0x7100_0002_0000,
+		kernelsim.VMRead|kernelsim.VMWrite, kernelsim.Obj{}); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	csnap.Advance()
+	isnap.Advance()
+
+	c2, i2 := run(cin, "compiled warm"), run(iin, "interpreted warm")
+	if a, b := render.Text(c2.Graph), render.Text(i2.Graph); a != b {
+		t.Fatalf("post-mutation plots diverge:\n--- compiled ---\n%s\n--- interpreted ---\n%s", a, b)
+	}
+	// Both engines share the memo machinery; the cycle must actually have
+	// exercised it the same way on both sides.
+	if c2.BoxesReused == 0 {
+		t.Error("compiled warm run reused nothing")
+	}
+	if c2.BoxesBuilt == 0 {
+		t.Error("compiled warm run rebuilt nothing despite the mutation")
+	}
+	if c2.BoxesReused != i2.BoxesReused || c2.BoxesBuilt != i2.BoxesBuilt {
+		t.Errorf("reuse split diverges: compiled %d/%d vs interpreted %d/%d",
+			c2.BoxesReused, c2.BoxesBuilt, i2.BoxesReused, i2.BoxesBuilt)
+	}
+}

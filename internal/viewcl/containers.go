@@ -2,6 +2,7 @@ package viewcl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"visualinux/internal/ctypes"
@@ -19,12 +20,13 @@ import (
 func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 	sp := r.tr.StartSpan("container:" + n.Kind)
 	defer sp.End()
-	elems, err := r.iterate(n, sc)
+	hint := r.containerHint(n)
+	elems, err := r.iterate(n, sc, hint)
 	if err != nil {
 		return vval{}, err
 	}
 	sp.TagUint("elems", uint64(len(elems)))
-	r.batchPrefetch(n, elems)
+	r.batchPrefetch(hint, elems)
 	var ids []string
 	for i, el := range elems {
 		isp := r.tr.StartSpan("iter")
@@ -46,7 +48,7 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 		} else {
 			// Raw elements become value cells so Container items can show
 			// scalar arrays (pivots, fd bitmaps) without a closure.
-			v, err = r.cellBox(el, i)
+			v, err = r.cellBox(el, i, r.cEnv(newScope(nil)))
 			if err != nil {
 				isp.End()
 				return vval{}, err
@@ -60,7 +62,7 @@ func (r *runState) evalContainer(n *ContainerNode, sc *scope) (vval, error) {
 		case vCont:
 			ids = append(ids, v.elems...)
 		case vC:
-			cb, err := r.cellBox(v.c, i)
+			cb, err := r.cellBox(v.c, i, r.cEnv(newScope(nil)))
 			if err != nil {
 				isp.End()
 				return vval{}, err
@@ -145,11 +147,10 @@ func (r *runState) prefetchElem(h elemHint, addr uint64) {
 // link transactions and unmapped holes are clipped out instead of failing a
 // whole multi-page fill. Elements cover the lvalue kinds per-hop prefetch
 // never touched (Array, PipeRing) as well as hinted pointer-chasing walks.
-func (r *runState) batchPrefetch(n *ContainerNode, elems []expr.Value) {
+func (r *runState) batchPrefetch(hint elemHint, elems []expr.Value) {
 	if !r.in.PrefetchHints || len(elems) < 2 {
 		return
 	}
-	hint := r.containerHint(n)
 	ranges := make([]target.Range, 0, len(elems))
 	for _, el := range elems {
 		switch {
@@ -168,19 +169,22 @@ func (r *runState) batchPrefetch(n *ContainerNode, elems []expr.Value) {
 }
 
 // cellBox wraps a raw scalar element as a small virtual box.
-func (r *runState) cellBox(v expr.Value, idx int) (vval, error) {
-	id := fmt.Sprintf("cell#%d", r.nextVboxN())
-	text, raw, isNum, isStr := r.in.decorate(v, nil, r.cEnv(newScope(nil)))
-	b := graph.NewBox(id, "cell", "", 0)
-	b.AddView(&graph.View{Name: "default", Items: []graph.Item{
-		{Kind: graph.ItemText, Name: fmt.Sprintf("[%d]", idx), Value: text, Raw: raw, IsNum: isNum, IsStr: isStr},
-	}})
+func (r *runState) cellBox(v expr.Value, idx int, env *expr.Env) (vval, error) {
+	id := "cell#" + strconv.Itoa(r.nextVboxN())
+	text, raw, isNum, isStr := r.in.decorate(v, nil, env)
+	b := r.g.NewBoxIn(id, "cell", "", 0)
+	vs := r.allocViews(1)
+	items := r.allocItems(1)
+	items[0] = graph.Item{Kind: graph.ItemText, Name: "[" + strconv.Itoa(idx) + "]",
+		Value: text, Raw: raw, IsNum: isNum, IsStr: isStr}
+	vs[0] = graph.View{Name: "default", Items: items}
+	b.AddView(&vs[0])
 	r.g.Add(b)
 	return vval{kind: vBox, boxID: id}, nil
 }
 
 // iterate dispatches on the container kind and returns the element values.
-func (r *runState) iterate(n *ContainerNode, sc *scope) ([]expr.Value, error) {
+func (r *runState) iterate(n *ContainerNode, sc *scope, hint elemHint) ([]expr.Value, error) {
 	if len(n.Args) == 0 {
 		return nil, errf(n.Line, "%s(...) wants an argument", n.Kind)
 	}
@@ -196,21 +200,28 @@ func (r *runState) iterate(n *ContainerNode, sc *scope) ([]expr.Value, error) {
 		}
 		args[i] = cv
 	}
-	switch n.Kind {
+	return r.iterateKind(n.Kind, args, n.Line, hint)
+}
+
+// iterateKind walks a container shape over already-evaluated arguments;
+// shared by the interpreted and compiled engines (the compiled path computes
+// the element hint once at lowering time instead of per call).
+func (r *runState) iterateKind(kind string, args []expr.Value, line int, hint elemHint) ([]expr.Value, error) {
+	switch kind {
 	case "List":
-		return r.iterList(args[0], n.Line, r.containerHint(n))
+		return r.iterList(args[0], line, hint)
 	case "HList":
-		return r.iterHList(args[0], n.Line, r.containerHint(n))
+		return r.iterHList(args[0], line, hint)
 	case "RBTree":
-		return r.iterRBTree(args[0], n.Line, r.containerHint(n))
+		return r.iterRBTree(args[0], line, hint)
 	case "Array":
-		return r.iterArray(args, n.Line)
+		return r.iterArray(args, line)
 	case "XArray":
-		return r.iterXArray(args[0], n.Line)
+		return r.iterXArray(args[0], line)
 	case "PipeRing":
-		return r.iterPipeRing(args[0], n.Line)
+		return r.iterPipeRing(args[0], line)
 	}
-	return nil, errf(n.Line, "unknown container kind %q", n.Kind)
+	return nil, errf(line, "unknown container kind %q", kind)
 }
 
 // headAddr finds the address designated by a head argument: an lvalue's
@@ -490,6 +501,12 @@ func (r *runState) evalSelectFrom(n *SelectFromNode, sc *scope) (vval, error) {
 	if err != nil {
 		return vval{}, err
 	}
+	return r.selectFromVal(src, n.BoxType, n.Line)
+}
+
+// selectFromVal collects boxes of the given type from an already-evaluated
+// source value; shared by both engines.
+func (r *runState) selectFromVal(src vval, boxType string, line int) (vval, error) {
 	var seeds []string
 	switch src.kind {
 	case vBox:
@@ -503,7 +520,7 @@ func (r *runState) evalSelectFrom(n *SelectFromNode, sc *scope) (vval, error) {
 	case vNull:
 		return vval{kind: vCont}, nil
 	default:
-		return vval{}, errf(n.Line, "selectFrom: source must be a box or container")
+		return vval{}, errf(line, "selectFrom: source must be a box or container")
 	}
 	seen := map[string]bool{}
 	var collected []string
@@ -517,7 +534,7 @@ func (r *runState) evalSelectFrom(n *SelectFromNode, sc *scope) (vval, error) {
 		if !ok {
 			return
 		}
-		if b.Label == n.BoxType || b.TypeName == n.BoxType {
+		if b.Label == boxType || b.TypeName == boxType {
 			collected = append(collected, id)
 		}
 		// Follow every view's edges in declaration order to preserve the

@@ -9,6 +9,26 @@ import (
 	"visualinux/internal/expr"
 )
 
+// defaultEmojis holds the builtin emoji renderers. They are package-level
+// immutable defaults shared by every interpreter: sessions used to rebuild
+// these closures per Interp in New, which showed up as pure constant churn
+// when the server spins up one interpreter per figure per session.
+// Interp.Emojis entries override them by id.
+var defaultEmojis = map[string]func(uint64) string{
+	"lock": func(v uint64) string {
+		if v != 0 {
+			return "\U0001F512" // locked
+		}
+		return "\U0001F513" // open lock
+	},
+	"onoff": func(v uint64) string {
+		if v != 0 {
+			return "✅"
+		}
+		return "❌"
+	},
+}
+
 // decorate renders a C value as display text per the optional format
 // (Table 1 of the paper). It returns the text, the raw scalar (for ViewQL
 // WHERE comparisons), and whether the value is numeric / string-like.
@@ -73,6 +93,9 @@ func (in *Interp) decorate(v expr.Value, f *Format, env *expr.Env) (text string,
 		return strings.Join(names, "|"), raw, true, false
 	case "emoji":
 		if render, ok := in.Emojis[f.Arg]; ok {
+			return render(v.Bits), raw, true, false
+		}
+		if render, ok := defaultEmojis[f.Arg]; ok {
 			return render(v.Bits), raw, true, false
 		}
 		return fmt.Sprintf("%d", v.Bits), raw, true, false

@@ -2,6 +2,8 @@ package viewcl
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"visualinux/internal/ctypes"
@@ -45,7 +47,23 @@ type Interp struct {
 	// their page-granular ReadSet so callers can skip whole figures.
 	Memo *Memo
 
+	// Interpret selects the original tree-walking evaluator instead of the
+	// compiled closure chains. It exists as the differential oracle: both
+	// engines must produce byte-identical plots, and the interpreted path is
+	// the reference the compiled one is benchmarked against.
+	Interpret bool
+
 	defs map[string]*boxDef
+
+	// Compiled-program cache (per interpreter: closures bind this
+	// interpreter's type registry and definition table).
+	compMu   sync.Mutex
+	compiled map[*Program]*compiledProgram
+
+	// One reusable execution state (frames, scratch env, run maps). A second
+	// concurrent Run simply allocates a fresh one.
+	execMu   sync.Mutex
+	execFree *execState
 }
 
 // New creates an interpreter over the environment (target + helpers).
@@ -59,27 +77,19 @@ func New(env *expr.Env) *Interp {
 		PrefetchHints: true,
 		defs:          make(map[string]*boxDef),
 	}
-	in.Emojis["lock"] = func(v uint64) string {
-		if v != 0 {
-			return "\U0001F512" // locked
-		}
-		return "\U0001F513" // open lock
-	}
-	in.Emojis["onoff"] = func(v uint64) string {
-		if v != 0 {
-			return "✅"
-		}
-		return "❌"
-	}
+	// The builtin emoji renderers (lock, onoff) live in package-level
+	// defaultEmojis; Emojis only carries per-interpreter overrides.
 	return in
 }
 
-// boxDef is a compiled Box declaration.
+// boxDef is a resolved Box declaration. comp holds the compiled form of its
+// views (nil when the definition was registered by the tree-walking oracle).
 type boxDef struct {
 	name  string
 	ctype *ctypes.Type
 	views []*resolvedView
 	where []Binding // merged define-level + per-view where clauses
+	comp  *compiledDef
 }
 
 type resolvedView struct {
@@ -105,8 +115,21 @@ type Result struct {
 }
 
 // LoadDefs registers the Box definitions of a program without plotting, so
-// stdlib definition libraries can be shared across programs.
+// stdlib definition libraries can be shared across programs. On the compiled
+// path the definitions are lowered to closure chains once, here.
 func (in *Interp) LoadDefs(prog *Program) error {
+	if !in.Interpret {
+		cp, err := in.compileProgram(prog)
+		if err != nil {
+			return err
+		}
+		for _, st := range cp.stmts {
+			if st.def != nil {
+				in.defs[st.def.name] = st.def
+			}
+		}
+		return nil
+	}
 	for _, s := range prog.Stmts {
 		if d, ok := s.(*DefineStmt); ok {
 			if err := in.compileDef(d); err != nil {
@@ -118,9 +141,20 @@ func (in *Interp) LoadDefs(prog *Program) error {
 }
 
 func (in *Interp) compileDef(d *DefineStmt) error {
+	def, err := in.buildDef(d)
+	if err != nil {
+		return err
+	}
+	in.defs[d.Name] = def
+	return nil
+}
+
+// buildDef resolves a define statement (ctype, view inheritance, merged
+// where clauses) without registering or lowering it.
+func (in *Interp) buildDef(d *DefineStmt) (*boxDef, error) {
 	ct, ok := in.Env.Types().Lookup(d.CType)
 	if !ok {
-		return errf(d.Line, "define %s: unknown C type %q", d.Name, d.CType)
+		return nil, errf(d.Line, "define %s: unknown C type %q", d.Name, d.CType)
 	}
 	def := &boxDef{name: d.Name, ctype: ct.Strip()}
 	def.where = append(def.where, d.Where...)
@@ -130,7 +164,7 @@ func (in *Interp) compileDef(d *DefineStmt) error {
 		if vd.Parent != "" {
 			parent, ok := byName[vd.Parent]
 			if !ok {
-				return errf(vd.Line, "define %s: view :%s inherits unknown :%s", d.Name, vd.Name, vd.Parent)
+				return nil, errf(vd.Line, "define %s: view :%s inherits unknown :%s", d.Name, vd.Name, vd.Parent)
 			}
 			rv.items = append(rv.items, parent.items...)
 		}
@@ -142,18 +176,31 @@ func (in *Interp) compileDef(d *DefineStmt) error {
 	if len(def.views) == 0 {
 		def.views = []*resolvedView{{name: "default"}}
 	}
-	in.defs[d.Name] = def
-	return nil
+	return def, nil
 }
 
 // Run evaluates a full program: definitions, bindings, plot statements.
 // The returned graph contains every box materialized while evaluating the
-// plotted roots.
+// plotted roots. The program is lowered to compiled closure chains (cached
+// per interpreter) unless Interpret selects the tree-walking oracle.
 func (in *Interp) Run(prog *Program) (*Result, error) {
+	if in.Interpret {
+		return in.runAST(prog)
+	}
+	cp, err := in.compileProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return in.runCompiled(cp)
+}
+
+// runAST is the original tree-walking evaluator, kept byte-for-byte as the
+// differential oracle and performance baseline for the compiled path.
+func (in *Interp) runAST(prog *Program) (*Result, error) {
 	run := &runState{
 		in:   in,
 		g:    graph.New(prog.Source),
-		memo: make(map[string]string),
+		memo: make(map[memoKey]string),
 	}
 	if in.Memo != nil {
 		run.rec = &recorder{under: in.Env.Target, run: run}
@@ -197,6 +244,12 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 		}
 	}
 
+	return in.finishRun(run, t0, reads0, bytes0)
+}
+
+// finishRun computes the run's stats, read set and trace export; shared by
+// the compiled and interpreted engines so Result is shaped identically.
+func (in *Interp) finishRun(run *runState, t0 time.Time, reads0, bytes0 uint64) (*Result, error) {
 	reads1, bytes1 := in.Env.Target.Stats().Snapshot()
 	run.g.Stats = graph.Stats{
 		Objects:    len(run.g.Boxes),
@@ -223,9 +276,17 @@ func (in *Interp) Run(prog *Program) (*Result, error) {
 	return res, nil
 }
 
-// RunSource parses and runs in one step.
+// RunSource parses and runs in one step. On the compiled path the parse is
+// served from a process-wide cache (figure programs are static strings run
+// once per stop event), so steady-state rounds never re-lex their source.
 func (in *Interp) RunSource(name, src string) (*Result, error) {
-	prog, err := Parse(name, src)
+	var prog *Program
+	var err error
+	if in.Interpret {
+		prog, err = Parse(name, src)
+	} else {
+		prog, err = ParseCached(name, src)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -305,10 +366,22 @@ func (s *scope) lookup(name string) (*slot, bool) {
 
 // --- run state ----------------------------------------------------------------
 
+// memoKey identifies one box instance: definition name + object address.
+// A struct key keeps the hot materialize/memo lookups allocation-free (the
+// old path formatted a "def@hex" string per box per run).
+type memoKey struct {
+	def  string
+	addr uint64
+}
+
+func (k memoKey) String() string {
+	return k.def + "@" + strconv.FormatUint(k.addr, 16)
+}
+
 type runState struct {
 	in    *Interp
 	g     *graph.Graph
-	memo  map[string]string // defName@addr -> box ID (this run)
+	memo  map[memoKey]string // def@addr -> box ID (this run)
 	errs  []error
 	vboxN int         // virtual box counter
 	tr    *obs.Tracer // per-run trace (nil = tracing off; all ops nil-safe)
@@ -319,6 +392,52 @@ type runState struct {
 	pages  map[uint64]bool // page bases the run's output depends on
 	reused int
 	built  int
+
+	// Compiled-engine state (nil/zero on the interpreted oracle path).
+	exec     *execState // pooled frames, scratch env, reusable run maps
+	curFrame *cframe    // frame the pooled env's ${...} resolver walks from
+
+	// Output arenas for the compiled path: current chunks of the view/item
+	// backing stores the run's graph ends up owning, plus cumulative counts
+	// so the next run of the same program can pre-size exactly. Reset at run
+	// start so finished graphs keep their chunks and new runs carve fresh
+	// ones.
+	viewArena []graph.View
+	itemArena []graph.Item
+	nviews    int
+	nitems    int
+}
+
+// allocViews carves n views from the run's chunked view arena — amortized
+// well below one allocation per box, and exactly one per run once the
+// program's output size is known.
+func (r *runState) allocViews(n int) []graph.View {
+	r.nviews += n
+	if len(r.viewArena)+n > cap(r.viewArena) {
+		c := 16
+		if n > c {
+			c = n
+		}
+		r.viewArena = make([]graph.View, 0, c)
+	}
+	base := len(r.viewArena)
+	r.viewArena = r.viewArena[:base+n]
+	return r.viewArena[base : base+n : base+n]
+}
+
+// allocItems carves n items from the run's chunked item arena.
+func (r *runState) allocItems(n int) []graph.Item {
+	r.nitems += n
+	if len(r.itemArena)+n > cap(r.itemArena) {
+		c := 64
+		if n > c {
+			c = n
+		}
+		r.itemArena = make([]graph.Item, 0, c)
+	}
+	base := len(r.itemArena)
+	r.itemArena = r.itemArena[:base+n]
+	return r.itemArena[base : base+n : base+n]
 }
 
 // tgt is the target every extraction read goes through: the recording
@@ -610,7 +729,7 @@ func (r *runState) evalConstruct(n *ConstructNode, sc *scope) (vval, error) {
 // evaluating all of its views — or, when a cross-run Memo holds a verified
 // clean copy, reuses it without touching the target.
 func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
-	key := def.name + "@" + fmt.Sprintf("%x", addr)
+	key := memoKey{def: def.name, addr: addr}
 	// Record the reference first: an enclosing memoized frame must replay
 	// this call on reuse even when the box is already materialized here.
 	r.noteChild(def.name, addr)
@@ -635,7 +754,7 @@ func (r *runState) materialize(def *boxDef, addr uint64) (string, error) {
 // recorded children are re-materialized (usually memo hits themselves) in
 // the original order — behind a pre-tainted barrier frame so their refs
 // don't leak into whatever frame is currently recording.
-func (r *runState) reuseBox(key string) (string, bool, error) {
+func (r *runState) reuseBox(key memoKey) (string, bool, error) {
 	e := r.in.Memo.lookup(key)
 	if e == nil {
 		return "", false, nil
@@ -644,7 +763,9 @@ func (r *runState) reuseBox(key string) (string, bool, error) {
 	// time to memo verification (generation checks, hash re-reads) instead
 	// of hiding it in the surrounding box build.
 	vsp := r.tr.StartSpan("memo.verify")
-	vsp.Tag("key", key)
+	if vsp != nil {
+		vsp.Tag("key", key.String())
+	}
 	ok := r.in.Memo.verify(key, e)
 	if !ok {
 		vsp.Tag("verdict", "rejected")
@@ -681,23 +802,30 @@ func (r *runState) reuseBox(key string) (string, bool, error) {
 
 // buildBox materializes def@addr cold, recording its own-frame reads and
 // child references so the memo can replay it next run.
-func (r *runState) buildBox(key string, def *boxDef, addr uint64) (string, error) {
+func (r *runState) buildBox(key memoKey, def *boxDef, addr uint64) (string, error) {
 	id := graph.BoxID(def.name, addr)
-	fr := newMemoFrame()
+	// The recording frame only exists when a cross-run Memo will consume it;
+	// memo-less runs skip the allocation and the read/child bookkeeping.
+	var fr *memoFrame
+	if r.in.Memo != nil {
+		fr = newMemoFrame()
+	}
 	// Distinct defs over the same address must stay distinct boxes.
 	if _, clash := r.g.Get(id); clash {
 		id = fmt.Sprintf("%s#%d", id, r.nextVboxN())
-		fr.tainted = true // '#N' identity: never reusable
+		fr.taint() // '#N' identity: never reusable
 	}
 	r.memo[key] = id
-	b := graph.NewBox(id, def.name, def.ctype.Name, addr)
+	b := r.g.NewBoxIn(id, def.name, def.ctype.Name, addr)
 	r.g.Add(b)
 	r.built++
 	if r.in.Obs != nil {
 		r.in.Obs.BoxBuilds.Inc()
 	}
-	r.frames = append(r.frames, fr)
-	defer func() { r.frames = r.frames[:len(r.frames)-1] }()
+	if fr != nil {
+		r.frames = append(r.frames, fr)
+		defer func() { r.frames = r.frames[:len(r.frames)-1] }()
+	}
 
 	sp := r.tr.StartSpan("box:" + def.name)
 	sp.TagHex("addr", addr)
@@ -711,29 +839,36 @@ func (r *runState) buildBox(key string, def *boxDef, addr uint64) (string, error
 	// Text/Link item, which is where the KGDB latency model bleeds.
 	target.ReadStruct(r.tgt(), addr, def.ctype)
 
-	// Instance scope: @this plus lazy where-bindings.
-	sc := newScope(nil)
-	sc.defineVal("this", vval{kind: vC, c: expr.MakePointer(def.ctype, addr)})
-	for i := range def.where {
-		sc.define(def.where[i].Name, def.where[i].Expr)
-	}
-
-	for _, rv := range def.views {
-		vsp := r.tr.StartSpan("view:" + rv.name)
-		gv := &graph.View{Name: rv.name}
-		for _, item := range rv.items {
-			gi, err := r.evalItem(item, sc)
-			if err != nil {
-				// Non-fatal: record the issue, keep the item as error text.
-				// The error may be transient, so the box is not memoizable.
-				r.notef(0, "%s.%s: %v", def.name, itemName(item), err)
-				gi = graph.Item{Kind: graph.ItemText, Name: itemName(item), Value: "<error>"}
-				fr.tainted = true
-			}
-			gv.Items = append(gv.Items, gi)
+	if def.comp != nil && r.exec != nil {
+		// Compiled instance: slot frame with @this at slot 0 and lazy
+		// where-binding slots, views evaluated through the closure chain.
+		r.runCompiledViews(def, addr, b, fr)
+	} else {
+		// Instance scope: @this plus lazy where-bindings.
+		sc := newScope(nil)
+		sc.defineVal("this", vval{kind: vC, c: expr.MakePointer(def.ctype, addr)})
+		for i := range def.where {
+			sc.define(def.where[i].Name, def.where[i].Expr)
 		}
-		b.AddView(gv)
-		vsp.End()
+
+		for _, rv := range def.views {
+			vsp := r.tr.StartSpan("view:" + rv.name)
+			gv := &graph.View{Name: rv.name}
+			for _, item := range rv.items {
+				gi, err := r.evalItem(item, sc)
+				if err != nil {
+					// Non-fatal: record the issue, keep the item as error
+					// text. The error may be transient, so the box is not
+					// memoizable.
+					r.notef(0, "%s.%s: %v", def.name, itemName(item), err)
+					gi = graph.Item{Kind: graph.ItemText, Name: itemName(item), Value: "<error>"}
+					fr.taint()
+				}
+				gv.Items = append(gv.Items, gi)
+			}
+			b.AddView(gv)
+			vsp.End()
+		}
 	}
 	if sp != nil {
 		reads1, _ := r.tgt().Stats().Snapshot()
@@ -783,61 +918,81 @@ func (r *runState) evalItem(it ItemDecl, sc *scope) (graph.Item, error) {
 		if err != nil {
 			return graph.Item{}, err
 		}
-		text, raw, isNum, isStr := r.in.decorate(cv, x.Fmt, r.cEnv(sc))
-		return graph.Item{Kind: graph.ItemText, Name: x.Name, Value: text, Raw: raw, IsNum: isNum, IsStr: isStr}, nil
+		return r.textItem(x.Name, x.Fmt, cv, r.cEnv(sc)), nil
 
 	case *LinkItem:
 		v, err := r.eval(x.Target, sc)
 		if err != nil {
 			return graph.Item{}, err
 		}
-		gi := graph.Item{Kind: graph.ItemLink, Name: x.Name}
-		switch v.kind {
-		case vBox:
-			gi.TargetID = v.boxID
-			if b, ok := r.g.Get(v.boxID); ok {
-				gi.Raw, gi.IsNum = b.Addr, true
-			}
-		case vNull:
-			// NULL link: kept with empty target
-		case vC:
-			if a, ok := addrOf(v.c); ok && a != 0 {
-				return graph.Item{}, fmt.Errorf("link target %#x is not a box; wrap it in a Box constructor", a)
-			}
-		case vCont:
-			return graph.Item{}, fmt.Errorf("link target is a container; use Container")
-		}
-		return gi, nil
+		return r.linkItem(x.Name, v)
 
 	case *ContainerItem:
 		v, err := r.eval(x.Expr, sc)
 		if err != nil {
 			return graph.Item{}, err
 		}
-		gi := graph.Item{Kind: graph.ItemContainer, Name: x.Name}
-		switch v.kind {
-		case vCont:
-			gi.Elems = v.elems
-		case vBox:
-			gi.Elems = []string{v.boxID}
-		case vNull:
-		case vC:
-			return graph.Item{}, fmt.Errorf("container value is a scalar")
-		}
-		return gi, nil
+		return r.containerItem(x.Name, v)
 
 	case *BoxItem:
 		v, err := r.eval(x.Expr, sc)
 		if err != nil {
 			return graph.Item{}, err
 		}
-		gi := graph.Item{Kind: graph.ItemBox, Name: x.Name}
-		if v.kind == vBox {
-			gi.TargetID = v.boxID
-		}
-		return gi, nil
+		return r.boxItem(x.Name, v), nil
 	}
 	return graph.Item{}, fmt.Errorf("unhandled item %T", it)
+}
+
+// textItem, linkItem, containerItem and boxItem turn evaluated values into
+// graph items; shared by the interpreted and compiled engines so both emit
+// identical item bytes and identical error conditions.
+
+func (r *runState) textItem(name string, f *Format, cv expr.Value, env *expr.Env) graph.Item {
+	text, raw, isNum, isStr := r.in.decorate(cv, f, env)
+	return graph.Item{Kind: graph.ItemText, Name: name, Value: text, Raw: raw, IsNum: isNum, IsStr: isStr}
+}
+
+func (r *runState) linkItem(name string, v vval) (graph.Item, error) {
+	gi := graph.Item{Kind: graph.ItemLink, Name: name}
+	switch v.kind {
+	case vBox:
+		gi.TargetID = v.boxID
+		if b, ok := r.g.Get(v.boxID); ok {
+			gi.Raw, gi.IsNum = b.Addr, true
+		}
+	case vNull:
+		// NULL link: kept with empty target
+	case vC:
+		if a, ok := addrOf(v.c); ok && a != 0 {
+			return graph.Item{}, fmt.Errorf("link target %#x is not a box; wrap it in a Box constructor", a)
+		}
+	case vCont:
+		return graph.Item{}, fmt.Errorf("link target is a container; use Container")
+	}
+	return gi, nil
+}
+
+func (r *runState) containerItem(name string, v vval) (graph.Item, error) {
+	gi := graph.Item{Kind: graph.ItemContainer, Name: name}
+	switch v.kind {
+	case vCont:
+		gi.Elems = v.elems
+	case vBox:
+		gi.Elems = []string{v.boxID}
+	case vNull:
+	case vC:
+		return graph.Item{}, fmt.Errorf("container value is a scalar")
+	}
+	return gi, nil
+}
+
+func (r *runState) boxItem(name string, v vval) graph.Item {
+	gi := graph.Item{Kind: graph.ItemBox, Name: name}
+	if v.kind == vBox {
+		gi.TargetID = v.boxID
+	}
+	return gi
 }
 
 // evalInlineBox materializes an anonymous virtual box closing over sc.
@@ -846,7 +1001,7 @@ func (r *runState) evalInlineBox(n *InlineBoxNode, sc *scope) (vval, error) {
 		return vval{}, fmt.Errorf("viewcl: object budget exceeded")
 	}
 	id := fmt.Sprintf("box#%d", r.nextVboxN())
-	b := graph.NewBox(id, "Box", "", 0)
+	b := r.g.NewBoxIn(id, "Box", "", 0)
 	r.g.Add(b)
 	inner := newScope(sc)
 	for i := range n.Where {
@@ -873,7 +1028,7 @@ func (r *runState) plotRoot(v vval, name string) (string, error) {
 		return v.boxID, nil
 	case vCont:
 		id := fmt.Sprintf("%s#%d", name, r.nextVboxN())
-		b := graph.NewBox(id, name, "", 0)
+		b := r.g.NewBoxIn(id, name, "", 0)
 		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
 			{Kind: graph.ItemContainer, Name: name, Elems: v.elems},
 		}})
@@ -881,7 +1036,7 @@ func (r *runState) plotRoot(v vval, name string) (string, error) {
 		return id, nil
 	case vNull:
 		id := fmt.Sprintf("%s#%d", name, r.nextVboxN())
-		b := graph.NewBox(id, name, "", 0)
+		b := r.g.NewBoxIn(id, name, "", 0)
 		b.AddView(&graph.View{Name: "default", Items: []graph.Item{
 			{Kind: graph.ItemText, Name: name, Value: "NULL"},
 		}})

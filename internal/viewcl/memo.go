@@ -47,6 +47,14 @@ type memoFrame struct {
 
 func newMemoFrame() *memoFrame { return &memoFrame{sum: target.NewHashSum()} }
 
+// taint marks the frame unreusable. Nil-safe: runs without a Memo skip frame
+// allocation entirely and pass nil frames through the build path.
+func (fr *memoFrame) taint() {
+	if fr != nil {
+		fr.tainted = true
+	}
+}
+
 // memoEntry is one cached box: a pristine clone plus everything needed to
 // prove it still matches target memory and to rebuild its subgraph.
 type memoEntry struct {
@@ -75,7 +83,7 @@ type Memo struct {
 	base    target.Target
 	val     GenValidator
 	mu      sync.Mutex
-	entries map[string]*memoEntry
+	entries map[memoKey]*memoEntry
 	stats   MemoStats
 }
 
@@ -83,7 +91,7 @@ type Memo struct {
 // fast path engages automatically when a GenValidator (target.Snapshot)
 // sits anywhere in base's wrapper chain.
 func NewMemo(base target.Target) *Memo {
-	m := &Memo{base: base, entries: make(map[string]*memoEntry)}
+	m := &Memo{base: base, entries: make(map[memoKey]*memoEntry)}
 	for t := base; t != nil; {
 		if v, ok := t.(GenValidator); ok {
 			m.val = v
@@ -118,13 +126,13 @@ func (m *Memo) Stats() MemoStats {
 	return m.stats
 }
 
-func (m *Memo) lookup(key string) *memoEntry {
+func (m *Memo) lookup(key memoKey) *memoEntry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.entries[key]
 }
 
-func (m *Memo) store(key string, b *graph.Box, fr *memoFrame) {
+func (m *Memo) store(key memoKey, b *graph.Box, fr *memoFrame) {
 	e := &memoEntry{
 		box:      b.Clone(),
 		reads:    fr.reads,
@@ -146,7 +154,7 @@ func (m *Memo) store(key string, b *graph.Box, fr *memoFrame) {
 // page-granular change that may not overlap this box — re-reads the
 // recorded ranges through the cache and compares content sums. A content
 // mismatch drops the entry so the rebuild re-records it.
-func (m *Memo) verify(key string, e *memoEntry) bool {
+func (m *Memo) verify(key memoKey, e *memoEntry) bool {
 	if m.val != nil {
 		gen := m.val.Generation()
 		if e.gen == gen {
@@ -183,7 +191,7 @@ func (m *Memo) verify(key string, e *memoEntry) bool {
 	return true
 }
 
-func (m *Memo) reject(key string) {
+func (m *Memo) reject(key memoKey) {
 	m.mu.Lock()
 	delete(m.entries, key)
 	m.stats.Rejects++
