@@ -9,19 +9,25 @@
 #                      the slow-link (PacketSize=512 RSP) cost regressed
 #                      vs BENCH_3.json, the steady-state incremental
 #                      cost regressed vs BENCH_4.json (same 25%/50ms gate,
-#                      plus a 0.9 box reuse-ratio floor), or the compiled
+#                      plus a 0.9 box reuse-ratio floor), the compiled
 #                      engine's same-run CPU speedup over the tree-walking
 #                      interpreter fell below 3x / the steady round started
-#                      allocating (BENCH_6_CUR.json, absolute floors)
+#                      allocating (BENCH_6_CUR.json, absolute floors), or
+#                      the stream fan-out plane regressed: worst fast-client
+#                      p95 push latency above 250ms, a fast client losing
+#                      frames, or slow consumers failing to coalesce
+#                      (BENCH_7_CUR.json, absolute ceilings/floors)
 #   make table6        regenerate the compiled-vs-interpreted CPU report
 #                      (BENCH_6.json)
+#   make table7        regenerate the stream fan-out push-latency report
+#                      (BENCH_7.json)
 #   make race-link     race-detector pass over the read pipeline packages
 #                      (gdbrsp client/server, target cache, memory journal,
-#                      interpreter memo, server, core workers)
+#                      interpreter memo, server, core workers, stream broker)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6 table7
 
 ci: vet build race race-link bench-smoke bench-regress
 
@@ -38,7 +44,7 @@ race:
 	$(GO) test -race ./...
 
 race-link:
-	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core ./internal/vchat
+	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core ./internal/vchat ./internal/stream
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .
@@ -47,11 +53,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json -streamjson BENCH_7_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
 	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
 	$(GO) run ./cmd/benchguard -reusefloor 0.9 BENCH_4.json BENCH_4_CUR.json
 	$(GO) run ./cmd/benchguard -speedupfloor 3 -allocceil 16 BENCH_6_CUR.json
+	$(GO) run ./cmd/benchguard -pushp95ceil 250 BENCH_7_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
@@ -64,3 +71,6 @@ table4-steady:
 
 table6:
 	$(GO) run ./cmd/perfbench -cpujson BENCH_6.json
+
+table7:
+	$(GO) run ./cmd/perfbench -streamjson BENCH_7.json

@@ -8,16 +8,23 @@
 //	benchguard [-threshold 1.25] [-slack 50] BENCH_1.json BENCH_2.json
 //	benchguard -reusefloor 0.8 BENCH_4.base.json BENCH_4.json
 //	benchguard -speedupfloor 3 -allocceil 16 BENCH_6.json
+//	benchguard -pushp95ceil 250 BENCH_7.json
 //
-// Three file shapes are understood: the flat per-figure array written by
+// Four file shapes are understood: the flat per-figure array written by
 // perfbench -json / -rspjson (gated on kgdb_ms), the steady-state
 // report written by perfbench -steadyjson (gated on each row's
 // steady_kgdb_ms, plus the whole-run reuse_ratio when -reusefloor is set),
-// and the CPU report written by perfbench -cpujson. The CPU gate takes a
+// the CPU report written by perfbench -cpujson, and the stream fan-out
+// report written by perfbench -streamjson. The CPU gate takes a
 // single file: cpu_speedup is a same-run compiled-vs-interpreted ratio and
 // steady_round_allocs_op a runtime counter, so they are judged against
 // absolute floors rather than a baseline file whose wall-clock milliseconds
-// would not transfer across hosts.
+// would not transfer across hosts. The stream gate is single-file for the
+// same reason: push latencies are wall-clock, so it checks an absolute p95
+// ceiling (-pushp95ceil), a fast-client delivery-ratio floor
+// (-deliveryfloor, default 0.999), and that the slow consumers in the mix
+// actually coalesced — proof backpressure degraded them to latest-wins
+// instead of stalling the plane.
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -62,7 +69,17 @@ func main() {
 	reuseFloor := flag.Float64("reusefloor", 0, "min reuse_ratio for steady-state reports (0 disables)")
 	speedupFloor := flag.Float64("speedupfloor", 0, "min same-run cpu_speedup for CPU reports (0 disables; single-file mode)")
 	allocCeil := flag.Float64("allocceil", -1, "max steady_round_allocs_op for CPU reports (negative disables; single-file mode)")
+	pushP95Ceil := flag.Float64("pushp95ceil", 0, "max p95_push_ms for stream fan-out reports (0 disables; single-file mode)")
+	deliveryFloor := flag.Float64("deliveryfloor", 0.999, "min fast_delivery_ratio for stream fan-out reports (with -pushp95ceil)")
 	flag.Parse()
+	if *pushP95Ceil > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -pushp95ceil 250 [-deliveryfloor 0.999] BENCH_7.json")
+			os.Exit(2)
+		}
+		guardStream(flag.Arg(0), *pushP95Ceil, *deliveryFloor)
+		return
+	}
 	if *speedupFloor > 0 || *allocCeil >= 0 {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchguard -speedupfloor 3 [-allocceil 16] BENCH_6.json")
@@ -170,6 +187,67 @@ func guardCPU(path string, speedupFloor, allocCeil float64) {
 		} else {
 			fmt.Printf("benchguard: steady_round_allocs_op %.0f ok (ceiling %.0f)\n", cf.SteadyRoundAllocs, allocCeil)
 		}
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// streamFile mirrors the perf.StreamReport fields the stream gate needs.
+type streamFile struct {
+	Rows []struct {
+		Mix           string  `json:"mix"`
+		FastP95PushMS float64 `json:"fast_p95_push_ms"`
+		Slow          int     `json:"slow_clients"`
+	} `json:"rows"`
+	P95PushMS         float64 `json:"p95_push_ms"`
+	FastDeliveryRatio float64 `json:"fast_delivery_ratio"`
+	SlowCoalesced     float64 `json:"slow_coalesced"`
+}
+
+// guardStream applies the stream fan-out gates to one report: the worst
+// fast client's p95 push latency against an absolute wall-clock ceiling,
+// the fast delivery ratio against its floor, and — whenever a mix included
+// slow consumers — that they coalesced, which is the backpressure design
+// working as intended.
+func guardStream(path string, p95Ceil, deliveryFloor float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var sf streamFile
+	if err := json.Unmarshal(blob, &sf); err != nil || len(sf.Rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: not a perfbench -streamjson report\n", path)
+		os.Exit(2)
+	}
+	failed := false
+	if sf.P95PushMS > p95Ceil {
+		fmt.Printf("benchguard: p95_push_ms %.2f ABOVE ceiling %.2f\n", sf.P95PushMS, p95Ceil)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: p95_push_ms %.2f ok (ceiling %.2f)\n", sf.P95PushMS, p95Ceil)
+	}
+	if sf.FastDeliveryRatio < deliveryFloor {
+		fmt.Printf("benchguard: fast_delivery_ratio %.4f BELOW floor %.4f\n", sf.FastDeliveryRatio, deliveryFloor)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: fast_delivery_ratio %.4f ok (floor %.4f)\n", sf.FastDeliveryRatio, deliveryFloor)
+	}
+	hasSlow := false
+	for _, r := range sf.Rows {
+		if r.Slow > 0 {
+			hasSlow = true
+		}
+	}
+	switch {
+	case hasSlow && sf.SlowCoalesced <= 0:
+		fmt.Println("benchguard: slow consumers present but slow_coalesced is 0 — backpressure never engaged")
+		failed = true
+	case hasSlow:
+		fmt.Printf("benchguard: slow_coalesced %.0f ok (latest-wins engaged)\n", sf.SlowCoalesced)
 	}
 	if failed {
 		fmt.Println("benchguard: FAIL")

@@ -30,6 +30,15 @@
 //	                             # and write the report as JSON. The speedup
 //	                             # column is a same-run internal ratio; the
 //	                             # absolute ms values are host wall-clock.
+//	perfbench -streamjson BENCH_7.json
+//	                             # also run the stream fan-out personality —
+//	                             # a live server free-running stop events
+//	                             # into broker-level SSE client mixes (all
+//	                             # fast; one slow straggler; half slow) —
+//	                             # and write the push-latency/coalescing
+//	                             # report as JSON. Latencies are host
+//	                             # wall-clock; benchguard gates them with
+//	                             # absolute ceilings/floors (-pushp95ceil).
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -84,6 +93,8 @@ func main() {
 	steadyJSONOut := flag.String("steadyjson", "", "write the steady-state incremental re-extraction report to this JSON file (e.g. BENCH_4.json)")
 	cpuJSONOut := flag.String("cpujson", "", "write the compiled-vs-interpreted CPU report to this JSON file (e.g. BENCH_6.json)")
 	cpuIters := flag.Int("cpuiters", 0, "per-figure samples for -cpujson (0 = default)")
+	streamJSONOut := flag.String("streamjson", "", "write the stream fan-out push-latency report to this JSON file (e.g. BENCH_7.json)")
+	streamRounds := flag.Int("streamrounds", 0, "free-run stop events per client mix for -streamjson (0 = default)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -217,6 +228,30 @@ func main() {
 		fmt.Printf("\nCPU personality (compiled closure chains vs tree-walking interpreter, same run):\n")
 		fmt.Print(perf.FormatCPU(rep))
 		fmt.Printf("wrote %s\n", *cpuJSONOut)
+	}
+
+	if *streamJSONOut != "" {
+		// The stream personality: live fan-out under mixed consumer speeds.
+		// Broker-level clients keep TCP out of the measurement; the columns
+		// are wall-clock, so the guard uses absolute ceilings, not a
+		// baseline diff.
+		rep, err := perf.MeasureStream(opts, *streamRounds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: streamjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: streamjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*streamJSONOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: streamjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nStream fan-out personality (free-run stop events into mixed-speed SSE client pools):\n")
+		fmt.Print(perf.FormatStream(rep))
+		fmt.Printf("wrote %s\n", *streamJSONOut)
 	}
 
 	if *traceOut != "" {

@@ -10,6 +10,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"visualinux/internal/core"
 	"visualinux/internal/kernelsim"
@@ -26,12 +27,17 @@ func main() {
 	workers := flag.Int("workers", 0, "workspace extraction workers (0 = GOMAXPROCS)")
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically snapshot the metrics registry into the /debug/metrics/history ring (0 disables)")
 	baseline := flag.String("baseline", "", "perfbench result file (BENCH_4.json shape) whose steady_kgdb_ms rows become the /debug/diagnose baseline")
+	runEvery := flag.Duration("run-interval", 0, "free-run the simulated kernel: every interval, apply one mutation workload step, take a stop event, re-extract incrementally, and push pane deltas to /stream clients (0 disables)")
 	flag.Parse()
 
 	o := obs.NewObserver()
 	if *metricsEvery > 0 {
 		stop := o.StartMetricsHistory(*metricsEvery)
 		defer stop()
+	}
+	if *runEvery > 0 {
+		runContinuous(*addr, *procs, *workspace, *figure, *baseline, *runEvery, o)
+		return
 	}
 	session, k, _ := core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, o)
 	if *baseline != "" {
@@ -71,6 +77,58 @@ func main() {
 		len(k.Tasks), bytes/1024, *addr)
 	fmt.Printf("vlserver: metrics at /debug/metrics (+/history), traces at /debug/trace/{pane|last}, slow log at /debug/slowlog, diagnosis at /debug/diagnose/{pane|slowest}\n")
 	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
+}
+
+// runContinuous is the live-dashboard mode: the simulated kernel free-runs
+// under the deterministic mutation workload, and every -run-interval the
+// server takes a stop event — advance the snapshot generation, re-extract
+// every figure incrementally, and fan the changed panes out to /stream
+// subscribers. Browsers watch kernel state evolve instead of polling.
+func runContinuous(addr string, procs int, workspace, figure, baseline string, every time.Duration, o *obs.Observer) {
+	spec := workspace
+	if spec == "" {
+		spec = figure
+	}
+	if spec == "" {
+		log.Fatalf("vlserver: -run-interval needs -figure or -workspace")
+	}
+	figs, err := workspaceFigures(spec)
+	if err != nil {
+		log.Fatalf("vlserver: %v", err)
+	}
+	k := kernelsim.Build(kernelsim.Options{Processes: procs})
+	x := core.NewIncrementalExtractor(k, k.Target(), figs, o)
+	if baseline != "" {
+		if err := x.Session.LoadBaselineFile(baseline); err != nil {
+			log.Fatalf("vlserver: %v", err)
+		}
+	}
+	if _, err := x.Round(); err != nil {
+		log.Fatalf("vlserver: cold extraction round: %v", err)
+	}
+	srv := server.New(x.Session)
+
+	w := kernelsim.NewWorkload(k)
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for range tick.C {
+			if err := srv.StreamRound(func() error {
+				w.Step()
+				x.Advance()
+				_, err := x.Round()
+				return err
+			}); err != nil {
+				log.Printf("vlserver: stop-event round: %v", err)
+			}
+		}
+	}()
+
+	_, bytes := k.Mem.Footprint()
+	fmt.Printf("vlserver: simulated kernel free-running (%d tasks, %d KiB, %d figures, stop event every %v); listening on http://%s\n",
+		len(k.Tasks), bytes/1024, len(figs), every, addr)
+	fmt.Printf("vlserver: live pane deltas at /stream (SSE), stream health at /debug/stream\n")
+	log.Fatal(http.ListenAndServe(addr, srv))
 }
 
 // workspaceFigures resolves the -workspace flag into stdlib figures.

@@ -84,6 +84,7 @@ func (s *Session) observations() vchat.Observations {
 		Obs:      s.Obs,
 		Figure:   s.Figure,
 		Baseline: s.baselineFor,
+		Stream:   s.StreamHealth,
 	}
 }
 
@@ -111,6 +112,12 @@ func (s *Session) DiagnoseChanges(paneID int) (*vchat.ChangeReport, error) {
 		return nil, fmt.Errorf("diagnose: session is not observed")
 	}
 	return s.observations().Changes(paneID)
+}
+
+// DiagnoseStream answers "why is my stream laggy?" from the fan-out
+// broker's health snapshot and the retained fan-out round traces.
+func (s *Session) DiagnoseStream() (*vchat.StreamReport, error) {
+	return s.observations().StreamLag()
 }
 
 // VChat answer kinds.
@@ -153,6 +160,13 @@ func (s *Session) VChatAnswer(paneID int, text string) (kind, out string, err er
 			return AnswerDiagnosis, "", err
 		}
 		return AnswerDiagnosis, d.Render(), nil
+	case vchat.IntentStreamLag:
+		s.log("vchat " + text)
+		r, err := s.DiagnoseStream()
+		if err != nil {
+			return AnswerDiagnosis, "", err
+		}
+		return AnswerDiagnosis, r.Render(), nil
 	case vchat.IntentWhatChanged:
 		s.log("vchat " + text)
 		if target == 0 {

@@ -18,6 +18,7 @@ import (
 	"visualinux/internal/obs"
 	"visualinux/internal/panes"
 	"visualinux/internal/render"
+	"visualinux/internal/stream"
 	"visualinux/internal/target"
 	"visualinux/internal/vchat"
 	"visualinux/internal/vclstdlib"
@@ -39,6 +40,11 @@ type Session struct {
 	// pane), feed the slow-extraction log, and bump the shared metrics
 	// registry. Set it via EnableObs / ObservedSessionOver.
 	Obs *obs.Observer
+
+	// StreamHealth, when set by the serving layer, snapshots the stream
+	// broker's per-client state — the source the vchat stream-lag
+	// diagnosis answers from. Nil outside a serving process.
+	StreamHealth func() *stream.Health
 
 	programs     map[int]string // pane ID -> ViewCL source (primary panes)
 	secondarySrc map[int]int    // secondary pane ID -> source pane ID

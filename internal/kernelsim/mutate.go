@@ -317,20 +317,45 @@ func (k *Kernel) churn(rounds int) {
 	if rounds <= 0 {
 		return
 	}
-	pipe := k.MakePipe()
-	base := uint64(0x7500_0000_0000)
+	w := NewWorkload(k)
 	for i := 0; i < rounds; i++ {
-		pid := 100 + (i*2)%8 // rotate over the workload leaders
-		start := base + uint64(i)*0x100000
-		if _, err := k.MapRegion(pid, start, start+0x20000, VMRead|VMWrite, Obj{}); err == nil && i%3 == 0 {
-			_ = k.UnmapRegion(pid, start)
-		}
-		_ = k.SendSignal(pid, 10+(i%5), 1)
-		_ = k.PipeWrite(pipe, uint64(64+i*16))
-		if i%4 == 3 {
-			if _, err := k.SpawnTask(900+i, "churn", 1); err == nil && i%8 == 7 {
-				_ = k.ExitTask(900 + i)
-			}
+		w.Step()
+	}
+}
+
+// Workload is the deterministic mutation stepper behind churn, exported so
+// free-run mode (vlserver -run-interval) and the streaming bench can keep
+// aging the kernel between stop events: each Step maps/unmaps memory,
+// delivers a signal, writes the pipe, and periodically spawns or exits a
+// task — touching the address-space, signal, pipe, and task figures.
+type Workload struct {
+	k    *Kernel
+	pipe Obj
+	i    int
+}
+
+// NewWorkload initializes a stepper over k (creating its scratch pipe).
+func NewWorkload(k *Kernel) *Workload {
+	return &Workload{k: k, pipe: k.MakePipe()}
+}
+
+// Steps reports how many mutation steps have run.
+func (w *Workload) Steps() int { return w.i }
+
+// Step applies one deterministic mutation round.
+func (w *Workload) Step() {
+	k, i := w.k, w.i
+	w.i++
+	pid := 100 + (i*2)%8 // rotate over the workload leaders
+	start := uint64(0x7500_0000_0000) + uint64(i)*0x100000
+	if _, err := k.MapRegion(pid, start, start+0x20000, VMRead|VMWrite, Obj{}); err == nil && i%3 == 0 {
+		_ = k.UnmapRegion(pid, start)
+	}
+	_ = k.SendSignal(pid, 10+(i%5), 1)
+	_ = k.PipeWrite(w.pipe, uint64(64+i*16))
+	if i%4 == 3 {
+		if _, err := k.SpawnTask(900+i, "churn", 1); err == nil && i%8 == 7 {
+			_ = k.ExitTask(900 + i)
 		}
 	}
 }

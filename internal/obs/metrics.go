@@ -192,6 +192,38 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// DropGauge removes a gauge series from the registry. Per-client stream
+// gauges (`vl_stream_client_lag_ms{client="s3"}`) are registered while the
+// client is connected and dropped on disconnect; without this the
+// exposition would accumulate one dead series per client ever seen, which
+// under connection churn is unbounded. Base-name HELP/TYPE metadata is
+// retained while any sibling series survives, and dropped with the last
+// one.
+func (r *Registry) DropGauge(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauge[name]; !ok {
+		return
+	}
+	delete(r.gauge, name)
+	base := baseName(name)
+	for have := range r.gauge {
+		if baseName(have) == base {
+			return
+		}
+	}
+	for have := range r.gfunc {
+		if baseName(have) == base {
+			return
+		}
+	}
+	delete(r.kind, base)
+	delete(r.help, base)
+}
+
 // GaugeFunc registers a callback gauge, evaluated at exposition time
 // (e.g. a live cache hit ratio computed from two counters).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {

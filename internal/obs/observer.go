@@ -56,6 +56,23 @@ type Observer struct {
 	BoxBuilds    *Counter // boxes materialized from target reads
 	FigureReuses *Counter // whole figures served from the prior VPlot (clean read set)
 
+	// Streaming fan-out behaviour (bumped by stream.Broker and the server's
+	// stop-event publisher). Sent counts frames written to a client's wire;
+	// Coalesced counts deliveries that stood in for one or more superseded
+	// frames; Dropped counts the superseded frames themselves (latest-wins
+	// victims on slow clients). CacheHits/CacheMisses prove whether fan-out
+	// serialization came from the per-pane serialization cache or had to
+	// encode.
+	StreamFramesSent      *Counter
+	StreamFramesCoalesced *Counter
+	StreamFramesDropped   *Counter
+	StreamRounds          *Counter // stop-event fan-out rounds published
+	StreamCacheHits       *Counter // fan-out frames served from the serialization cache
+	StreamCacheMisses     *Counter // fan-out frames that had to serialize
+	StreamConnects        *Counter
+	StreamDisconnects     *Counter
+	StreamClients         *Gauge // currently connected stream clients
+
 	// History is the bounded ring of periodic registry snapshots behind
 	// /debug/metrics/history (sparklines without a scraper). Populated by
 	// StartMetricsHistory or manual History.Snapshot calls.
@@ -95,6 +112,16 @@ func NewObserver() *Observer {
 		BoxReuses:    r.Counter("vl_extract_box_reuse_total", "boxes reused from the cross-run extraction memo"),
 		BoxBuilds:    r.Counter("vl_extract_box_builds_total", "boxes materialized from target reads"),
 		FigureReuses: r.Counter("vl_extract_figure_reuse_total", "figures served whole from the prior VPlot (clean read set)"),
+
+		StreamFramesSent:      r.Counter("vl_stream_frames_sent_total", "pane delta frames written to stream clients"),
+		StreamFramesCoalesced: r.Counter("vl_stream_frames_coalesced_total", "stream deliveries that stood in for superseded frames (latest-wins)"),
+		StreamFramesDropped:   r.Counter("vl_stream_frames_dropped_total", "stream frames superseded before delivery on slow clients"),
+		StreamRounds:          r.Counter("vl_stream_fanout_rounds_total", "stop-event fan-out rounds published to the stream plane"),
+		StreamCacheHits:       r.Counter("vl_stream_serialize_cache_hits_total", "fan-out frames served from the pane serialization cache"),
+		StreamCacheMisses:     r.Counter("vl_stream_serialize_cache_misses_total", "fan-out frames that had to serialize a pane"),
+		StreamConnects:        r.Counter("vl_stream_connects_total", "stream client subscriptions"),
+		StreamDisconnects:     r.Counter("vl_stream_disconnects_total", "stream client disconnects"),
+		StreamClients:         r.Gauge("vl_stream_clients", "currently connected stream clients"),
 
 		History: NewMetricsHistory(DefaultMetricsHistorySize),
 	}
@@ -145,6 +172,29 @@ func (o *Observer) ObserveExtraction(figure string, d time.Duration) {
 	o.Registry.Histogram(`vl_extraction_duration_ms{figure="`+figure+`"}`,
 		"per-figure extraction duration", nil).Observe(float64(d.Nanoseconds()) / 1e6)
 	o.ObserveStage("extract", d)
+}
+
+// ObserveFanout records how long one stop-event fan-out round spent
+// serializing and enqueueing pane deltas for every connected client.
+func (o *Observer) ObserveFanout(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Registry.Histogram("vl_stream_fanout_ms",
+		"stop-event fan-out latency (serialize + enqueue for all clients)", nil).
+		Observe(float64(d.Nanoseconds()) / 1e6)
+}
+
+// ObservePushLag records one delivered frame's stop-to-wire latency: the
+// time between the frame being published at a stop event and a client's
+// writer dequeuing it for the wire.
+func (o *Observer) ObservePushLag(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Registry.Histogram("vl_stream_push_lag_ms",
+		"per-frame stop-to-wire push latency across stream clients", nil).
+		Observe(float64(d.Nanoseconds()) / 1e6)
 }
 
 // NewTrace opens a per-extraction tracer. The observer only tracks drop

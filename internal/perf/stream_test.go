@@ -1,0 +1,45 @@
+package perf
+
+import (
+	"testing"
+
+	"visualinux/internal/kernelsim"
+)
+
+// TestMeasureStreamShape runs the fan-out personality at a reduced round
+// count and checks the report's invariants: every mix measured, fast
+// consumers losing (essentially) nothing, latencies recorded, and — with
+// enough rounds against the default queue cap — the slow consumers forced
+// into coalescing rather than stalling the publisher.
+func TestMeasureStreamShape(t *testing.T) {
+	rep, err := MeasureStream(kernelsim.Options{}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(streamMixes) {
+		t.Fatalf("rows %d, want %d", len(rep.Rows), len(streamMixes))
+	}
+	for _, r := range rep.Rows {
+		if r.Frames == 0 {
+			t.Fatalf("%s: no frames published", r.Mix)
+		}
+		if r.FastP95PushMS <= 0 {
+			t.Fatalf("%s: no fast push latencies recorded", r.Mix)
+		}
+		if r.FastDeliveryRatio < 0.999 {
+			t.Fatalf("%s: fast delivery ratio %v", r.Mix, r.FastDeliveryRatio)
+		}
+		if r.Slow == 0 && (r.SlowCoalesced != 0 || r.SlowDropped != 0) {
+			t.Fatalf("%s: slow counters without slow clients: %+v", r.Mix, r)
+		}
+	}
+	if rep.P95PushMS <= 0 {
+		t.Fatalf("headline p95 %v", rep.P95PushMS)
+	}
+	if rep.SlowCoalesced == 0 {
+		t.Fatal("slow consumers never coalesced — backpressure path unexercised")
+	}
+	if out := FormatStream(rep); out == "" {
+		t.Fatal("empty table")
+	}
+}

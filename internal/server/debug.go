@@ -22,6 +22,7 @@ func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("/debug/diagnose/", s.handleDiagnose)
+	s.mux.HandleFunc("/debug/stream", s.handleStreamDebug)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -14,10 +14,9 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"time"
 
 	"visualinux/internal/core"
-	"visualinux/internal/render"
+	"visualinux/internal/stream"
 )
 
 // Server exposes a Session over HTTP.
@@ -27,8 +26,16 @@ type Server struct {
 	mux     *http.ServeMux
 	// paneCache keeps the last serialized body per pane+format, keyed by
 	// the same version/epoch ETag served to clients: an unchanged pane is
-	// neither re-rendered nor re-serialized, it's one buffer write.
+	// neither re-rendered nor re-serialized, it's one buffer write. The
+	// stream plane's fan-out serializes through the same cache, so a GET
+	// and a pushed frame at the same epoch share one encode.
 	paneCache map[string]*cachedPane
+	// broker fans pane deltas out to /stream subscribers; lastPub tracks
+	// the (version, epoch) each pane was last published at, and round
+	// counts fan-out rounds (the SSE frame's `round` field).
+	broker  *stream.Broker
+	lastPub map[int]pubState
+	round   uint64
 }
 
 // cachedPane is one serialized pane representation.
@@ -40,8 +47,18 @@ type cachedPane struct {
 
 // New wraps a session.
 func New(s *core.Session) *Server {
-	srv := &Server{session: s, mux: http.NewServeMux(), paneCache: make(map[string]*cachedPane)}
+	srv := &Server{
+		session:   s,
+		mux:       http.NewServeMux(),
+		paneCache: make(map[string]*cachedPane),
+		broker:    stream.NewBroker(s.Obs, 0),
+		lastPub:   make(map[int]pubState),
+	}
+	// The vchat diagnosis layer answers "why is my stream laggy?" from the
+	// broker's health snapshot; hand the session a way to read it.
+	s.StreamHealth = srv.broker.Health
 	srv.mux.HandleFunc("/", srv.handleIndex)
+	srv.mux.HandleFunc("/stream", srv.handleStream)
 	srv.mux.HandleFunc("/api/vplot", srv.handleVPlot)
 	srv.mux.HandleFunc("/api/vctrl", srv.handleVCtrl)
 	srv.mux.HandleFunc("/api/vchat", srv.handleVChat)
@@ -85,6 +102,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
 }
 
@@ -143,6 +161,7 @@ func (s *Server) handleVPlot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]any{"pane": paneID})
 }
 
@@ -168,6 +187,7 @@ func (s *Server) handleVCtrl(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]string{"output": out})
 }
 
@@ -197,6 +217,7 @@ func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishAfterMutation()
 	// Visualization requests keep the historical {"viewql": ...} shape;
 	// diagnostic questions answer {"kind":"diagnosis","answer":...}.
 	if kind == core.AnswerViewQL {
@@ -256,41 +277,19 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 	// the pane's content is replaced (incremental re-extraction), the epoch
 	// when shared display attributes mutate (ViewQL/expand/vchat). A client
 	// revalidating an unchanged pane costs a 304, not a re-serialization.
-	etag := fmt.Sprintf(`W/"p%d.v%d.e%d.%s"`, p.ID, p.Version, s.session.Tree.Epoch(), format)
+	etag := s.paneETagLocked(p, format)
 	w.Header().Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	key := fmt.Sprintf("%d.%s", p.ID, format)
-	if c := s.paneCache[key]; c != nil && c.etag == etag {
-		w.Header().Set("Content-Type", c.ctype)
-		_, _ = w.Write(c.body)
+	c, _, err := s.serializePaneLocked(p, format)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	t0 := time.Now()
-	var body []byte
-	var ctype string
-	switch format {
-	case "text":
-		ctype = "text/plain; charset=utf-8"
-		body = []byte(render.Text(p.Graph))
-	case "dot":
-		ctype = "text/vnd.graphviz"
-		body = []byte(render.DOT(p.Graph))
-	default:
-		ctype = "application/json"
-		j, err := json.MarshalIndent(render.ToJSON(p.Graph), "", "  ")
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		body = append(j, '\n')
-	}
-	s.paneCache[key] = &cachedPane{etag: etag, ctype: ctype, body: body}
-	w.Header().Set("Content-Type", ctype)
-	_, _ = w.Write(body)
-	s.session.Obs.ObserveStage("render", time.Since(t0))
+	w.Header().Set("Content-Type", c.ctype)
+	_, _ = w.Write(c.body)
 }
 
 // etagMatches reports whether an If-None-Match header value matches the

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"visualinux/internal/obs"
+	"visualinux/internal/stream"
 )
 
 // Intent routes one vchat message.
@@ -28,6 +29,8 @@ const (
 	IntentSlowestPane
 	// IntentWhatChanged asks what changed since the previous round.
 	IntentWhatChanged
+	// IntentStreamLag asks why the live stream is lagging.
+	IntentStreamLag
 )
 
 // Classify decides which intent a message carries and extracts a pane
@@ -39,6 +42,13 @@ func Classify(text string) (Intent, int) {
 	switch {
 	case strings.Contains(low, "what changed") || strings.Contains(low, "what has changed"):
 		return IntentWhatChanged, pane
+	// Stream questions outrank the generic slow/why check: "why is my
+	// stream slow?" is about the push plane, not a pane's extraction.
+	case strings.Contains(low, "stream") &&
+		(strings.Contains(low, "lag") || strings.Contains(low, "slow") ||
+			strings.Contains(low, "behind") || strings.Contains(low, "drop") ||
+			strings.Contains(low, "stuck") || strings.Contains(low, "why")):
+		return IntentStreamLag, pane
 	case strings.Contains(low, "slowest"):
 		return IntentSlowestPane, pane
 	case strings.Contains(low, "slow") && (strings.Contains(low, "why") || strings.Contains(low, "diagnose")):
@@ -77,6 +87,9 @@ type Observations struct {
 	// Baseline returns the steady-state duration baseline for a figure in
 	// milliseconds (e.g. from BENCH_4.json), ok=false when unknown.
 	Baseline func(figure string) (float64, bool)
+	// Stream snapshots the serving layer's fan-out broker health; nil when
+	// the session is not being served over HTTP.
+	Stream func() *stream.Health
 }
 
 // Diagnosis is the structured answer to "why is pane N slow?".
