@@ -9,13 +9,15 @@
 //	benchguard -reusefloor 0.8 BENCH_4.base.json BENCH_4.json
 //	benchguard -speedupfloor 3 -allocceil 16 BENCH_6.json
 //	benchguard -pushp95ceil 250 BENCH_7.json
+//	benchguard -tenantp95ceil 250 -isolationceil 8 BENCH_8.json
 //
 // Four file shapes are understood: the flat per-figure array written by
 // perfbench -json / -rspjson (gated on kgdb_ms), the steady-state
 // report written by perfbench -steadyjson (gated on each row's
 // steady_kgdb_ms, plus the whole-run reuse_ratio when -reusefloor is set),
 // the CPU report written by perfbench -cpujson, and the stream fan-out
-// report written by perfbench -streamjson. The CPU gate takes a
+// report written by perfbench -streamjson, and the multi-tenant
+// session-fabric report written by perfbench -tenantjson. The CPU gate takes a
 // single file: cpu_speedup is a same-run compiled-vs-interpreted ratio and
 // steady_round_allocs_op a runtime counter, so they are judged against
 // absolute floors rather than a baseline file whose wall-clock milliseconds
@@ -24,7 +26,12 @@
 // ceiling (-pushp95ceil), a fast-client delivery-ratio floor
 // (-deliveryfloor, default 0.999), and that the slow consumers in the mix
 // actually coalesced — proof backpressure degraded them to latest-wins
-// instead of stalling the plane.
+// instead of stalling the plane. The tenant gate (-tenantp95ceil) is
+// single-file too: it checks the worst session's request p95 against an
+// absolute wall-clock ceiling, the victim-vs-hot isolation ratio against
+// -isolationceil, and — exactly, no tolerance — that admitting the fleet
+// after the first session cost zero stdlib re-parses and re-compiles,
+// which is the shared-immutable-infrastructure contract.
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -71,7 +78,17 @@ func main() {
 	allocCeil := flag.Float64("allocceil", -1, "max steady_round_allocs_op for CPU reports (negative disables; single-file mode)")
 	pushP95Ceil := flag.Float64("pushp95ceil", 0, "max p95_push_ms for stream fan-out reports (0 disables; single-file mode)")
 	deliveryFloor := flag.Float64("deliveryfloor", 0.999, "min fast_delivery_ratio for stream fan-out reports (with -pushp95ceil)")
+	tenantP95Ceil := flag.Float64("tenantp95ceil", 0, "max worst_session_req_p95_ms for multi-tenant reports (0 disables; single-file mode)")
+	isolationCeil := flag.Float64("isolationceil", 8, "max victim-vs-hot isolation_ratio for multi-tenant reports (with -tenantp95ceil)")
 	flag.Parse()
+	if *tenantP95Ceil > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -tenantp95ceil 250 [-isolationceil 8] BENCH_8.json")
+			os.Exit(2)
+		}
+		guardTenants(flag.Arg(0), *tenantP95Ceil, *isolationCeil)
+		return
+	}
 	if *pushP95Ceil > 0 {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchguard -pushp95ceil 250 [-deliveryfloor 0.999] BENCH_7.json")
@@ -248,6 +265,63 @@ func guardStream(path string, p95Ceil, deliveryFloor float64) {
 		failed = true
 	case hasSlow:
 		fmt.Printf("benchguard: slow_coalesced %.0f ok (latest-wins engaged)\n", sf.SlowCoalesced)
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// tenantFile mirrors the perf.TenantReport fields the tenant gate needs.
+type tenantFile struct {
+	Sessions             int     `json:"sessions"`
+	WorstSessionReqP95MS float64 `json:"worst_session_req_p95_ms"`
+	StdlibReparses       uint64  `json:"stdlib_reparses"`
+	StdlibRecompiles     uint64  `json:"stdlib_recompiles"`
+	IsolationRatio       float64 `json:"isolation_ratio"`
+}
+
+// guardTenants applies the session-fabric gates to one report: the worst
+// session's request p95 against an absolute wall-clock ceiling, the
+// victim-vs-hot isolation ratio against its ceiling (the global pool's
+// per-session fairness promise), and exact zeros on the stdlib
+// re-parse/re-compile counters — fleet admission must ride the shared
+// immutable infrastructure, not rebuild it per tenant.
+func guardTenants(path string, p95Ceil, isolationCeil float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var tf tenantFile
+	if err := json.Unmarshal(blob, &tf); err != nil || tf.Sessions == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: not a perfbench -tenantjson report\n", path)
+		os.Exit(2)
+	}
+	failed := false
+	if tf.WorstSessionReqP95MS > p95Ceil {
+		fmt.Printf("benchguard: worst_session_req_p95_ms %.2f ABOVE ceiling %.2f\n", tf.WorstSessionReqP95MS, p95Ceil)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: worst_session_req_p95_ms %.2f ok (ceiling %.2f, %d sessions)\n",
+			tf.WorstSessionReqP95MS, p95Ceil, tf.Sessions)
+	}
+	if isolationCeil > 0 {
+		if tf.IsolationRatio > isolationCeil {
+			fmt.Printf("benchguard: isolation_ratio %.2fx ABOVE ceiling %.2fx — a hot session starves its neighbors\n",
+				tf.IsolationRatio, isolationCeil)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: isolation_ratio %.2fx ok (ceiling %.2fx)\n", tf.IsolationRatio, isolationCeil)
+		}
+	}
+	if tf.StdlibReparses != 0 || tf.StdlibRecompiles != 0 {
+		fmt.Printf("benchguard: fleet admission re-parsed the stdlib %d times and re-compiled it %d times; want exactly 0\n",
+			tf.StdlibReparses, tf.StdlibRecompiles)
+		failed = true
+	} else {
+		fmt.Println("benchguard: stdlib re-parses/re-compiles 0/0 ok (shared immutable infrastructure)")
 	}
 	if failed {
 		fmt.Println("benchguard: FAIL")

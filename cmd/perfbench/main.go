@@ -39,6 +39,18 @@
 //	                             # report as JSON. Latencies are host
 //	                             # wall-clock; benchguard gates them with
 //	                             # absolute ceilings/floors (-pushp95ceil).
+//	perfbench -tenantjson BENCH_8.json
+//	                             # also run the multi-tenant personality — one
+//	                             # server admits a 64-session fleet through
+//	                             # POST /sessions, serves pane reads against
+//	                             # every tenant, then measures a victim
+//	                             # session's stop-event round beside a hot
+//	                             # free-running neighbor — and write the
+//	                             # admission/serving/isolation report as JSON.
+//	                             # Latencies are host wall-clock (absolute
+//	                             # benchguard ceilings); the shared-infra
+//	                             # counters are exact (zero stdlib re-parses
+//	                             # and re-compiles after the first admission).
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -95,6 +107,10 @@ func main() {
 	cpuIters := flag.Int("cpuiters", 0, "per-figure samples for -cpujson (0 = default)")
 	streamJSONOut := flag.String("streamjson", "", "write the stream fan-out push-latency report to this JSON file (e.g. BENCH_7.json)")
 	streamRounds := flag.Int("streamrounds", 0, "free-run stop events per client mix for -streamjson (0 = default)")
+	tenantJSONOut := flag.String("tenantjson", "", "write the multi-tenant session-fabric report to this JSON file (e.g. BENCH_8.json)")
+	tenantSessions := flag.Int("tenantsessions", 0, "fleet size for -tenantjson (0 = default of 64)")
+	tenantReqs := flag.Int("tenantreqs", 0, "pane reads per session for -tenantjson (0 = default)")
+	tenantRounds := flag.Int("tenantrounds", 0, "victim stop-event rounds per isolation arm for -tenantjson (0 = default)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -252,6 +268,30 @@ func main() {
 		fmt.Printf("\nStream fan-out personality (free-run stop events into mixed-speed SSE client pools):\n")
 		fmt.Print(perf.FormatStream(rep))
 		fmt.Printf("wrote %s\n", *streamJSONOut)
+	}
+
+	if *tenantJSONOut != "" {
+		// The tenant personality: one live server, a whole fleet of managed
+		// sessions, and a victim-vs-hot isolation experiment. Wall-clock, so
+		// the guard uses absolute ceilings plus exact zero-equality on the
+		// shared-infrastructure counters.
+		rep, err := perf.MeasureTenants(*tenantSessions, *tenantReqs, *tenantRounds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: tenantjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := perf.TenantReportJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: tenantjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tenantJSONOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: tenantjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nMulti-tenant session-fabric personality (one server, %d sessions):\n", rep.Sessions)
+		fmt.Print(perf.FormatTenants(rep))
+		fmt.Printf("wrote %s\n", *tenantJSONOut)
 	}
 
 	if *traceOut != "" {

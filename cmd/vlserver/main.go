@@ -2,6 +2,15 @@
 // service over a simulated kernel: POST v-commands, GET pane state, a
 // minimal embedded browser UI at /, and observability surfaces under
 // /debug/ (Prometheus metrics, per-pane extraction traces, slow log).
+//
+// The process is multi-tenant: besides the startup session on the legacy
+// un-prefixed routes, clients create additional managed sessions with
+// POST /sessions and address each under /sessions/{id}/... with the full
+// surface re-rooted per session. Admission control is operator-tuned:
+// -max-sessions caps the fleet, -session-mem rejects oversized kernels,
+// -mem-budget LRU-evicts to fit a total footprint, and -idle-ttl reaps
+// sessions nobody touches (a background sweeper runs at ttl/4). Fleet
+// health is at /debug/sessions.
 package main
 
 import (
@@ -28,6 +37,10 @@ func main() {
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically snapshot the metrics registry into the /debug/metrics/history ring (0 disables)")
 	baseline := flag.String("baseline", "", "perfbench result file (BENCH_4.json shape) whose steady_kgdb_ms rows become the /debug/diagnose baseline")
 	runEvery := flag.Duration("run-interval", 0, "free-run the simulated kernel: every interval, apply one mutation workload step, take a stop event, re-extract incrementally, and push pane deltas to /stream clients (0 disables)")
+	maxSessions := flag.Int("max-sessions", 0, "managed-session admission cap for POST /sessions (0 = default of 256)")
+	sessionMem := flag.Int64("session-mem", 0, "per-session simulated-kernel footprint cap in bytes; larger creates are rejected (0 = unbounded)")
+	memBudget := flag.Int64("mem-budget", 0, "total simulated-kernel bytes across managed sessions; LRU sessions are evicted to fit (0 = unbounded)")
+	idleTTL := flag.Duration("idle-ttl", 0, "evict managed sessions idle this long; a background sweeper runs at ttl/4 (0 = never)")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -35,8 +48,15 @@ func main() {
 		stop := o.StartMetricsHistory(*metricsEvery)
 		defer stop()
 	}
+	mgr := core.NewSessionManager(core.ManagerOptions{
+		MaxSessions:   *maxSessions,
+		SessionBudget: clampBytes(*sessionMem),
+		MemBudget:     clampBytes(*memBudget),
+		IdleTTL:       *idleTTL,
+	}, o)
+	startIdleSweeper(mgr, *idleTTL)
 	if *runEvery > 0 {
-		runContinuous(*addr, *procs, *workspace, *figure, *baseline, *runEvery, o)
+		runContinuous(*addr, *procs, *workspace, *figure, *baseline, *runEvery, o, mgr)
 		return
 	}
 	session, k, _ := core.NewObservedKernelSession(kernelsim.Options{Processes: *procs}, o)
@@ -76,7 +96,39 @@ func main() {
 	fmt.Printf("vlserver: simulated kernel ready (%d tasks, %d KiB); listening on http://%s\n",
 		len(k.Tasks), bytes/1024, *addr)
 	fmt.Printf("vlserver: metrics at /debug/metrics (+/history), traces at /debug/trace/{pane|last}, slow log at /debug/slowlog, diagnosis at /debug/diagnose/{pane|slowest}\n")
-	log.Fatal(http.ListenAndServe(*addr, server.New(session)))
+	fmt.Printf("vlserver: session fabric: POST /sessions admits tenants (each at /sessions/{id}/...), fleet health at /debug/sessions\n")
+	log.Fatal(http.ListenAndServe(*addr, server.NewManagedDefault(mgr, session)))
+}
+
+// clampBytes converts a byte-count flag to the manager's unsigned budget,
+// treating negatives as "unbounded" rather than wrapping.
+func clampBytes(n int64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// startIdleSweeper reaps idle managed sessions in the background at a
+// quarter of the TTL (floor 1s), so eviction does not wait for the next
+// admission to sweep. No-op when the TTL is unset.
+func startIdleSweeper(mgr *core.SessionManager, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	every := ttl / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for range tick.C {
+			if ids := mgr.SweepIdle(); len(ids) > 0 {
+				log.Printf("vlserver: evicted %d idle session(s): %s", len(ids), strings.Join(ids, ", "))
+			}
+		}
+	}()
 }
 
 // runContinuous is the live-dashboard mode: the simulated kernel free-runs
@@ -84,7 +136,7 @@ func main() {
 // server takes a stop event — advance the snapshot generation, re-extract
 // every figure incrementally, and fan the changed panes out to /stream
 // subscribers. Browsers watch kernel state evolve instead of polling.
-func runContinuous(addr string, procs int, workspace, figure, baseline string, every time.Duration, o *obs.Observer) {
+func runContinuous(addr string, procs int, workspace, figure, baseline string, every time.Duration, o *obs.Observer, mgr *core.SessionManager) {
 	spec := workspace
 	if spec == "" {
 		spec = figure
@@ -106,7 +158,7 @@ func runContinuous(addr string, procs int, workspace, figure, baseline string, e
 	if _, err := x.Round(); err != nil {
 		log.Fatalf("vlserver: cold extraction round: %v", err)
 	}
-	srv := server.New(x.Session)
+	srv := server.NewManagedDefault(mgr, x.Session)
 
 	w := kernelsim.NewWorkload(k)
 	go func() {
@@ -128,6 +180,7 @@ func runContinuous(addr string, procs int, workspace, figure, baseline string, e
 	fmt.Printf("vlserver: simulated kernel free-running (%d tasks, %d KiB, %d figures, stop event every %v); listening on http://%s\n",
 		len(k.Tasks), bytes/1024, len(figs), every, addr)
 	fmt.Printf("vlserver: live pane deltas at /stream (SSE), stream health at /debug/stream\n")
+	fmt.Printf("vlserver: session fabric: POST /sessions admits tenants (each at /sessions/{id}/...), fleet health at /debug/sessions\n")
 	log.Fatal(http.ListenAndServe(addr, srv))
 }
 

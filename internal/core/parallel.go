@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"visualinux/internal/kernelsim"
 	"visualinux/internal/obs"
@@ -15,10 +13,14 @@ import (
 )
 
 // ExtractFigures plots the given figures concurrently over one stopped
-// kernel image, using at most workers goroutines (workers <= 0 means
-// GOMAXPROCS). Each worker runs its own Session with an isolated stats view
-// of the shared target, so per-figure Graph.Stats stay accurate while the
-// underlying read-only memory is shared freely.
+// kernel image, keeping at most workers figures in flight (workers <= 0
+// means no per-call cap). The figures run on the process-wide DefaultPool
+// under a per-call key, so concurrent extractions — one per session —
+// share the pool's fixed worker population round-robin instead of each
+// spawning its own GOMAXPROCS goroutines. Each figure runs its own Session
+// with an isolated stats view of the shared target, so per-figure
+// Graph.Stats stay accurate while the underlying read-only memory is
+// shared freely.
 //
 // Results keep the order of figs. A failing figure aborts nothing else:
 // every figure is still attempted, the panes that extracted are returned
@@ -26,80 +28,54 @@ import (
 // wanting all-or-nothing check err; callers serving a workspace keep the
 // good panes and report the bad.
 func ExtractFigures(k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(figs) {
-		workers = len(figs)
-	}
 	out := make([]*panes.Pane, len(figs))
 	errs := make([]error, len(figs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, fig := range figs {
-		wg.Add(1)
-		go func(i int, fig vclstdlib.Figure) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s := SessionOver(k, target.WithStats(k.Target()))
-			p, err := s.VPlot(fig.ID, fig.Program)
-			if err != nil {
-				errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
-				return
-			}
-			out[i] = p
-		}(i, fig)
-	}
-	wg.Wait()
+	DefaultPool().Run(fmt.Sprintf("extract:%p", k), len(figs), workers, func(i int) {
+		fig := figs[i]
+		s := SessionOver(k, target.WithStats(k.Target()))
+		p, err := s.VPlot(fig.ID, fig.Program)
+		if err != nil {
+			errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
+			return
+		}
+		out[i] = p
+	})
 	return out, errors.Join(errs...)
 }
 
 // ExtractFiguresInto extracts figs concurrently over s's kernel and attaches
-// every result as a pane of s, in figs order. Each worker runs its own
-// interpreter over its own instrumented chain (Instrumented + Snapshot per
-// worker — the cache and the span stack are single-extraction structures),
-// but all workers report into s.Obs, so the process-wide metrics aggregate
-// and every concurrent extraction still produces its own span tree. Pane
-// attachment happens after the join, single-threaded: the pane tree is the
-// session's shared mutable state.
+// every result as a pane of s, in figs order. The figures run on the
+// DefaultPool under the session's key, so two sessions extracting at once
+// split the workers fairly. Each figure runs its own interpreter over its
+// own instrumented chain (Instrumented + Snapshot per figure — the cache
+// and the span stack are single-extraction structures), but all figures
+// report into s.Obs, so the process-wide metrics aggregate and every
+// concurrent extraction still produces its own span tree. Pane attachment
+// happens after the join, single-threaded: the pane tree is the session's
+// shared mutable state.
 //
 // Like ExtractFigures, one failing figure never discards the others: every
 // successfully extracted figure is attached as a pane (failed slots stay
 // nil) and the failures come back joined in err.
 func ExtractFiguresInto(s *Session, k *kernelsim.Kernel, figs []vclstdlib.Figure, workers int) ([]*panes.Pane, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(figs) {
-		workers = len(figs)
-	}
 	results := make([]*viewcl.Result, len(figs))
 	errs := make([]error, len(figs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, fig := range figs {
-		wg.Add(1)
-		go func(i int, fig vclstdlib.Figure) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var ws *Session
-			if s.Obs != nil {
-				ws, _ = ObservedSessionOver(k, target.WithStats(k.Target()), s.Obs,
-					obs.Tag{Key: "figure", Value: fig.ID})
-			} else {
-				ws = SessionOver(k, target.WithStats(k.Target()))
-			}
-			res, err := ws.Interp.RunSource(fig.ID, fig.Program)
-			if err != nil {
-				errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
-				return
-			}
-			results[i] = res
-		}(i, fig)
-	}
-	wg.Wait()
+	DefaultPool().Run(s.poolKey(), len(figs), workers, func(i int) {
+		fig := figs[i]
+		var ws *Session
+		if s.Obs != nil {
+			ws, _ = ObservedSessionOver(k, target.WithStats(k.Target()), s.Obs,
+				obs.Tag{Key: "figure", Value: fig.ID})
+		} else {
+			ws = SessionOver(k, target.WithStats(k.Target()))
+		}
+		res, err := ws.Interp.RunSource(fig.ID, fig.Program)
+		if err != nil {
+			errs[i] = fmt.Errorf("figure %s: %w", fig.ID, err)
+			return
+		}
+		results[i] = res
+	})
 	out := make([]*panes.Pane, len(figs))
 	for i, fig := range figs {
 		if results[i] == nil {

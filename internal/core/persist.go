@@ -93,7 +93,11 @@ func (s *Session) Import(data []byte) error {
 		return fmt.Errorf("core: import requires a fresh session")
 	}
 	idMap := make(map[int]int) // saved pane ID -> new pane ID
+	maxSavedID := 0
 	for _, sp := range st.Panes {
+		if sp.ID > maxSavedID {
+			maxSavedID = sp.ID
+		}
 		var p *panes.Pane
 		var err error
 		switch sp.Kind {
@@ -146,6 +150,14 @@ func (s *Session) Import(data []byte) error {
 				}
 			}
 		}
+	}
+	// Future panes must allocate past every ID the saved state mentions:
+	// the replay renumbers panes densely, so without the reservation the
+	// next vplot could mint an ID that aliases a pane from the exported
+	// session — and a client holding that ID (pane cache entries, stream
+	// subscriptions) would silently see a different pane's content.
+	if s.Tree != nil {
+		s.Tree.ReserveIDs(maxSavedID)
 	}
 	s.History = append(s.History, st.History...)
 	return nil

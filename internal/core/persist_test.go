@@ -83,6 +83,41 @@ func TestSessionPersistence(t *testing.T) {
 	}
 }
 
+// TestImportReservesPaneIDs regression-tests the import pane-ID collision:
+// a saved state whose pane numbering has gaps (panes deleted, or exported
+// from a longer-lived session) used to renumber densely on import, letting
+// the next vplot mint an ID the saved session already used — aliasing a
+// pane a client still holds. Import must push ID allocation past the
+// imported maximum.
+func TestImportReservesPaneIDs(t *testing.T) {
+	s1, k := core.NewKernelSession(kernelsim.Options{})
+	if _, err := s1.VPlotFigure("3-4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.VPlotFigure("7-1"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s1.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a gapped saved state: the second pane was exported as ID 7.
+	gapped := strings.Replace(string(data), `"id": 2`, `"id": 7`, 1)
+
+	s2 := core.SessionOver(k, k.Target())
+	if err := s2.Import([]byte(gapped)); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	p, err := s2.VPlotFigure("6-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID <= 7 {
+		t.Fatalf("post-import vplot got pane ID %d, which collides with the "+
+			"imported state's ID space (max saved ID 7)", p.ID)
+	}
+}
+
 func TestVPlotAuto(t *testing.T) {
 	s, _ := core.NewKernelSession(kernelsim.Options{})
 	p, prog, err := s.VPlotAuto("task_struct", "&init_task")

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRoundRobinFairness queues one session's whole backlog before a
+// second session submits anything, then checks a single worker alternates
+// between the two queues instead of draining the first-comer.
+func TestPoolRoundRobinFairness(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	record := func(key string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.Submit("gate", func() { close(started); <-gate; wg.Done() })
+	<-started // the worker is pinned; everything below queues behind it
+
+	const perKey = 3
+	wg.Add(2 * perKey)
+	for i := 0; i < perKey; i++ {
+		task := record("a")
+		p.Submit("a", func() { task(); wg.Done() })
+	}
+	for i := 0; i < perKey; i++ {
+		task := record("b")
+		p.Submit("b", func() { task(); wg.Done() })
+	}
+	close(gate)
+	wg.Wait()
+
+	if len(order) != 2*perKey {
+		t.Fatalf("expected %d tasks, ran %d", 2*perKey, len(order))
+	}
+	// Strict alternation: session a queued its whole backlog first, yet b
+	// never waits behind more than one of a's tasks.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("unfair schedule: %v (consecutive %q at %d)", order, order[i], i)
+		}
+	}
+}
+
+// TestPoolRunCapsInFlight checks the per-call limit: Run(n=12, limit=2) on
+// a wide pool never has more than 2 tasks of that call running at once.
+func TestPoolRunCapsInFlight(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+
+	var cur, peak atomic.Int32
+	p.Run("capped", 12, 2, func(int) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("limit=2 but %d tasks ran concurrently", got)
+	}
+}
+
+// TestPoolRunCompletes checks every index runs exactly once, concurrently
+// submitted from many goroutines under distinct keys.
+func TestPoolRunCompletes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		key := string(rune('a' + g))
+		go func() {
+			defer wg.Done()
+			var ran [32]atomic.Int32
+			p.Run(key, len(ran), 0, func(i int) { ran[i].Add(1) })
+			for i := range ran {
+				if ran[i].Load() != 1 {
+					t.Errorf("key %s index %d ran %d times", key, i, ran[i].Load())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolSubmitAfterClose checks shutdown never loses work: post-Close
+// submissions run synchronously.
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	ran := false
+	p.Submit("x", func() { ran = true })
+	if !ran {
+		t.Fatal("task submitted after Close did not run")
+	}
+}

@@ -146,6 +146,11 @@ func NewObservedKernelSession(opts kernelsim.Options, o *obs.Observer) (*Session
 
 func (s *Session) log(cmd string) { s.History = append(s.History, cmd) }
 
+// poolKey is the session's scheduling identity on the DefaultPool: all of a
+// session's extraction work queues under one key, so the pool's round-robin
+// across keys is round-robin across sessions.
+func (s *Session) poolKey() string { return fmt.Sprintf("session:%p", s) }
+
 // VPlot evaluates a ViewCL program and displays the resulting object graph
 // in a new primary pane (the first plot creates the pane tree; subsequent
 // plots split the first pane).

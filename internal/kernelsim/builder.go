@@ -2,6 +2,7 @@ package kernelsim
 
 import (
 	"fmt"
+	"sync"
 
 	"visualinux/internal/ctypes"
 	"visualinux/internal/mem"
@@ -28,10 +29,27 @@ type Builder struct {
 	funcs map[string]uint64
 }
 
+var (
+	sharedRegOnce sync.Once
+	sharedReg     *ctypes.Registry
+)
+
+// SharedRegistry returns the process-wide kernel type registry, built on
+// first use. The registry is immutable after RegisterTypes (lookups are
+// read-only and pointer derivation is atomic), so every kernel — and every
+// session on top of one — can share a single copy instead of re-declaring
+// the full type catalog per Build.
+func SharedRegistry() *ctypes.Registry {
+	sharedRegOnce.Do(func() {
+		sharedReg = RegisterTypes(ctypes.NewRegistry())
+	})
+	return sharedReg
+}
+
 // NewBuilder creates an empty simulated kernel image.
 func NewBuilder() *Builder {
 	m := mem.New()
-	reg := RegisterTypes(ctypes.NewRegistry())
+	reg := SharedRegistry()
 	b := &Builder{
 		Mem:   m,
 		Tgt:   target.NewSim(m, reg),

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTenantLabelCap bounds how many distinct session IDs become metric
+// label values. Session IDs are client-chosen strings; exporting one label
+// set per ID ever seen would let tenants grow the registry without bound.
+const DefaultTenantLabelCap = 64
+
+// TenantMetrics is the session fabric's view into a process registry:
+// manager-level lifecycle counters plus per-session series whose label
+// cardinality is capped — the first DefaultTenantLabelCap session IDs get
+// their own `session="..."` series, later ones aggregate under
+// `session="other"`. Deleted sessions release their label slot but keep
+// the already-exported series (monotonic counters must not reset), so the
+// registry holds at most cap+1 session label values at any point.
+type TenantMetrics struct {
+	reg *Registry
+	cap int
+
+	// Manager lifecycle (unlabeled: one series each).
+	Active   *Gauge   // sessions currently resident
+	Created  *Counter // sessions admitted
+	Deleted  *Counter // sessions deleted by request
+	Evicted  *Counter // sessions evicted (idle TTL or memory pressure)
+	Rejected *Counter // creations refused by admission control
+	MemBytes *Gauge   // total resident kernel footprint
+
+	mu     sync.Mutex
+	labels map[string]string // session ID -> label value (ID or "other")
+	used   int               // distinct non-overflow labels handed out
+}
+
+// NewTenantMetrics wires the fabric series into r. labelCap <= 0 selects
+// DefaultTenantLabelCap.
+func NewTenantMetrics(r *Registry, labelCap int) *TenantMetrics {
+	if labelCap <= 0 {
+		labelCap = DefaultTenantLabelCap
+	}
+	return &TenantMetrics{
+		reg:      r,
+		cap:      labelCap,
+		Active:   r.Gauge("vl_sessions_active", "sessions currently resident in the manager"),
+		Created:  r.Counter("vl_sessions_created_total", "sessions admitted by the session manager"),
+		Deleted:  r.Counter("vl_sessions_deleted_total", "sessions deleted by client request"),
+		Evicted:  r.Counter("vl_sessions_evicted_total", "sessions evicted by idle TTL or memory pressure"),
+		Rejected: r.Counter("vl_sessions_rejected_total", "session creations refused by admission control"),
+		MemBytes: r.Gauge("vl_sessions_mem_bytes", "total resident simulated-kernel footprint across sessions"),
+		labels:   make(map[string]string),
+	}
+}
+
+// Label resolves a session ID to its bounded label value, allocating a slot
+// on first sight and falling back to "other" past the cap.
+func (t *TenantMetrics) Label(id string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.labels[id]; ok {
+		return l
+	}
+	l := "other"
+	if t.used < t.cap {
+		l = sanitizeLabel(id)
+		t.used++
+	}
+	t.labels[id] = l
+	return l
+}
+
+// Release frees id's label slot (called on session delete/evict). The
+// exported series stays — counters are monotonic — but a future session
+// may claim a fresh label again.
+func (t *TenantMetrics) Release(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.labels[id]; ok {
+		delete(t.labels, id)
+		if l != "other" {
+			t.used--
+		}
+	}
+}
+
+// Requests returns the per-session request counter
+// (`vl_session_requests_total{session="..."}`).
+func (t *TenantMetrics) Requests(id string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Counter(`vl_session_requests_total{session="`+t.Label(id)+`"}`,
+		"HTTP requests served per session (label cardinality capped; overflow under session=\"other\")")
+}
+
+// ObserveRound records one steady-round duration for the session
+// (`vl_session_round_ms{session="..."}`).
+func (t *TenantMetrics) ObserveRound(id string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram(`vl_session_round_ms{session="`+t.Label(id)+`"}`,
+		"per-session steady-round duration (label cardinality capped)", nil).
+		Observe(float64(d) / 1e6)
+}
+
+// LabelCount reports the distinct non-overflow labels currently allocated.
+func (t *TenantMetrics) LabelCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// sanitizeLabel keeps session IDs from breaking the exposition format: the
+// label value syntax has no room for quotes, backslashes or newlines.
+func sanitizeLabel(id string) string {
+	if !strings.ContainsAny(id, "\"\\\n") {
+		return id
+	}
+	r := strings.NewReplacer(`"`, `'`, `\`, `/`, "\n", " ")
+	return r.Replace(id)
+}

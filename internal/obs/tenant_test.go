@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTenantLabelCardinalityBounded checks that an unbounded stream of
+// session IDs produces at most cap distinct labels plus "other", and that
+// releasing a slot lets a later session claim it.
+func TestTenantLabelCardinalityBounded(t *testing.T) {
+	r := NewRegistry()
+	tm := NewTenantMetrics(r, 4)
+
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if got := tm.Label(id); got != id {
+			t.Fatalf("Label(%q) = %q, want the ID itself", id, got)
+		}
+	}
+	if got := tm.Label("e"); got != "other" {
+		t.Fatalf("Label over cap = %q, want \"other\"", got)
+	}
+	if got := tm.Label("a"); got != "a" {
+		t.Fatalf("existing label re-resolved to %q", got)
+	}
+	if n := tm.LabelCount(); n != 4 {
+		t.Fatalf("LabelCount = %d, want 4", n)
+	}
+
+	tm.Release("a")
+	if got := tm.Label("f"); got != "f" {
+		t.Fatalf("after Release, new session got %q, want its own label", got)
+	}
+
+	// Overflow sessions share one series.
+	tm.Requests("e").Inc()
+	tm.Requests("zz").Inc()
+	if got := tm.Requests("e").Value(); got != 2 {
+		t.Fatalf("overflow sessions should share session=\"other\": got %d", got)
+	}
+}
+
+// TestTenantMetricsExposition checks the series render with session labels
+// and that IDs carrying exposition-hostile characters are sanitized.
+func TestTenantMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	tm := NewTenantMetrics(r, 8)
+	tm.Created.Inc()
+	tm.Active.Set(1)
+	tm.Requests("s1").Inc()
+	tm.ObserveRound("s1", 3*time.Millisecond)
+	tm.Requests("evil\"id").Inc()
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`vl_sessions_created_total 1`,
+		`vl_session_requests_total{session="s1"} 1`,
+		`vl_session_round_ms_count{session="s1"} 1`,
+		`vl_session_requests_total{session="evil'id"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -93,6 +93,17 @@ func (t *Tree) newPane(kind Kind, title string, g *graph.Graph) *Pane {
 	return p
 }
 
+// ReserveIDs ensures every future pane allocates an ID strictly greater
+// than max. Session import replays a saved state whose pane numbering may
+// have gaps; without the reservation a later split could re-issue an ID a
+// client still holds from the saved session — clobbering the server's
+// serialization cache and any stream subscription filtered on that pane.
+func (t *Tree) ReserveIDs(max int) {
+	if t.nextID <= max {
+		t.nextID = max + 1
+	}
+}
+
 // Epoch reports the cross-pane mutation counter.
 func (t *Tree) Epoch() int { return t.epoch }
 

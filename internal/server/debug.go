@@ -5,24 +5,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"strings"
 
+	"visualinux/internal/core"
 	"visualinux/internal/vchat"
 )
 
-// registerDebug mounts the observability surfaces. They answer 404 when the
-// session was built without an observer, so the plain (unobserved) server
-// keeps exactly its old behavior. The pprof endpoints are the exception:
-// they profile the process, not the session, and are always available — the
-// server runs its own mux, so the net/http/pprof side effects on
-// http.DefaultServeMux never apply and the handlers are wired explicitly.
+// registerDebug mounts the process-wide observability surfaces. The
+// session-scoped /debug routes (metrics, traces, slow log, diagnose,
+// stream health) go through dispatch — un-prefixed for the default tenant,
+// /sessions/{id}/debug/... per tenant — and answer 404 when the session
+// was built without an observer, so the plain (unobserved) server keeps
+// exactly its old behavior. The pprof endpoints and the fleet-level
+// /debug/sessions are the exception: they describe the process, not one
+// session, and are always mounted at the top level — the server runs its
+// own mux, so the net/http/pprof side effects on http.DefaultServeMux
+// never apply and the handlers are wired explicitly.
 func (s *Server) registerDebug() {
-	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/debug/metrics/history", s.handleMetricsHistory)
-	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
-	s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
-	s.mux.HandleFunc("/debug/diagnose/", s.handleDiagnose)
-	s.mux.HandleFunc("/debug/stream", s.handleStreamDebug)
+	s.mux.HandleFunc("/debug/sessions", s.handleSessionsDebug)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -30,29 +29,67 @@ func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
+// sessionHealth is one tenant's row in GET /debug/sessions.
+type sessionHealth struct {
+	core.SessionInfo
+	Panes         int    `json:"panes"`
+	StreamClients int    `json:"stream_clients"`
+	StreamRound   uint64 `json:"stream_round"`
+	Default       bool   `json:"default,omitempty"`
+}
+
+// handleSessionsDebug serves GET /debug/sessions: every resident session's
+// manager-level accounting (memory, rounds, idle time) joined with its
+// serving-level state (pane count, stream clients, fan-out round).
+func (s *Server) handleSessionsDebug(w http.ResponseWriter, r *http.Request) {
+	infos := s.mgr.List()
+	rows := make([]sessionHealth, 0, len(infos))
+	for _, info := range infos {
+		row := sessionHealth{SessionInfo: info}
+		s.tmu.RLock()
+		t := s.tenants[info.ID]
+		s.tmu.RUnlock()
+		if t != nil {
+			t.mu.RLock()
+			if t.session.Tree != nil {
+				row.Panes = len(t.session.Tree.Panes())
+			}
+			row.StreamRound = t.round
+			t.mu.RUnlock()
+			row.StreamClients = t.broker.ClientCount()
+			row.Default = t == s.deflt
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":        rows,
+		"resident":        s.mgr.Len(),
+		"total_mem_bytes": s.mgr.TotalMem(),
+	})
+}
+
 // handleDiagnose answers "why is this pane slow?" over HTTP from the
 // pane's retained span trees — the machine-readable twin of the vchat
 // diagnosis path. GET /debug/diagnose/3 — pane 3; GET
 // /debug/diagnose/slowest — whichever pane's latest round was slowest.
-func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.session.Obs == nil {
+func (s *Server) handleDiagnose(t *tenant, rest string, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.session.Obs == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
 		return
 	}
-	rest := strings.TrimPrefix(r.URL.Path, "/debug/diagnose/")
 	var d *vchat.Diagnosis
 	var err error
 	if rest == "slowest" || rest == "" {
-		d, err = s.session.DiagnoseSlowest()
+		d, err = t.session.DiagnoseSlowest()
 	} else {
 		id, convErr := strconv.Atoi(rest)
 		if convErr != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id %q", rest))
 			return
 		}
-		d, err = s.session.Diagnose(id)
+		d, err = t.session.Diagnose(id)
 	}
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
@@ -69,10 +106,8 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 // snapshots as JSON, oldest first — the push counterpart of /debug/metrics,
 // so a UI can draw sparklines without running its own scraper. The ring
 // fills via Observer.StartMetricsHistory (vlserver's -metrics-interval).
-func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	o := s.session.Obs
-	s.mu.Unlock()
+func (s *Server) handleMetricsHistory(t *tenant, w http.ResponseWriter, r *http.Request) {
+	o := t.session.Obs
 	if o == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
 		return
@@ -83,13 +118,11 @@ func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics writes the process-wide registry in Prometheus text
+// handleMetrics writes the session's registry in Prometheus text
 // exposition format: snapshot hit ratio, link transactions and bytes,
 // per-stage and per-figure latency histograms.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	o := s.session.Obs
-	s.mu.Unlock()
+func (s *Server) handleMetrics(t *tenant, w http.ResponseWriter, r *http.Request) {
+	o := t.session.Obs
 	if o == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
 		return
@@ -100,16 +133,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace returns the span tree of a pane's last extraction as JSON.
 // GET /debug/trace/3 — pane 3; GET /debug/trace/last — most recent.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.session.Obs == nil {
+func (s *Server) handleTrace(t *tenant, rest string, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.session.Obs == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
 		return
 	}
-	rest := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
 	if rest == "last" || rest == "" {
-		id, tr, ok := s.session.LastTrace()
+		id, tr, ok := t.session.LastTrace()
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("no extractions traced yet"))
 			return
@@ -122,7 +154,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id %q", rest))
 		return
 	}
-	tr, ok := s.session.Trace(id)
+	tr, ok := t.session.Trace(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no trace for pane %d", id))
 		return
@@ -132,10 +164,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // handleSlowLog returns the N slowest extractions (label, duration, trace),
 // slowest first.
-func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	o := s.session.Obs
-	s.mu.Unlock()
+func (s *Server) handleSlowLog(t *tenant, w http.ResponseWriter, r *http.Request) {
+	o := t.session.Obs
 	if o == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("session has no observer"))
 		return

@@ -1,10 +1,16 @@
 // Package server implements the visualizer front-end of the paper's §4.2 as
-// an HTTP service: v-commands executed against the session arrive as POST
+// an HTTP service: v-commands executed against a session arrive as POST
 // requests (exactly how the paper's GDB extension talks to its TypeScript
 // front-end), pane state is queryable as JSON, and a small embedded HTML
 // page renders the panes for a browser. Pane/plot state can be exported and
 // re-imported, covering the paper's "persisting the state of panes and
 // plots for reuse across debugging sessions".
+//
+// The server is multi-tenant: one process hosts many sessions behind a
+// core.SessionManager, each addressable under /sessions/{id}/... with the
+// full single-session surface (v-commands, panes, stream, debug) re-rooted
+// per session. The historical un-prefixed routes keep working as aliases
+// for a default session, so a single-session deployment never notices.
 package server
 
 import (
@@ -16,67 +22,171 @@ import (
 	"sync"
 
 	"visualinux/internal/core"
-	"visualinux/internal/stream"
 )
 
-// Server exposes a Session over HTTP.
+// Server exposes sessions over HTTP.
 type Server struct {
-	mu      sync.Mutex
-	session *core.Session
-	mux     *http.ServeMux
-	// paneCache keeps the last serialized body per pane+format, keyed by
-	// the same version/epoch ETag served to clients: an unchanged pane is
-	// neither re-rendered nor re-serialized, it's one buffer write. The
-	// stream plane's fan-out serializes through the same cache, so a GET
-	// and a pushed frame at the same epoch share one encode.
-	paneCache map[string]*cachedPane
-	// broker fans pane deltas out to /stream subscribers; lastPub tracks
-	// the (version, epoch) each pane was last published at, and round
-	// counts fan-out rounds (the SSE frame's `round` field).
-	broker  *stream.Broker
-	lastPub map[int]pubState
-	round   uint64
+	mux *http.ServeMux
+	// mgr admits, evicts, and accounts the managed sessions. Always
+	// non-nil: the legacy constructor builds one with default limits so
+	// even a single-session server can host additional tenants.
+	mgr *core.SessionManager
+
+	// tmu guards the tenant registry. Lock order: the manager's lock may
+	// be held when tmu is taken (OnEvict), never the reverse — so tenant
+	// resolution must not call into the manager while holding tmu.
+	tmu     sync.RWMutex
+	tenants map[string]*tenant
+	// deflt serves the un-prefixed legacy routes. Set at construction and
+	// never reassigned; if the default session is evicted its tenant keeps
+	// serving the legacy surface over the still-live session object.
+	deflt *tenant
 }
 
-// cachedPane is one serialized pane representation.
-type cachedPane struct {
-	etag  string
-	ctype string
-	body  []byte
-}
-
-// New wraps a session.
+// New wraps a single session as the default tenant — the historical
+// single-session constructor, source-compatible with every existing caller.
+// A session manager (default capacity limits) backs /sessions, so even a
+// legacy-constructed server can host additional tenants.
 func New(s *core.Session) *Server {
-	srv := &Server{
-		session:   s,
-		mux:       http.NewServeMux(),
-		paneCache: make(map[string]*cachedPane),
-		broker:    stream.NewBroker(s.Obs, 0),
-		lastPub:   make(map[int]pubState),
+	srv := newServer(core.NewSessionManager(core.ManagerOptions{}, s.Obs))
+	srv.deflt = newTenant("default", s, nil)
+	return srv
+}
+
+// NewManagedDefault serves sessions from a caller-configured manager with
+// an unmanaged default session on the legacy routes — vlserver's shape:
+// the operator's startup session (wired to the process observer, exempt
+// from eviction) plus an admission-controlled tenant fleet beside it.
+func NewManagedDefault(mgr *core.SessionManager, s *core.Session) *Server {
+	srv := newServer(mgr)
+	srv.deflt = newTenant("default", s, nil)
+	return srv
+}
+
+// NewManaged serves sessions from mgr. deflt, when non-nil, must be a
+// session resident in mgr; it serves the legacy un-prefixed routes and is
+// addressable under /sessions/{its-id}/ like any other tenant.
+func NewManaged(mgr *core.SessionManager, deflt *core.ManagedSession) *Server {
+	srv := newServer(mgr)
+	if deflt != nil {
+		t := newTenant(deflt.ID, deflt.Session, deflt)
+		srv.deflt = t
+		srv.tenants[deflt.ID] = t
 	}
-	// The vchat diagnosis layer answers "why is my stream laggy?" from the
-	// broker's health snapshot; hand the session a way to read it.
-	s.StreamHealth = srv.broker.Health
+	return srv
+}
+
+func newServer(mgr *core.SessionManager) *Server {
+	srv := &Server{
+		mux:     http.NewServeMux(),
+		mgr:     mgr,
+		tenants: make(map[string]*tenant),
+	}
+	// Evictions (idle TTL, memory pressure) tear down the serving state —
+	// stream clients are disconnected, caches dropped. Explicit deletes go
+	// through the DELETE handler, which does its own teardown.
+	mgr.OnEvict = func(id string, _ *core.ManagedSession) { srv.dropTenant(id) }
 	srv.mux.HandleFunc("/", srv.handleIndex)
-	srv.mux.HandleFunc("/stream", srv.handleStream)
-	srv.mux.HandleFunc("/api/vplot", srv.handleVPlot)
-	srv.mux.HandleFunc("/api/vctrl", srv.handleVCtrl)
-	srv.mux.HandleFunc("/api/vchat", srv.handleVChat)
-	srv.mux.HandleFunc("/api/panes", srv.handlePanes)
-	srv.mux.HandleFunc("/api/pane", srv.handlePane)
-	srv.mux.HandleFunc("/api/figures", srv.handleFigures)
-	srv.mux.HandleFunc("/api/session/export", srv.handleExport)
-	srv.mux.HandleFunc("/api/session/import", srv.handleImport)
+	// Legacy single-session routes: aliases for the default tenant.
+	srv.mux.HandleFunc("/stream", srv.legacy)
+	srv.mux.HandleFunc("/api/", srv.legacy)
+	srv.mux.HandleFunc("/debug/", srv.legacy)
+	// The session fabric.
+	srv.mux.HandleFunc("/sessions", srv.handleSessions)
+	srv.mux.HandleFunc("/sessions/", srv.handleSessionPath)
 	srv.registerDebug()
 	return srv
 }
 
+// legacy serves an un-prefixed route against the default tenant.
+func (s *Server) legacy(w http.ResponseWriter, r *http.Request) {
+	t := s.deflt
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no default session; use /sessions/{id}%s", r.URL.Path))
+		return
+	}
+	s.dispatch(t, r.URL.Path, w, r)
+}
+
+// tenantByID resolves a tenant, counting the request against the session's
+// idle TTL. The default tenant answers to "default" even when unmanaged.
+func (s *Server) tenantByID(id string) *tenant {
+	s.tmu.RLock()
+	t := s.tenants[id]
+	s.tmu.RUnlock()
+	if t == nil && id == "default" {
+		t = s.deflt
+	}
+	if t != nil {
+		t.touch()
+	}
+	return t
+}
+
+// dropTenant removes a tenant from the registry and closes its serving
+// state. Safe to call for IDs with no tenant (manager-only sessions).
+func (s *Server) dropTenant(id string) {
+	s.tmu.Lock()
+	t := s.tenants[id]
+	delete(s.tenants, id)
+	s.tmu.Unlock()
+	if t != nil {
+		t.close()
+	}
+}
+
+// dispatch routes one request for a resolved tenant. path is the
+// tenant-relative route — r.URL.Path for legacy requests, the part after
+// /sessions/{id} otherwise — so every handler sees the same shape either
+// way.
+func (s *Server) dispatch(t *tenant, path string, w http.ResponseWriter, r *http.Request) {
+	if t.ms != nil && s.mgr.Tenants != nil {
+		s.mgr.Tenants.Requests(t.id).Inc()
+	}
+	switch {
+	case path == "/stream":
+		s.handleStream(t, w, r)
+	case path == "/api/vplot":
+		s.handleVPlot(t, w, r)
+	case path == "/api/vctrl":
+		s.handleVCtrl(t, w, r)
+	case path == "/api/vchat":
+		s.handleVChat(t, w, r)
+	case path == "/api/panes":
+		s.handlePanes(t, w, r)
+	case path == "/api/pane":
+		s.handlePane(t, w, r)
+	case path == "/api/figures":
+		s.handleFigures(t, w, r)
+	case path == "/api/session/export":
+		s.handleExport(t, w, r)
+	case path == "/api/session/import":
+		s.handleImport(t, w, r)
+	case path == "/round":
+		s.handleRound(t, w, r)
+	case path == "/debug/metrics":
+		s.handleMetrics(t, w, r)
+	case path == "/debug/metrics/history":
+		s.handleMetricsHistory(t, w, r)
+	case strings.HasPrefix(path, "/debug/trace/"):
+		s.handleTrace(t, strings.TrimPrefix(path, "/debug/trace/"), w, r)
+	case path == "/debug/slowlog":
+		s.handleSlowLog(t, w, r)
+	case strings.HasPrefix(path, "/debug/diagnose"):
+		s.handleDiagnose(t, strings.TrimPrefix(strings.TrimPrefix(path, "/debug/diagnose"), "/"), w, r)
+	case path == "/debug/stream":
+		s.handleStreamDebug(t, w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
 // handleExport serializes the session's pane/plot state (paper §4.2
-// persistence).
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := s.session.Export()
+// persistence). Read-only: concurrent with other readers.
+func (s *Server) handleExport(t *tenant, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	data, err := t.session.Export()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -86,7 +196,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleImport restores an exported session into a fresh one.
-func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleImport(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
@@ -96,13 +206,17 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.session.Import(body); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.session.Import(body); err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.publishAfterMutation()
+	// The restored tree restarts version/epoch numbering: cached
+	// serializations and publish states from before the import could carry
+	// ETags identical to the new panes' while holding the old bytes.
+	t.clearPaneCache()
+	t.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
 }
 
@@ -130,7 +244,7 @@ type vplotReq struct {
 	Figure  string `json:"figure"`  // stdlib figure ID, e.g. "7-1"
 }
 
-func (s *Server) handleVPlot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVPlot(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
@@ -140,18 +254,18 @@ func (s *Server) handleVPlot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var err error
 	var paneID int
 	if req.Figure != "" {
-		p, e := s.session.VPlotFigure(req.Figure)
+		p, e := t.session.VPlotFigure(req.Figure)
 		if e == nil {
 			paneID = p.ID
 		}
 		err = e
 	} else {
-		p, e := s.session.VPlot(req.Name, req.Program)
+		p, e := t.session.VPlot(req.Name, req.Program)
 		if e == nil {
 			paneID = p.ID
 		}
@@ -161,7 +275,7 @@ func (s *Server) handleVPlot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.publishAfterMutation()
+	t.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]any{"pane": paneID})
 }
 
@@ -170,7 +284,7 @@ type vctrlReq struct {
 	Command string `json:"command"`
 }
 
-func (s *Server) handleVCtrl(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVCtrl(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
@@ -180,14 +294,14 @@ func (s *Server) handleVCtrl(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out, err := s.session.VCtrl(req.Command)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out, err := t.session.VCtrl(req.Command)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.publishAfterMutation()
+	t.publishAfterMutation()
 	writeJSON(w, http.StatusOK, map[string]string{"output": out})
 }
 
@@ -197,7 +311,7 @@ type vchatReq struct {
 	Message string `json:"message"`
 }
 
-func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVChat(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
@@ -210,14 +324,14 @@ func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
 	if req.Pane == 0 {
 		req.Pane = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kind, out, err := s.session.VChatAnswer(req.Pane, req.Message)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kind, out, err := t.session.VChatAnswer(req.Pane, req.Message)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.publishAfterMutation()
+	t.publishAfterMutation()
 	// Visualization requests keep the historical {"viewql": ...} shape;
 	// diagnostic questions answer {"kind":"diagnosis","answer":...}.
 	if kind == core.AnswerViewQL {
@@ -227,9 +341,9 @@ func (s *Server) handleVChat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"kind": kind, "answer": out})
 }
 
-func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) handlePanes(t *tenant, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	type paneInfo struct {
 		ID      int    `json:"id"`
 		Kind    string `json:"kind"`
@@ -240,31 +354,31 @@ func (s *Server) handlePanes(w http.ResponseWriter, r *http.Request) {
 		Epoch   int    `json:"epoch"`
 	}
 	var out []paneInfo
-	if s.session.Tree != nil {
-		for _, p := range s.session.Tree.Panes() {
+	if t.session.Tree != nil {
+		for _, p := range t.session.Tree.Panes() {
 			out = append(out, paneInfo{
 				ID: p.ID, Kind: p.Kind.String(), Title: p.Title,
 				Boxes: len(p.Graph.Boxes), Summary: p.Graph.Summary(),
-				Version: p.Version, Epoch: s.session.Tree.Epoch(),
+				Version: p.Version, Epoch: t.session.Tree.Epoch(),
 			})
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) handlePane(t *tenant, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var id int
 	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad pane id"))
 		return
 	}
-	if s.session.Tree == nil {
+	if t.session.Tree == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no panes"))
 		return
 	}
-	p, ok := s.session.Tree.Pane(id)
+	p, ok := t.session.Tree.Pane(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no pane %d", id))
 		return
@@ -277,13 +391,13 @@ func (s *Server) handlePane(w http.ResponseWriter, r *http.Request) {
 	// the pane's content is replaced (incremental re-extraction), the epoch
 	// when shared display attributes mutate (ViewQL/expand/vchat). A client
 	// revalidating an unchanged pane costs a 304, not a re-serialization.
-	etag := s.paneETagLocked(p, format)
+	etag := t.paneETag(p, format)
 	w.Header().Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	c, _, err := s.serializePaneLocked(p, format)
+	c, _, err := t.serializePane(p, format)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -315,7 +429,7 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
-func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFigures(t *tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, core.FigureIDs())
 }
 

@@ -10,8 +10,6 @@ import (
 	"time"
 
 	"visualinux/internal/obs"
-	"visualinux/internal/panes"
-	"visualinux/internal/render"
 	"visualinux/internal/stream"
 )
 
@@ -21,7 +19,8 @@ import (
 // pane Version + tree epoch the weak ETags use, and the bytes shipped are
 // the same per-pane+format serialization cache entries a GET would
 // return — N clients cost one encode, and a stream frame at epoch E is
-// byte-identical to GET /api/pane at epoch E.
+// byte-identical to GET /api/pane at epoch E. Each tenant owns its broker:
+// one session's fan-out never sees another session's clients.
 
 // pubState is the last (version, epoch) a pane was fanned out at.
 type pubState struct {
@@ -29,18 +28,27 @@ type pubState struct {
 	epoch   int
 }
 
-// StreamRound runs one stop event end to end under the server lock: step
-// advances the world (mutation workload, extractor round, ...), then every
-// pane whose version/epoch moved is serialized once per in-use format and
-// fanned out to the stream clients. The round's span tree (step, per-pane
-// serialization, per-client enqueue) is retained in the TraceStore under
-// stream.FanoutTracePane, and the metrics history ring takes a snapshot on
-// every round — stream health stays queryable after the fact, independent
-// of the periodic -metrics-interval timer.
+// StreamRound runs one stop event for the default session — the legacy
+// single-session entry point vlserver's free-run loop calls.
 func (s *Server) StreamRound(step func() error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	o := s.session.Obs
+	if s.deflt == nil {
+		return fmt.Errorf("server: no default session")
+	}
+	return s.streamRound(s.deflt, step)
+}
+
+// streamRound runs one stop event end to end under the tenant's write
+// lock: step advances the world (mutation workload, extractor round, ...),
+// then every pane whose version/epoch moved is serialized once per in-use
+// format and fanned out to the tenant's stream clients. The round's span
+// tree (step, per-pane serialization, per-client enqueue) is retained in
+// the TraceStore under stream.FanoutTracePane, and the metrics history
+// ring takes a snapshot on every round — stream health stays queryable
+// after the fact, independent of the periodic -metrics-interval timer.
+func (s *Server) streamRound(t *tenant, step func() error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o := t.session.Obs
 	tr := o.NewTrace("stream.round")
 	var stepErr error
 	if step != nil {
@@ -51,12 +59,12 @@ func (s *Server) StreamRound(step func() error) error {
 	t0 := time.Now()
 	frames := 0
 	if stepErr == nil {
-		frames = s.publishLocked(tr)
+		frames = t.publishLocked(tr)
 	}
 	fanout := time.Since(t0)
 	if root := tr.Root(); root != nil {
 		root.TagUint("frames", uint64(frames))
-		root.TagUint("clients", uint64(s.broker.ClientCount()))
+		root.TagUint("clients", uint64(t.broker.ClientCount()))
 	}
 	if export := o.FinishTrace(tr); export != nil {
 		o.Traces.Record(stream.FanoutTracePane, "stream.fanout",
@@ -70,14 +78,14 @@ func (s *Server) StreamRound(step func() error) error {
 
 // publishLocked diffs every pane against its last published (version,
 // epoch), serializes the changed ones once per format that has at least
-// one subscriber, and hands the frames to the broker. Caller holds s.mu.
-// Returns the number of frames published.
-func (s *Server) publishLocked(tr *obs.Tracer) int {
-	if s.session.Tree == nil || s.broker.ClientCount() == 0 {
+// one subscriber, and hands the frames to the broker. Caller holds the
+// tenant's write lock. Returns the number of frames published.
+func (t *tenant) publishLocked(tr *obs.Tracer) int {
+	if t.session.Tree == nil || t.broker.ClientCount() == 0 {
 		return 0
 	}
 	formats := make([]string, 0, 3)
-	for f := range s.broker.FormatsInUse() {
+	for f := range t.broker.FormatsInUse() {
 		formats = append(formats, f)
 	}
 	if len(formats) == 0 {
@@ -85,19 +93,19 @@ func (s *Server) publishLocked(tr *obs.Tracer) int {
 	}
 	sort.Strings(formats)
 	t0 := time.Now()
-	o := s.session.Obs
-	epoch := s.session.Tree.Epoch()
+	o := t.session.Obs
+	epoch := t.session.Tree.Epoch()
 	seen := make(map[int]struct{})
 	var frames []*stream.Frame
 	root := tr.Root()
-	for _, p := range s.session.Tree.Panes() {
+	for _, p := range t.session.Tree.Panes() {
 		seen[p.ID] = struct{}{}
-		if st, ok := s.lastPub[p.ID]; ok && st.version == p.Version && st.epoch == epoch {
+		if st, ok := t.lastPub[p.ID]; ok && st.version == p.Version && st.epoch == epoch {
 			continue
 		}
 		for _, format := range formats {
 			sp := root.StartChild("fanout.serialize")
-			c, hit, err := s.serializePaneLocked(p, format)
+			c, hit, err := t.serializePane(p, format)
 			sp.TagUint("pane", uint64(p.ID)).Tag("format", format).
 				Tag("cache", map[bool]string{true: "hit", false: "miss"}[hit])
 			sp.End()
@@ -116,18 +124,18 @@ func (s *Server) publishLocked(tr *obs.Tracer) int {
 				ETag: c.etag, Format: format, Body: c.body,
 			})
 		}
-		s.lastPub[p.ID] = pubState{version: p.Version, epoch: epoch}
+		t.lastPub[p.ID] = pubState{version: p.Version, epoch: epoch}
 	}
-	for id := range s.lastPub {
+	for id := range t.lastPub {
 		if _, ok := seen[id]; !ok {
-			delete(s.lastPub, id)
+			delete(t.lastPub, id)
 		}
 	}
 	if len(frames) == 0 {
 		return 0
 	}
-	s.round++
-	s.broker.Publish(s.round, frames, root)
+	t.round++
+	t.broker.Publish(t.round, frames, root)
 	if o != nil {
 		o.StreamRounds.Inc()
 		o.ObserveFanout(time.Since(t0))
@@ -138,27 +146,28 @@ func (s *Server) publishLocked(tr *obs.Tracer) int {
 // publishAfterMutation fans out any pane changes an interactive handler
 // (vplot / vctrl / vchat / import) produced, so stream clients see the
 // same mutations a poller would — not only free-run stop events. Caller
-// holds s.mu.
-func (s *Server) publishAfterMutation() {
-	s.publishLocked(nil)
+// holds the tenant's write lock.
+func (t *tenant) publishAfterMutation() {
+	t.publishLocked(nil)
 }
 
-// snapshotFramesLocked serializes the client's subscribed panes at their
-// current state — the on-connect catch-up push. Caller holds s.mu.
-func (s *Server) snapshotFramesLocked(c *stream.Client) []*stream.Frame {
-	if s.session.Tree == nil {
+// snapshotFrames serializes the client's subscribed panes at their
+// current state — the on-connect catch-up push. Caller holds t.mu (read
+// suffices: the tree cannot change, and the cache has its own lock).
+func (t *tenant) snapshotFrames(c *stream.Client) []*stream.Frame {
+	if t.session.Tree == nil {
 		return nil
 	}
-	o := s.session.Obs
-	epoch := s.session.Tree.Epoch()
+	o := t.session.Obs
+	epoch := t.session.Tree.Epoch()
 	var frames []*stream.Frame
-	for _, p := range s.session.Tree.Panes() {
+	for _, p := range t.session.Tree.Panes() {
 		if c.Subs != nil {
 			if _, ok := c.Subs[p.ID]; !ok {
 				continue
 			}
 		}
-		cp, hit, err := s.serializePaneLocked(p, c.Format)
+		cp, hit, err := t.serializePane(p, c.Format)
 		if err != nil {
 			continue
 		}
@@ -177,9 +186,41 @@ func (s *Server) snapshotFramesLocked(c *stream.Client) []*stream.Frame {
 	return frames
 }
 
-// Broker exposes the fan-out broker (bench harnesses subscribe broker-level
-// clients to measure push latency without TCP noise).
-func (s *Server) Broker() *stream.Broker { return s.broker }
+// Broker exposes the default session's fan-out broker (bench harnesses
+// subscribe broker-level clients to measure push latency without TCP
+// noise).
+func (s *Server) Broker() *stream.Broker {
+	if s.deflt == nil {
+		return nil
+	}
+	return s.deflt.broker
+}
+
+// SessionBroker exposes one tenant's broker, nil if the session is
+// unknown — the multi-tenant analogue of Broker for bench harnesses.
+func (s *Server) SessionBroker(id string) *stream.Broker {
+	t := s.tenantByID(id)
+	if t == nil {
+		return nil
+	}
+	return t.broker
+}
+
+// StepSession drives one stop-event round for a managed session by ID —
+// the programmatic twin of POST /sessions/{id}/round.
+func (s *Server) StepSession(id string) error {
+	t := s.tenantByID(id)
+	if t == nil {
+		return fmt.Errorf("server: no session %q", id)
+	}
+	if t.ms == nil {
+		return fmt.Errorf("server: session %q has no managed workload", id)
+	}
+	return s.streamRound(t, func() error {
+		_, err := t.ms.StepRound()
+		return err
+	})
+}
 
 // streamEvent is the SSE data payload: the frame header plus the pane body
 // as a JSON string, so the whole event is one line regardless of format.
@@ -202,7 +243,7 @@ type streamEvent struct {
 // receives a hello event, then snapshot frames for its panes' current
 // state, then one pane event per delta. A consumer that stops reading
 // degrades to latest-wins snapshots; disconnecting tears everything down.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStream(t *tenant, w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
@@ -230,13 +271,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Subscribe and push the catch-up snapshot under the server lock, so
-	// the snapshot and the first live round cannot interleave.
-	s.mu.Lock()
-	c := s.broker.Subscribe(format, paneIDs)
-	s.broker.SnapshotTo(c, s.snapshotFramesLocked(c))
-	s.mu.Unlock()
-	defer s.broker.Unsubscribe(c)
+	// Subscribe and push the catch-up snapshot under the tenant lock, so
+	// the snapshot and the first live round cannot interleave. The read
+	// lock suffices: publishers take the write lock.
+	t.mu.RLock()
+	c := t.broker.Subscribe(format, paneIDs)
+	t.broker.SnapshotTo(c, t.snapshotFrames(c))
+	t.mu.RUnlock()
+	defer t.broker.Unsubscribe(c)
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -273,53 +315,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // counters — plus the round counter. Unlike the observer-backed /debug
 // surfaces this one always answers: the broker exists even on an
 // unobserved session.
-func (s *Server) handleStreamDebug(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	round := s.round
-	s.mu.Unlock()
+func (s *Server) handleStreamDebug(t *tenant, w http.ResponseWriter, r *http.Request) {
+	t.mu.RLock()
+	round := t.round
+	t.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"round":  round,
-		"health": s.broker.Health(),
+		"health": t.broker.Health(),
 	})
-}
-
-// serializePaneLocked returns the pane's serialized representation in the
-// given format, from the per-pane+format cache when the (version, epoch)
-// ETag still matches, serializing and caching otherwise. Caller holds
-// s.mu. The bool reports a cache hit.
-func (s *Server) serializePaneLocked(p *panes.Pane, format string) (*cachedPane, bool, error) {
-	etag := s.paneETagLocked(p, format)
-	key := fmt.Sprintf("%d.%s", p.ID, format)
-	if c := s.paneCache[key]; c != nil && c.etag == etag {
-		return c, true, nil
-	}
-	t0 := time.Now()
-	var body []byte
-	var ctype string
-	switch format {
-	case "text":
-		ctype = "text/plain; charset=utf-8"
-		body = []byte(render.Text(p.Graph))
-	case "dot":
-		ctype = "text/vnd.graphviz"
-		body = []byte(render.DOT(p.Graph))
-	default:
-		ctype = "application/json"
-		j, err := json.MarshalIndent(render.ToJSON(p.Graph), "", "  ")
-		if err != nil {
-			return nil, false, err
-		}
-		body = append(j, '\n')
-	}
-	c := &cachedPane{etag: etag, ctype: ctype, body: body}
-	s.paneCache[key] = c
-	s.session.Obs.ObserveStage("render", time.Since(t0))
-	return c, false, nil
-}
-
-// paneETagLocked is the weak validator over pane version + tree epoch
-// shared by the poll path (ETag / If-None-Match) and the stream plane
-// (frame identity + change detection). Caller holds s.mu.
-func (s *Server) paneETagLocked(p *panes.Pane, format string) string {
-	return fmt.Sprintf(`W/"p%d.v%d.e%d.%s"`, p.ID, p.Version, s.session.Tree.Epoch(), format)
 }

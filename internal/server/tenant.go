@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"visualinux/internal/core"
+	"visualinux/internal/panes"
+	"visualinux/internal/render"
+	"visualinux/internal/stream"
+)
+
+// tenant is one session's serving state: the session itself plus everything
+// the HTTP layer keeps per session — the serialization cache, the stream
+// broker, and the fan-out bookkeeping. The legacy single-session server is
+// simply a server whose only tenant is the default one.
+type tenant struct {
+	id      string
+	session *core.Session
+	// ms is the manager handle when the tenant is a managed session
+	// (created through /sessions); nil for the unmanaged default session a
+	// legacy New(s) wraps.
+	ms *core.ManagedSession
+
+	// mu guards the session's mutable state. Mutating handlers (vplot,
+	// vctrl, vchat, import, stream rounds) take the write lock; read-only
+	// handlers (panes, pane, export, stream subscribe, diagnose) take the
+	// read lock and run concurrently. Holding the write lock across a full
+	// request used to serialize every reader behind a single slow
+	// serialization — the read paths only need the tree to not change
+	// under them.
+	mu sync.RWMutex
+
+	// cacheMu guards paneCache only. It is deliberately NOT held across
+	// rendering: two readers racing to fill the same entry both render and
+	// the last write wins, which costs one duplicate encode but keeps slow
+	// renders from serializing unrelated readers.
+	cacheMu sync.Mutex
+	// paneCache keeps the last serialized body per pane+format, keyed by
+	// the same version/epoch ETag served to clients: an unchanged pane is
+	// neither re-rendered nor re-serialized, it's one buffer write. The
+	// stream plane's fan-out serializes through the same cache, so a GET
+	// and a pushed frame at the same epoch share one encode.
+	paneCache map[string]*cachedPane
+
+	// broker fans pane deltas out to /stream subscribers; lastPub tracks
+	// the (version, epoch) each pane was last published at, and round
+	// counts fan-out rounds (the SSE frame's `round` field). Both are
+	// touched only under mu's write lock.
+	broker  *stream.Broker
+	lastPub map[int]pubState
+	round   uint64
+
+	// renderStall, when set, is invoked at the top of every cache-miss
+	// serialization — a test hook that lets the concurrent-readers
+	// regression test park one reader mid-render and prove others proceed.
+	renderStall func(paneID int, format string)
+}
+
+// cachedPane is one serialized pane representation.
+type cachedPane struct {
+	etag  string
+	ctype string
+	body  []byte
+}
+
+func newTenant(id string, sess *core.Session, ms *core.ManagedSession) *tenant {
+	t := &tenant{
+		id:        id,
+		session:   sess,
+		ms:        ms,
+		paneCache: make(map[string]*cachedPane),
+		broker:    stream.NewBroker(sess.Obs, 0),
+		lastPub:   make(map[int]pubState),
+	}
+	// The vchat diagnosis layer answers "why is my stream laggy?" from the
+	// broker's health snapshot; hand the session a way to read it.
+	sess.StreamHealth = t.broker.Health
+	return t
+}
+
+// close tears the tenant's serving state down (on delete or eviction):
+// every stream client is unsubscribed and further publishes are no-ops.
+func (t *tenant) close() {
+	t.broker.Close()
+}
+
+// touch resets the manager's idle clock for managed tenants.
+func (t *tenant) touch() {
+	if t.ms != nil {
+		t.ms.Touch()
+	}
+}
+
+// serializePane returns the pane's serialized representation in the given
+// format, from the per-pane+format cache when the (version, epoch) ETag
+// still matches, rendering and caching otherwise. The caller must hold
+// t.mu (read or write). The bool reports a cache hit.
+func (t *tenant) serializePane(p *panes.Pane, format string) (*cachedPane, bool, error) {
+	etag := t.paneETag(p, format)
+	key := fmt.Sprintf("%d.%s", p.ID, format)
+	t.cacheMu.Lock()
+	c := t.paneCache[key]
+	t.cacheMu.Unlock()
+	if c != nil && c.etag == etag {
+		return c, true, nil
+	}
+	if t.renderStall != nil {
+		t.renderStall(p.ID, format)
+	}
+	t0 := time.Now()
+	var body []byte
+	var ctype string
+	switch format {
+	case "text":
+		ctype = "text/plain; charset=utf-8"
+		body = []byte(render.Text(p.Graph))
+	case "dot":
+		ctype = "text/vnd.graphviz"
+		body = []byte(render.DOT(p.Graph))
+	default:
+		ctype = "application/json"
+		j, err := json.MarshalIndent(render.ToJSON(p.Graph), "", "  ")
+		if err != nil {
+			return nil, false, err
+		}
+		body = append(j, '\n')
+	}
+	c = &cachedPane{etag: etag, ctype: ctype, body: body}
+	t.cacheMu.Lock()
+	t.paneCache[key] = c
+	t.cacheMu.Unlock()
+	t.session.Obs.ObserveStage("render", time.Since(t0))
+	return c, false, nil
+}
+
+// clearPaneCache drops every cached serialization — required after an
+// import, whose restored panes restart version/epoch numbering and could
+// otherwise alias a stale cache entry byte-for-byte ETag-equal to very
+// different content. Caller holds t.mu's write lock.
+func (t *tenant) clearPaneCache() {
+	t.cacheMu.Lock()
+	t.paneCache = make(map[string]*cachedPane)
+	t.cacheMu.Unlock()
+	t.lastPub = make(map[int]pubState)
+}
+
+// paneETag is the weak validator over pane version + tree epoch shared by
+// the poll path (ETag / If-None-Match) and the stream plane (frame
+// identity + change detection). Caller holds t.mu.
+func (t *tenant) paneETag(p *panes.Pane, format string) string {
+	return fmt.Sprintf(`W/"p%d.v%d.e%d.%s"`, p.ID, p.Version, t.session.Tree.Epoch(), format)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"visualinux/internal/ctypes"
@@ -93,29 +92,11 @@ type compiledProgram struct {
 	lastItems atomic.Int64
 }
 
-// parseCache memoizes Parse results process-wide. Figure programs are static
-// strings re-run on every stop event; the parsed AST is immutable on the
-// compiled path, so sharing it across sessions is safe.
-var parseCache sync.Map // name+"\x00"+src -> *Program
-
-// ParseCached is Parse behind a process-wide cache keyed by (name, source).
-// The returned Program is shared: callers must treat it as immutable (the
-// compiled engine does; the tree-walking oracle parses privately instead).
-func ParseCached(name, src string) (*Program, error) {
-	key := name + "\x00" + src
-	if p, ok := parseCache.Load(key); ok {
-		return p.(*Program), nil
-	}
-	p, err := Parse(name, src)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := parseCache.LoadOrStore(key, p)
-	return actual.(*Program), nil
-}
-
-// compileProgram lowers prog (once; cached per interpreter, since the
-// closures bind this interpreter's type registry and definition table).
+// compileProgram resolves prog's lowered form: a per-interpreter map gives
+// the lock-cheap steady-state hit, and misses go through the process-wide
+// shared cache (cache.go) so N sessions running the same figure lower it
+// once. The per-interpreter map also pins entries the shared LRU may have
+// evicted, bounding re-lowering to at most once per interpreter lifetime.
 func (in *Interp) compileProgram(prog *Program) (*compiledProgram, error) {
 	in.compMu.Lock()
 	if cp, ok := in.compiled[prog]; ok {
@@ -123,7 +104,7 @@ func (in *Interp) compileProgram(prog *Program) (*compiledProgram, error) {
 		return cp, nil
 	}
 	in.compMu.Unlock()
-	cp, err := in.lower(prog)
+	cp, err := sharedCompiles.get(in, prog)
 	if err != nil {
 		return nil, err
 	}
