@@ -22,20 +22,26 @@
 #                      inflating a victim's round more than 8x, or fleet
 #                      admission re-parsing/re-compiling the ViewCL stdlib
 #                      at all (BENCH_8_CUR.json, absolute ceilings + exact
-#                      zeros)
+#                      zeros), or the CoW fleet memory regressed: dedup
+#                      ratio below 3x, fork admission slower than build
+#                      admission, worst session request p95 above 250ms,
+#                      or the template-fork/zero-copy fast paths idle
+#                      (BENCH_9_CUR.json, exact floor + same-run
+#                      comparison)
 #   make table6        regenerate the compiled-vs-interpreted CPU report
 #                      (BENCH_6.json)
 #   make table7        regenerate the stream fan-out push-latency report
 #                      (BENCH_7.json)
 #   make table8        regenerate the multi-tenant session-fabric report
 #                      (BENCH_8.json)
+#   make table9        regenerate the fleet-memory CoW report (BENCH_9.json)
 #   make race-link     race-detector pass over the read pipeline packages
 #                      (gdbrsp client/server, target cache, memory journal,
 #                      interpreter memo, server, core workers, stream broker)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6 table7 table8
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6 table7 table8 table9
 
 ci: vet build race race-link bench-smoke bench-regress
 
@@ -61,13 +67,14 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json -streamjson BENCH_7_CUR.json -tenantjson BENCH_8_CUR.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json -streamjson BENCH_7_CUR.json -tenantjson BENCH_8_CUR.json -memjson BENCH_9_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
 	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
 	$(GO) run ./cmd/benchguard -reusefloor 0.9 BENCH_4.json BENCH_4_CUR.json
 	$(GO) run ./cmd/benchguard -speedupfloor 3 -allocceil 16 BENCH_6_CUR.json
 	$(GO) run ./cmd/benchguard -pushp95ceil 250 BENCH_7_CUR.json
 	$(GO) run ./cmd/benchguard -tenantp95ceil 250 -isolationceil 8 BENCH_8_CUR.json
+	$(GO) run ./cmd/benchguard -dedupfloor 3 -forkadmitceil BENCH_9_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
@@ -86,3 +93,6 @@ table7:
 
 table8:
 	$(GO) run ./cmd/perfbench -tenantjson BENCH_8.json
+
+table9:
+	$(GO) run ./cmd/perfbench -memjson BENCH_9.json

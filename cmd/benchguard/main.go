@@ -10,6 +10,7 @@
 //	benchguard -speedupfloor 3 -allocceil 16 BENCH_6.json
 //	benchguard -pushp95ceil 250 BENCH_7.json
 //	benchguard -tenantp95ceil 250 -isolationceil 8 BENCH_8.json
+//	benchguard -dedupfloor 3 -forkadmitceil BENCH_9.json
 //
 // Four file shapes are understood: the flat per-figure array written by
 // perfbench -json / -rspjson (gated on kgdb_ms), the steady-state
@@ -31,7 +32,13 @@
 // absolute wall-clock ceiling, the victim-vs-hot isolation ratio against
 // -isolationceil, and — exactly, no tolerance — that admitting the fleet
 // after the first session cost zero stdlib re-parses and re-compiles,
-// which is the shared-immutable-infrastructure contract.
+// which is the shared-immutable-infrastructure contract. The fleet-memory
+// gate (-dedupfloor) is single-file as well: the dedup ratio is
+// deterministic byte accounting (private-sum over unique-resident), so it
+// takes an exact floor; -forkadmitceil additionally requires fork-admission
+// p95 to be no slower than build-admission p95 — both arms measured in the
+// same run on the same host, so the comparison transfers — and the worst
+// session's request p95 to stay under -memp95ceil.
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -80,7 +87,18 @@ func main() {
 	deliveryFloor := flag.Float64("deliveryfloor", 0.999, "min fast_delivery_ratio for stream fan-out reports (with -pushp95ceil)")
 	tenantP95Ceil := flag.Float64("tenantp95ceil", 0, "max worst_session_req_p95_ms for multi-tenant reports (0 disables; single-file mode)")
 	isolationCeil := flag.Float64("isolationceil", 8, "max victim-vs-hot isolation_ratio for multi-tenant reports (with -tenantp95ceil)")
+	dedupFloor := flag.Float64("dedupfloor", 0, "min dedup_ratio for fleet-memory reports (0 disables; single-file mode)")
+	forkAdmitCeil := flag.Bool("forkadmitceil", false, "require fork_admit_p95_ms <= build_admit_p95_ms for fleet-memory reports (with -dedupfloor)")
+	memP95Ceil := flag.Float64("memp95ceil", 250, "max worst_session_req_p95_ms for fleet-memory reports (with -dedupfloor)")
 	flag.Parse()
+	if *dedupFloor > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -dedupfloor 3 [-forkadmitceil] [-memp95ceil 250] BENCH_9.json")
+			os.Exit(2)
+		}
+		guardFleetMem(flag.Arg(0), *dedupFloor, *forkAdmitCeil, *memP95Ceil)
+		return
+	}
 	if *tenantP95Ceil > 0 {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchguard -tenantp95ceil 250 [-isolationceil 8] BENCH_8.json")
@@ -322,6 +340,78 @@ func guardTenants(path string, p95Ceil, isolationCeil float64) {
 		failed = true
 	} else {
 		fmt.Println("benchguard: stdlib re-parses/re-compiles 0/0 ok (shared immutable infrastructure)")
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// fleetMemFile mirrors the perf.FleetMemReport fields the fleet-memory
+// gate needs.
+type fleetMemFile struct {
+	Sessions             int     `json:"sessions"`
+	ForkAdmitP95MS       float64 `json:"fork_admit_p95_ms"`
+	BuildAdmitP95MS      float64 `json:"build_admit_p95_ms"`
+	WorstSessionReqP95MS float64 `json:"worst_session_req_p95_ms"`
+	DedupRatio           float64 `json:"dedup_ratio"`
+	TemplateForks        uint64  `json:"template_forks"`
+	ZeroCopyFills        uint64  `json:"zero_copy_fills"`
+}
+
+// guardFleetMem applies the CoW fleet-memory gates to one report: the dedup
+// ratio (deterministic byte accounting) against its floor, the same-run
+// fork-vs-build admission p95 comparison, the worst session's request p95
+// against an absolute wall-clock ceiling, and — exactly — that admission
+// actually forked templates and extraction actually took the zero-copy
+// path, so the gate can't pass on a silently disabled fast path.
+func guardFleetMem(path string, dedupFloor float64, forkAdmitCeil bool, p95Ceil float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var ff fleetMemFile
+	if err := json.Unmarshal(blob, &ff); err != nil || ff.Sessions == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: not a perfbench -memjson report\n", path)
+		os.Exit(2)
+	}
+	failed := false
+	if ff.DedupRatio < dedupFloor {
+		fmt.Printf("benchguard: dedup_ratio %.2fx BELOW floor %.2fx\n", ff.DedupRatio, dedupFloor)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: dedup_ratio %.2fx ok (floor %.2fx, %d sessions)\n",
+			ff.DedupRatio, dedupFloor, ff.Sessions)
+	}
+	if forkAdmitCeil {
+		if ff.ForkAdmitP95MS > ff.BuildAdmitP95MS {
+			fmt.Printf("benchguard: fork_admit_p95_ms %.3f ABOVE build_admit_p95_ms %.3f — forking lost to rebuilding\n",
+				ff.ForkAdmitP95MS, ff.BuildAdmitP95MS)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: fork_admit_p95_ms %.3f ok (build arm %.3f)\n",
+				ff.ForkAdmitP95MS, ff.BuildAdmitP95MS)
+		}
+	}
+	if p95Ceil > 0 {
+		if ff.WorstSessionReqP95MS > p95Ceil {
+			fmt.Printf("benchguard: worst_session_req_p95_ms %.2f ABOVE ceiling %.2f\n",
+				ff.WorstSessionReqP95MS, p95Ceil)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: worst_session_req_p95_ms %.2f ok (ceiling %.2f)\n",
+				ff.WorstSessionReqP95MS, p95Ceil)
+		}
+	}
+	if ff.TemplateForks == 0 || ff.ZeroCopyFills == 0 {
+		fmt.Printf("benchguard: CoW fast paths idle: template_forks=%d zero_copy_fills=%d; want both > 0\n",
+			ff.TemplateForks, ff.ZeroCopyFills)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: template_forks %d, zero_copy_fills %d ok (fast paths engaged)\n",
+			ff.TemplateForks, ff.ZeroCopyFills)
 	}
 	if failed {
 		fmt.Println("benchguard: FAIL")

@@ -51,6 +51,17 @@
 //	                             # benchguard ceilings); the shared-infra
 //	                             # counters are exact (zero stdlib re-parses
 //	                             # and re-compiles after the first admission).
+//	perfbench -memjson BENCH_9.json
+//	                             # also run the fleet-memory personality — the
+//	                             # same 64-session fleet admitted twice, once
+//	                             # forking the shared CoW template image and
+//	                             # once building every kernel privately — and
+//	                             # write the admission/residency report as
+//	                             # JSON. Admission latencies are host
+//	                             # wall-clock (gated by the fork<=build
+//	                             # comparison and absolute ceilings); the
+//	                             # dedup ratio and CoW counters are
+//	                             # deterministic byte accounting.
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -111,6 +122,9 @@ func main() {
 	tenantSessions := flag.Int("tenantsessions", 0, "fleet size for -tenantjson (0 = default of 64)")
 	tenantReqs := flag.Int("tenantreqs", 0, "pane reads per session for -tenantjson (0 = default)")
 	tenantRounds := flag.Int("tenantrounds", 0, "victim stop-event rounds per isolation arm for -tenantjson (0 = default)")
+	memJSONOut := flag.String("memjson", "", "write the fleet-memory (CoW template fork vs private build) report to this JSON file (e.g. BENCH_9.json)")
+	memSessions := flag.Int("memsessions", 0, "fleet size for -memjson (0 = default of 64)")
+	memReqs := flag.Int("memreqs", 0, "pane reads per session for -memjson (0 = default)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -292,6 +306,30 @@ func main() {
 		fmt.Printf("\nMulti-tenant session-fabric personality (one server, %d sessions):\n", rep.Sessions)
 		fmt.Print(perf.FormatTenants(rep))
 		fmt.Printf("wrote %s\n", *tenantJSONOut)
+	}
+
+	if *memJSONOut != "" {
+		// The fleet-memory personality: fork-vs-build admission arms over
+		// the same fleet shape, then the CoW byte accounting. The dedup
+		// ratio and counters are deterministic; only the admission and
+		// serving latencies are wall-clock.
+		rep, err := perf.MeasureFleetMem(*memSessions, *memReqs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: memjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := perf.FleetMemReportJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: memjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*memJSONOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: memjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nFleet-memory personality (CoW template forks vs private builds, %d sessions):\n", rep.Sessions)
+		fmt.Print(perf.FormatFleetMem(rep))
+		fmt.Printf("wrote %s\n", *memJSONOut)
 	}
 
 	if *traceOut != "" {

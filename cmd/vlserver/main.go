@@ -41,6 +41,7 @@ func main() {
 	sessionMem := flag.Int64("session-mem", 0, "per-session simulated-kernel footprint cap in bytes; larger creates are rejected (0 = unbounded)")
 	memBudget := flag.Int64("mem-budget", 0, "total simulated-kernel bytes across managed sessions; LRU sessions are evicted to fit (0 = unbounded)")
 	idleTTL := flag.Duration("idle-ttl", 0, "evict managed sessions idle this long; a background sweeper runs at ttl/4 (0 = never)")
+	privateBuilds := flag.Bool("private-builds", false, "build each managed session's kernel privately instead of forking the shared CoW template image (debugging escape hatch; admission is ~10x slower and nothing dedups)")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -53,6 +54,7 @@ func main() {
 		SessionBudget: clampBytes(*sessionMem),
 		MemBudget:     clampBytes(*memBudget),
 		IdleTTL:       *idleTTL,
+		PrivateBuilds: *privateBuilds,
 	}, o)
 	startIdleSweeper(mgr, *idleTTL)
 	if *runEvery > 0 {

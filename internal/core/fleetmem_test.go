@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"visualinux/internal/kernelsim"
+	"visualinux/internal/obs"
+	"visualinux/internal/render"
+	"visualinux/internal/vclstdlib"
+)
+
+// TestTotalMemMatchesOwnedSum is the fleet accounting invariant: after any
+// admit/evict/delete sequence, the manager's TotalMem equals the sum of the
+// resident sessions' owned bytes — nothing double-counted, nothing leaked
+// when a session releases its shared pages.
+func TestTotalMemMatchesOwnedSum(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewSessionManager(ManagerOptions{IdleTTL: time.Minute, Now: clk.now}, obs.NewObserver())
+
+	check := func(step string) {
+		t.Helper()
+		var sum uint64
+		for _, info := range m.List() {
+			sum += info.OwnedBytes
+		}
+		if got := m.TotalMem(); got != sum {
+			t.Fatalf("%s: TotalMem = %d, Σ owned = %d", step, got, sum)
+		}
+	}
+
+	check("empty")
+	for i := 0; i < 4; i++ {
+		if _, err := m.Create(fmt.Sprintf("s%d", i), tinySession()); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Second)
+		check(fmt.Sprintf("after create s%d", i))
+	}
+
+	// Diverge one session: CoW breaks shift its owned bytes upward, and the
+	// invariant must track the new residency, not the admission-time value.
+	ms, _ := m.Attach("s2")
+	if _, err := ms.StepRound(); err != nil {
+		t.Fatal(err)
+	}
+	check("after workload divergence")
+
+	if !m.Delete("s1") {
+		t.Fatal("delete s1")
+	}
+	check("after delete")
+
+	clk.advance(2 * time.Minute)
+	if evicted := m.SweepIdle(); len(evicted) == 0 {
+		t.Fatal("TTL sweep evicted nothing")
+	}
+	check("after idle sweep")
+	if m.Len() != 0 {
+		t.Fatalf("len = %d after sweep, want 0", m.Len())
+	}
+	if m.TotalMem() != 0 {
+		t.Fatalf("TotalMem = %d with no sessions", m.TotalMem())
+	}
+}
+
+// TestFleetRaceSoak runs concurrent rounds across forked sessions sharing
+// one template while TTL sweeps and budget-pressure admissions churn the
+// fleet — the -race gate for the CoW fabric end to end.
+func TestFleetRaceSoak(t *testing.T) {
+	const n = 6
+	m := NewSessionManager(ManagerOptions{IdleTTL: time.Hour}, obs.NewObserver())
+	for i := 0; i < n; i++ {
+		if _, err := m.Create(fmt.Sprintf("soak%d", i), tinySession()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			ms, ok := m.Attach(id)
+			if !ok {
+				return // evicted by the churner — fine
+			}
+			for r := 0; r < 5; r++ {
+				if _, err := ms.StepRound(); err != nil {
+					t.Errorf("%s round %d: %v", id, r, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("soak%d", i))
+	}
+	// Churner: sweeps, admissions, and accounting reads race the rounds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 10; r++ {
+			m.SweepIdle()
+			_ = m.TotalMem()
+			_ = m.List()
+			id := fmt.Sprintf("churn%d", r)
+			if _, err := m.Create(id, tinySession()); err != nil {
+				t.Errorf("churn create: %v", err)
+			}
+			m.Delete(id)
+		}
+	}()
+	wg.Wait()
+}
+
+// paneJSON renders a round's panes to canonical JSON bytes, the same
+// serialization the HTTP layer ships to clients. Extraction wall-clock
+// (stats.DurationNS) is zeroed: it is the one field that is timing, not
+// content, and byte-identity is a claim about content.
+func paneJSON(t *testing.T, rr []RoundResult) []byte {
+	t.Helper()
+	var out []byte
+	for _, r := range rr {
+		jg := render.ToJSON(r.Pane.Graph)
+		jg.Stats.DurationNS = 0
+		b, err := json.Marshal(jg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// TestForkedSessionByteIdentical proves the CoW fabric is invisible to
+// extraction: a session forked from a template produces byte-identical pane
+// JSON to a privately built session, across every stdlib figure, both on the
+// cold round and after the workload has diverged both images from the
+// template.
+func TestForkedSessionByteIdentical(t *testing.T) {
+	figs := vclstdlib.Figures()
+	ids := make([]string, len(figs))
+	for i, f := range figs {
+		ids[i] = f.ID
+	}
+	opts := SessionOptions{Kernel: kernelsim.Options{Churn: 3}, Figures: ids}
+
+	forked := NewSessionManager(ManagerOptions{}, obs.NewObserver())
+	private := NewSessionManager(ManagerOptions{PrivateBuilds: true}, obs.NewObserver())
+
+	fs, err := forked.Create("f", opts)
+	if err != nil {
+		t.Fatalf("forked create: %v", err)
+	}
+	ps, err := private.Create("p", opts)
+	if err != nil {
+		t.Fatalf("private create: %v", err)
+	}
+
+	fr, err := fs.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ps.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != len(figs) || len(pr) != len(figs) {
+		t.Fatalf("rounds covered %d/%d panes, want %d", len(fr), len(pr), len(figs))
+	}
+	if fj, pj := paneJSON(t, fr), paneJSON(t, pr); string(fj) != string(pj) {
+		t.Fatal("cold round: forked session panes differ from private build")
+	}
+
+	// Diverge both with the same deterministic workload, then compare again:
+	// CoW breaks on the fork vs plain writes on the private image.
+	for step := 0; step < 5; step++ {
+		if fr, err = fs.StepRound(); err != nil {
+			t.Fatal(err)
+		}
+		if pr, err = ps.StepRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fj, pj := paneJSON(t, fr), paneJSON(t, pr); string(fj) != string(pj) {
+		t.Fatal("post-divergence round: forked session panes differ from private build")
+	}
+}

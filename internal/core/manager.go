@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"visualinux/internal/kernelsim"
+	"visualinux/internal/mem"
 	"visualinux/internal/obs"
 	"visualinux/internal/vclstdlib"
 )
@@ -40,16 +41,24 @@ type SessionManager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
-	totalMem uint64
 }
 
 // ManagerOptions bounds the fabric.
 type ManagerOptions struct {
-	MaxSessions   int              // session-count admission cap (<= 0: DefaultMaxSessions)
-	MemBudget     uint64           // total simulated-kernel bytes; 0 = unbounded (LRU-evicts to fit)
+	MaxSessions int // session-count admission cap (<= 0: DefaultMaxSessions)
+	// MemBudget caps total *owned* bytes across resident sessions: private
+	// (CoW-broken) pages in full, shared pages amortized over their holders.
+	// With template admission a fleet of identical sessions therefore fits
+	// in roughly one kernel image of budget, not N. 0 = unbounded
+	// (LRU-evicts to fit).
+	MemBudget     uint64
 	SessionBudget uint64           // per-session kernel footprint cap; 0 = unbounded (rejects)
 	IdleTTL       time.Duration    // evict sessions idle this long; 0 = never
 	Now           func() time.Time // injectable clock for TTL tests; nil = time.Now
+	// PrivateBuilds admits each session with its own privately built kernel
+	// instead of forking the shared template image — the pre-CoW behavior,
+	// kept as an escape hatch and as the bench's comparison arm.
+	PrivateBuilds bool
 }
 
 // DefaultMaxSessions is the default session-count admission cap.
@@ -67,8 +76,11 @@ type ManagedSession struct {
 	// Obs is the session's own observer (registry, slow log, trace store):
 	// tenants never share mutable observability state, only the bounded
 	// session-labeled series the manager exports process-wide.
-	Obs      *obs.Observer
-	Figures  []vclstdlib.Figure
+	Obs *obs.Observer
+	Figures []vclstdlib.Figure
+	// MemBytes is the kernel's mapped footprint (the address-space view,
+	// fixed at admission). Budget accounting uses OwnedBytes instead, which
+	// shrinks as pages are shared and grows as CoW breaks privatize them.
 	MemBytes uint64
 	Created  time.Time
 
@@ -99,8 +111,33 @@ func NewSessionManager(opts ManagerOptions, o *obs.Observer) *SessionManager {
 	m := &SessionManager{opts: opts, sessions: make(map[string]*ManagedSession)}
 	if o != nil {
 		m.Tenants = obs.NewTenantMetrics(o.Registry, 0)
+		registerFleetMemMetrics(o, m)
 	}
 	return m
+}
+
+// registerFleetMemMetrics exports the CoW page-store and fleet-residency
+// series: how many bytes the fleet really holds (unique), how many it would
+// hold without sharing (mapped), and the dedup/CoW counters behind the
+// difference.
+func registerFleetMemMetrics(o *obs.Observer, m *SessionManager) {
+	r := o.Registry
+	stats := func() mem.StoreStats { return kernelsim.SharedStore().Stats() }
+	r.GaugeFunc("vl_mem_store_unique_bytes", "distinct page bytes resident in the CoW store", func() float64 {
+		return float64(stats().UniqueBytes)
+	})
+	r.GaugeFunc("vl_mem_store_shared_bytes", "page bytes mapped from the CoW store across all memories (sum of refcounts)", func() float64 {
+		return float64(stats().SharedBytes)
+	})
+	r.GaugeFunc("vl_mem_store_dedup_hits_total", "page interns satisfied by an already-resident identical page", func() float64 {
+		return float64(stats().DedupHits)
+	})
+	r.GaugeFunc("vl_mem_store_cow_breaks_total", "shared pages privatized by session writes", func() float64 {
+		return float64(stats().CowBreaks)
+	})
+	r.GaugeFunc("vl_fleet_owned_bytes", "owned (unique-equivalent) bytes across resident sessions", func() float64 {
+		return float64(m.TotalMem())
+	})
 }
 
 func (m *SessionManager) now() time.Time {
@@ -141,13 +178,22 @@ func (m *SessionManager) Create(id string, opts SessionOptions) (*ManagedSession
 		return nil, err
 	}
 
-	// The kernel build is the expensive part; do it outside the manager
-	// lock. A racing Create of the same ID wastes one build and gets
+	// Kernel acquisition happens outside the manager lock. The default path
+	// forks the shared template image for this config — microseconds, all
+	// pages shared copy-on-write; only the first request for a config pays a
+	// build. PrivateBuilds keeps the old build-per-session behavior. A
+	// racing Create of the same ID wastes one fork/build and gets
 	// ErrSessionExists, which is the correct answer.
-	k := kernelsim.Build(opts.Kernel)
+	var k *kernelsim.Kernel
+	if m.opts.PrivateBuilds {
+		k = kernelsim.Build(opts.Kernel)
+	} else {
+		k = kernelsim.FromTemplate(opts.Kernel)
+	}
 	_, memBytes := k.Mem.Footprint()
 	if m.opts.SessionBudget > 0 && memBytes > m.opts.SessionBudget {
 		m.reject()
+		k.Mem.Release()
 		return nil, fmt.Errorf("%w: kernel footprint %d > per-session budget %d",
 			ErrMemBudget, memBytes, m.opts.SessionBudget)
 	}
@@ -163,6 +209,7 @@ func (m *SessionManager) Create(id string, opts SessionOptions) (*ManagedSession
 	ms.lastUsed.Store(ms.Created.UnixNano())
 
 	if err := m.admit(ms); err != nil {
+		k.Mem.Release()
 		return nil, err
 	}
 
@@ -186,14 +233,17 @@ func (m *SessionManager) admit(ms *ManagedSession) error {
 	// Memory pressure evicts least-recently-used tenants; the session cap
 	// does not (every resident session is within TTL and budget — the
 	// client asked for more concurrency than the operator provisioned).
+	// Owned bytes are dynamic (evicting a sibling shifts its amortized
+	// share onto the survivors), so the loop recomputes; each eviction
+	// strictly shrinks the fleet's unique bytes, so it terminates.
 	if m.opts.MemBudget > 0 {
-		for m.totalMem+ms.MemBytes > m.opts.MemBudget && len(m.sessions) > 0 {
+		for m.totalMemLocked()+ms.OwnedBytes() > m.opts.MemBudget && len(m.sessions) > 0 {
 			m.evictLRULocked()
 		}
-		if m.totalMem+ms.MemBytes > m.opts.MemBudget {
+		if total := m.totalMemLocked(); total+ms.OwnedBytes() > m.opts.MemBudget {
 			m.rejectLocked()
-			return fmt.Errorf("%w: %d + %d resident > budget %d",
-				ErrMemBudget, m.totalMem, ms.MemBytes, m.opts.MemBudget)
+			return fmt.Errorf("%w: %d + %d owned > budget %d",
+				ErrMemBudget, total, ms.OwnedBytes(), m.opts.MemBudget)
 		}
 	}
 	if len(m.sessions) >= m.opts.MaxSessions {
@@ -201,7 +251,6 @@ func (m *SessionManager) admit(ms *ManagedSession) error {
 		return fmt.Errorf("%w: %d resident", ErrTooManySessions, len(m.sessions))
 	}
 	m.sessions[ms.ID] = ms
-	m.totalMem += ms.MemBytes
 	if m.Tenants != nil {
 		m.Tenants.Created.Inc()
 		m.publishGaugesLocked()
@@ -329,7 +378,10 @@ func (m *SessionManager) evictLocked(ms *ManagedSession) {
 
 func (m *SessionManager) removeLocked(ms *ManagedSession) {
 	delete(m.sessions, ms.ID)
-	m.totalMem -= ms.MemBytes
+	// Drop the session's CoW store references so its share stops counting
+	// against the budget. The memory stays readable: an in-flight round on
+	// another goroutine finishes against the still-immutable pages.
+	ms.Kernel.Mem.Release()
 	if m.Tenants != nil {
 		m.Tenants.Release(ms.ID)
 	}
@@ -349,7 +401,7 @@ func (m *SessionManager) rejectLocked() {
 
 func (m *SessionManager) publishGaugesLocked() {
 	m.Tenants.Active.Set(float64(len(m.sessions)))
-	m.Tenants.MemBytes.Set(float64(m.totalMem))
+	m.Tenants.MemBytes.Set(float64(m.totalMemLocked()))
 }
 
 // Len reports the resident session count.
@@ -359,21 +411,51 @@ func (m *SessionManager) Len() int {
 	return len(m.sessions)
 }
 
-// TotalMem reports the resident kernel footprint across sessions.
+// totalMemLocked recomputes the fleet's owned bytes: every resident
+// session's private pages in full plus its amortized share of each shared
+// page. Recomputed rather than cached because shares shift on every fork,
+// CoW break, and eviction; the walk is O(resident pages) of atomic loads.
+func (m *SessionManager) totalMemLocked() uint64 {
+	var total uint64
+	for _, ms := range m.sessions {
+		total += ms.OwnedBytes()
+	}
+	return total
+}
+
+// TotalMem reports the owned (unique-equivalent) bytes resident across
+// sessions — the quantity MemBudget caps. By construction this equals the
+// sum over resident sessions of OwnedBytes(); the lifecycle invariant test
+// holds the manager to it.
 func (m *SessionManager) TotalMem() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.totalMem
+	return m.totalMemLocked()
 }
 
-// SessionInfo is one tenant's manager-level health row.
+// OwnedBytes reports the session's current owned bytes: CoW-broken private
+// pages in full plus an amortized share of every page still shared through
+// the store.
+func (ms *ManagedSession) OwnedBytes() uint64 { return ms.Kernel.Mem.OwnedBytes() }
+
+// MemResidency returns the session's private/shared/owned breakdown for the
+// debug surface.
+func (ms *ManagedSession) MemResidency() mem.Residency { return ms.Kernel.Mem.Residency() }
+
+// SessionInfo is one tenant's manager-level health row. MemBytes is the
+// mapped footprint; the residency triple breaks it down under CoW sharing
+// (owned = private + amortized share of shared pages — what the budget
+// charges).
 type SessionInfo struct {
-	ID          string    `json:"id"`
-	Created     time.Time `json:"created"`
-	IdleSeconds float64   `json:"idle_seconds"`
-	MemBytes    uint64    `json:"mem_bytes"`
-	Rounds      int64     `json:"rounds"`
-	Figures     []string  `json:"figures"`
+	ID           string    `json:"id"`
+	Created      time.Time `json:"created"`
+	IdleSeconds  float64   `json:"idle_seconds"`
+	MemBytes     uint64    `json:"mem_bytes"`
+	OwnedBytes   uint64    `json:"owned_bytes"`
+	PrivateBytes uint64    `json:"private_bytes"`
+	SharedBytes  uint64    `json:"shared_bytes"`
+	Rounds       int64     `json:"rounds"`
+	Figures      []string  `json:"figures"`
 }
 
 // List snapshots every resident session, sorted by ID.
@@ -387,13 +469,17 @@ func (m *SessionManager) List() []SessionInfo {
 		for i, f := range ms.Figures {
 			figIDs[i] = f.ID
 		}
+		res := ms.MemResidency()
 		out = append(out, SessionInfo{
-			ID:          ms.ID,
-			Created:     ms.Created,
-			IdleSeconds: now.Sub(ms.LastUsed()).Seconds(),
-			MemBytes:    ms.MemBytes,
-			Rounds:      ms.Rounds(),
-			Figures:     figIDs,
+			ID:           ms.ID,
+			Created:      ms.Created,
+			IdleSeconds:  now.Sub(ms.LastUsed()).Seconds(),
+			MemBytes:     ms.MemBytes,
+			OwnedBytes:   res.OwnedBytes,
+			PrivateBytes: res.PrivateBytes,
+			SharedBytes:  res.SharedBytes,
+			Rounds:       ms.Rounds(),
+			Figures:      figIDs,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -99,15 +99,18 @@ func TestSessionLifecycleMatrix(t *testing.T) {
 
 // TestSessionManagerMemBudgetEviction fills the total memory budget and
 // checks the least-recently-used tenant is evicted to admit the newcomer.
+// Private builds keep each session's owned bytes at its full footprint, so
+// the budget math stays exact; fork-based admission is exercised separately
+// by the fleet-memory tests.
 func TestSessionManagerMemBudgetEviction(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	probe, err := NewSessionManager(ManagerOptions{}, nil).Create("probe", tinySession())
+	probe, err := NewSessionManager(ManagerOptions{PrivateBuilds: true}, nil).Create("probe", tinySession())
 	if err != nil {
 		t.Fatalf("probe: %v", err)
 	}
-	per := probe.MemBytes
+	per := probe.OwnedBytes()
 
-	m := NewSessionManager(ManagerOptions{MemBudget: 2*per + per/2, Now: clk.now}, obs.NewObserver())
+	m := NewSessionManager(ManagerOptions{MemBudget: 2*per + per/2, Now: clk.now, PrivateBuilds: true}, obs.NewObserver())
 	var evicted []string
 	m.OnEvict = func(id string, _ *ManagedSession) { evicted = append(evicted, id) }
 

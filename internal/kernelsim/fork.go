@@ -1,0 +1,100 @@
+package kernelsim
+
+// Kernel forking: the session-fleet fast path. A built kernel sealed into a
+// CoW page store can be cloned in microseconds — the fork shares every guest
+// page copy-on-write and deep-copies only the Go-side bookkeeping (object
+// handles, symbol table, VFS/mm trackers), so a fleet of sessions built from
+// one template pays build cost once and unique pages only.
+
+// Fork returns an independent copy-on-write clone of k. The clone has its
+// own memory view (writes break sharing per 4 KiB page), its own symbol
+// table and fake-text allocator (mutation workloads register symbols via
+// Func), and private copies of every Go-side tracker, so the two kernels can
+// run divergent workloads without touching each other. k must have been
+// sealed into a PageStore (see Template) before forking.
+func (k *Kernel) Fork() *Kernel {
+	m := k.Mem.Fork()
+	b := &Builder{
+		Mem:   m,
+		Tgt:   k.Tgt.CloneWith(m),
+		Reg:   k.Reg,
+		next:  k.next,
+		text:  k.text,
+		pfn:   k.pfn,
+		funcs: make(map[string]uint64, len(k.funcs)),
+	}
+	for name, addr := range k.funcs {
+		b.funcs[name] = addr
+	}
+
+	f := &Kernel{
+		Builder: b,
+
+		InitTask:  b.reown(k.InitTask),
+		InitPidNS: b.reown(k.InitPidNS),
+		Runqueues: b.reown(k.Runqueues),
+		NodeData:  b.reown(k.NodeData),
+
+		SuperBlocks: b.reown(k.SuperBlocks),
+		RootSB:      b.reown(k.RootSB),
+
+		DirtyPipe:      b.reown(k.DirtyPipe),
+		DirtyFile:      b.reown(k.DirtyFile),
+		SharedPage:     b.reown(k.SharedPage),
+		StackRotMM:     b.reown(k.StackRotMM),
+		StackRotNode:   b.reown(k.StackRotNode),
+		StackRotVictim: b.reown(k.StackRotVictim),
+		MMPercpuWQ:     b.reown(k.MMPercpuWQ),
+		RCUData:        b.reown(k.RCUData),
+
+		Tasks:      make([]Obj, len(k.Tasks)),
+		ByPID:      make(map[int]Obj, len(k.ByPID)),
+		Files:      make([]Obj, len(k.Files)),
+		immapNodes: make(map[uint64][]uint64, len(k.immapNodes)),
+		mmVMAs:     make(map[uint64][]mappedVMA, len(k.mmVMAs)),
+	}
+	for i, t := range k.Tasks {
+		f.Tasks[i] = b.reown(t)
+	}
+	for pid, t := range k.ByPID {
+		f.ByPID[pid] = b.reown(t)
+	}
+	for i, file := range k.Files {
+		f.Files[i] = b.reown(file)
+	}
+	for addr, nodes := range k.immapNodes {
+		f.immapNodes[addr] = append([]uint64(nil), nodes...)
+	}
+	for addr, vmas := range k.mmVMAs {
+		cp := make([]mappedVMA, len(vmas))
+		for i, mv := range vmas {
+			mv.vma = b.reown(mv.vma)
+			cp[i] = mv
+		}
+		f.mmVMAs[addr] = cp
+	}
+	if k.vfsSt != nil {
+		st := *k.vfsSt
+		st.sbExt4 = b.reown(st.sbExt4)
+		st.sbProc = b.reown(st.sbProc)
+		st.sbTmpfs = b.reown(st.sbTmpfs)
+		st.sbPipefs = b.reown(st.sbPipefs)
+		st.sbSockfs = b.reown(st.sbSockfs)
+		st.rootDentry = b.reown(st.rootDentry)
+		st.consoleFile = b.reown(st.consoleFile)
+		st.fileOps = b.reown(st.fileOps)
+		st.pipeOps = b.reown(st.pipeOps)
+		st.sockOps = b.reown(st.sockOps)
+		f.vfsSt = &st
+	}
+	return f
+}
+
+// reown rebinds an object handle to this builder (addresses and types are
+// position-independent across forks; only the builder pointer differs).
+func (b *Builder) reown(o Obj) Obj {
+	if o.B != nil {
+		o.B = b
+	}
+	return o
+}

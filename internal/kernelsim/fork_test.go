@@ -1,0 +1,140 @@
+package kernelsim
+
+import (
+	"bytes"
+	"testing"
+
+	"visualinux/internal/mem"
+)
+
+// memEqual compares two memories page by page over their mapped ranges.
+func memEqual(t *testing.T, a, b *mem.Memory) bool {
+	t.Helper()
+	ra, rb := a.MappedRanges(), b.MappedRanges()
+	if len(ra) != len(rb) {
+		t.Logf("mapped page counts differ: %d vs %d", len(ra), len(rb))
+		return false
+	}
+	pa, pb := make([]byte, mem.PageSize), make([]byte, mem.PageSize)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Logf("page base mismatch at %d: %#x vs %#x", i, ra[i], rb[i])
+			return false
+		}
+		if err := a.Read(ra[i], pa); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Read(rb[i], pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pa, pb) {
+			t.Logf("content mismatch in page %#x", ra[i])
+			return false
+		}
+	}
+	return true
+}
+
+// Build must be deterministic — the property that makes a forked session
+// byte-identical to a privately built one.
+func TestBuildIsDeterministic(t *testing.T) {
+	opts := Options{Churn: 6}
+	a, b := Build(opts), Build(opts)
+	if !memEqual(t, a.Mem, b.Mem) {
+		t.Fatal("two Build calls with identical Options produced different images")
+	}
+}
+
+// A forked kernel is byte-identical to a privately built one, and identical
+// workloads keep them byte-identical after divergence from the template.
+func TestForkMatchesPrivateBuild(t *testing.T) {
+	opts := Options{Churn: 4}
+	private := Build(opts)
+	forked := FromTemplate(opts)
+	if !memEqual(t, private.Mem, forked.Mem) {
+		t.Fatal("forked kernel differs from private build")
+	}
+	if len(private.Tgt.Symbols()) != len(forked.Tgt.Symbols()) {
+		t.Fatalf("symbol tables differ: %d vs %d",
+			len(private.Tgt.Symbols()), len(forked.Tgt.Symbols()))
+	}
+
+	// Same deterministic workload on both sides: CoW breaks on the fork,
+	// plain writes on the private build — bytes must stay identical.
+	wp, wf := NewWorkload(private), NewWorkload(forked)
+	for i := 0; i < 10; i++ {
+		wp.Step()
+		wf.Step()
+	}
+	if !memEqual(t, private.Mem, forked.Mem) {
+		t.Fatal("forked kernel diverged from private build under the same workload")
+	}
+}
+
+// Forks are independent of each other and of the template: one session's
+// workload must never leak into a sibling.
+func TestForkIsolation(t *testing.T) {
+	opts := Options{Churn: 2}
+	tpl := TemplateFor(opts)
+	tplPages, _ := tpl.Mem.Footprint()
+
+	a, b := tpl.Fork(), tpl.Fork()
+	if !memEqual(t, a.Mem, b.Mem) {
+		t.Fatal("fresh forks differ")
+	}
+	wa := NewWorkload(a)
+	for i := 0; i < 8; i++ {
+		wa.Step()
+	}
+	// a mutated; b must still match a fresh fork of the template.
+	c := tpl.Fork()
+	if !memEqual(t, b.Mem, c.Mem) {
+		t.Fatal("sibling fork was contaminated by another session's workload")
+	}
+	if pages, _ := tpl.Mem.Footprint(); pages != tplPages {
+		t.Fatalf("template footprint moved under fork workloads: %d -> %d", tplPages, pages)
+	}
+	if r := tpl.Mem.Residency(); r.PrivateBytes != 0 {
+		t.Fatalf("template gained %d private bytes (was mutated)", r.PrivateBytes)
+	}
+
+	// The fork's mutation bookkeeping is private: spawning the same pid in
+	// both siblings must work (shared ByPID would collide).
+	if _, err := b.SpawnTask(5000, "twin", 1); err != nil {
+		t.Fatalf("spawn in b: %v", err)
+	}
+	if _, err := c.SpawnTask(5000, "twin", 1); err != nil {
+		t.Fatalf("spawn in c: %v", err)
+	}
+	if _, ok := a.ByPID[5000]; ok {
+		t.Fatal("pid map shared across forks")
+	}
+}
+
+// Fork admission must share ~everything: a fresh fork owns (almost) nothing
+// beyond its amortized share, and CoW breaks charge only written pages.
+func TestForkResidency(t *testing.T) {
+	opts := Options{Churn: 1, Processes: 3}
+	tpl := TemplateFor(opts)
+	f := FromTemplate(opts)
+
+	r := f.Mem.Residency()
+	if r.PrivateBytes != 0 {
+		t.Fatalf("fresh fork has %d private bytes, want 0", r.PrivateBytes)
+	}
+	_, total := f.Mem.Footprint()
+	if r.OwnedBytes*3 > total {
+		t.Fatalf("fresh fork owns %d of %d bytes — not shared with the template",
+			r.OwnedBytes, total)
+	}
+	w := NewWorkload(f)
+	w.Step()
+	r2 := f.Mem.Residency()
+	if r2.PrivateBytes == 0 {
+		t.Fatal("workload step broke no pages")
+	}
+	if r2.PrivateBytes >= total/2 {
+		t.Fatalf("one workload step privatized %d of %d bytes", r2.PrivateBytes, total)
+	}
+	_ = tpl
+}

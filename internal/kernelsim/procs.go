@@ -1,6 +1,9 @@
 package kernelsim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Process management: task_structs, the process tree (ULK Fig 3-4), the pid
 // IDR (Fig 3-6's modern descendant), signal structures (Fig 11-1), fd
@@ -113,9 +116,17 @@ func (k *Kernel) MkSignalStructs(nthreads int, configured map[int]string) (sig, 
 
 	hand = k.Alloc("sighand_struct")
 	hand.Set("count.refs", uint64(nthreads))
-	for signo, fn := range configured {
+	// Sorted order: Func bump-allocates text addresses, so iterating the
+	// map directly would make the image depend on map iteration order and
+	// break Build's determinism (the template/fork byte-identity contract).
+	signos := make([]int, 0, len(configured))
+	for signo := range configured {
+		signos = append(signos, signo)
+	}
+	sort.Ints(signos)
+	for _, signo := range signos {
 		act := hand.Field("action").Index(uint64(signo - 1))
-		act.Set("sa.sa_handler", k.Func(fn))
+		act.Set("sa.sa_handler", k.Func(configured[signo]))
 		act.Set("sa.sa_flags", 0x10000000) // SA_RESTART
 	}
 	return sig, hand

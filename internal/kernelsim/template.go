@@ -1,0 +1,85 @@
+package kernelsim
+
+import (
+	"sync"
+
+	"visualinux/internal/mem"
+)
+
+// Template kernel images. Fleets admit many sessions over the same Options;
+// building each one privately costs ~2 ms and a full private image. Instead,
+// the first request for a config builds it once, seals the image into the
+// process-wide CoW page store, and every session admission forks the
+// template: microsecond admits, all unwritten pages shared.
+
+var (
+	storeOnce  sync.Once
+	fleetStore *mem.PageStore
+
+	tmplMu    sync.Mutex
+	templates map[Options]*Kernel
+	tmplBuilt uint64
+	tmplForks uint64
+)
+
+// SharedStore returns the process-wide CoW page store every template image
+// (and every fork of one) shares. One store, not one per config: identical
+// pages dedup across configs too.
+func SharedStore() *mem.PageStore {
+	storeOnce.Do(func() { fleetStore = mem.NewPageStore() })
+	return fleetStore
+}
+
+// TemplateFor returns the immutable template kernel for opts, building and
+// sealing it on first use. The template must never be mutated or served
+// from directly — callers fork it (or use FromTemplate). Options are
+// normalized first, so the zero value and its explicit defaults share one
+// template.
+func TemplateFor(opts Options) *Kernel {
+	opts.fill()
+	tmplMu.Lock()
+	defer tmplMu.Unlock()
+	if templates == nil {
+		templates = make(map[Options]*Kernel)
+	}
+	if k, ok := templates[opts]; ok {
+		return k
+	}
+	k := Build(opts)
+	k.Mem.Seal(SharedStore())
+	templates[opts] = k
+	tmplBuilt++
+	return k
+}
+
+// FromTemplate returns a fresh session kernel forked from the template for
+// opts — the fleet admission fast path. The returned kernel is fully
+// independent: its writes break page sharing, its symbol table is private.
+func FromTemplate(opts Options) *Kernel {
+	k := TemplateFor(opts).Fork()
+	tmplMu.Lock()
+	tmplForks++
+	tmplMu.Unlock()
+	return k
+}
+
+// TemplateStats reports how many distinct template images were built and how
+// many session kernels were forked from them — the "admission re-built the
+// world" detector, alongside the store's dedup counters.
+func TemplateStats() (built, forks uint64) {
+	tmplMu.Lock()
+	defer tmplMu.Unlock()
+	return tmplBuilt, tmplForks
+}
+
+// TemplatesResidency sums the owned bytes of every template image currently
+// cached: the amortization base the fleet's per-session owned bytes sit on.
+func TemplatesResidency() uint64 {
+	tmplMu.Lock()
+	defer tmplMu.Unlock()
+	var total uint64
+	for _, k := range templates {
+		total += k.Mem.OwnedBytes()
+	}
+	return total
+}

@@ -1,0 +1,301 @@
+package mem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildImage fills m with a deterministic multi-page pattern.
+func buildImage(m *Memory, pages int, salt byte) {
+	for i := 0; i < pages; i++ {
+		base := uint64(i) * PageSize
+		buf := make([]byte, PageSize)
+		for j := range buf {
+			buf[j] = byte(i) ^ byte(j) ^ salt
+		}
+		m.Write(base, buf)
+	}
+}
+
+func TestSealForkSharesPages(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 8, 0)
+	tpl.Seal(store)
+
+	st := store.Stats()
+	if st.UniquePages != 8 {
+		t.Fatalf("unique pages after seal = %d, want 8", st.UniquePages)
+	}
+
+	f := tpl.Fork()
+	if got := store.Stats().UniquePages; got != 8 {
+		t.Fatalf("fork duplicated pages: unique = %d", got)
+	}
+	if got := store.Stats().TotalRefs; got != 16 {
+		t.Fatalf("total refs after one fork = %d, want 16", got)
+	}
+
+	// Byte-identical reads, including cross-page.
+	want := make([]byte, 3*PageSize)
+	got := make([]byte, 3*PageSize)
+	if err := tpl.Read(PageSize/2, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(PageSize/2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("fork reads differ from template")
+	}
+
+	// Footprint counts shared pages.
+	if pages, _ := f.Footprint(); pages != 8 {
+		t.Fatalf("fork footprint = %d pages, want 8", pages)
+	}
+	if len(f.MappedRanges()) != 8 {
+		t.Fatalf("fork MappedRanges = %d, want 8", len(f.MappedRanges()))
+	}
+}
+
+func TestCowBreakIsolatesWriter(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 4, 0)
+	tpl.Seal(store)
+	a, b := tpl.Fork(), tpl.Fork()
+
+	orig, _ := tpl.ReadU64(2 * PageSize)
+	a.WriteU64(2*PageSize, 0xdeadbeef)
+
+	if v, _ := a.ReadU64(2 * PageSize); v != 0xdeadbeef {
+		t.Fatalf("writer sees %#x", v)
+	}
+	for name, m := range map[string]*Memory{"template": tpl, "sibling": b} {
+		if v, _ := m.ReadU64(2 * PageSize); v != orig {
+			t.Fatalf("%s sees %#x after sibling write, want %#x", name, v, orig)
+		}
+	}
+
+	st := store.Stats()
+	if st.CowBreaks != 1 {
+		t.Fatalf("cow breaks = %d, want 1", st.CowBreaks)
+	}
+	// a's broken page no longer holds a ref: 4 pages * (tpl + b) + 3 pages * a.
+	if st.TotalRefs != 11 {
+		t.Fatalf("total refs = %d, want 11", st.TotalRefs)
+	}
+	// The rest of the broken page must match the template outside the write.
+	rest := make([]byte, PageSize-8)
+	restTpl := make([]byte, PageSize-8)
+	if err := a.Read(2*PageSize+8, rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Read(2*PageSize+8, restTpl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, restTpl) {
+		t.Fatal("cow break corrupted unwritten bytes of the page")
+	}
+}
+
+func TestDedupAcrossSealedImages(t *testing.T) {
+	store := NewPageStore()
+	a, b := New(), New()
+	buildImage(a, 6, 0)
+	buildImage(b, 6, 0) // identical content
+	a.Seal(store)
+	b.Seal(store)
+
+	st := store.Stats()
+	if st.UniquePages != 6 {
+		t.Fatalf("unique pages = %d, want 6 (content dedup)", st.UniquePages)
+	}
+	if st.DedupHits != 6 {
+		t.Fatalf("dedup hits = %d, want 6", st.DedupHits)
+	}
+
+	// Divergent image shares nothing.
+	c := New()
+	buildImage(c, 6, 0xff)
+	c.Seal(store)
+	if got := store.Stats().UniquePages; got != 12 {
+		t.Fatalf("unique pages after divergent seal = %d, want 12", got)
+	}
+}
+
+func TestReleaseDropsRefsButStaysReadable(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 4, 0)
+	tpl.Seal(store)
+	f := tpl.Fork()
+
+	f.Release()
+	if got := store.Stats().TotalRefs; got != 4 {
+		t.Fatalf("refs after release = %d, want 4", got)
+	}
+	if f.OwnedBytes() != 0 {
+		t.Fatalf("released memory owns %d bytes", f.OwnedBytes())
+	}
+	// Still readable (in-flight extraction semantics), and writes must not
+	// corrupt refcounts.
+	var buf [16]byte
+	if err := f.Read(PageSize, buf[:]); err != nil {
+		t.Fatalf("released memory unreadable: %v", err)
+	}
+	f.WriteU8(PageSize, 42)
+	f.Release() // idempotent
+	if got := store.Stats().TotalRefs; got != 4 {
+		t.Fatalf("refs after post-release write + re-release = %d, want 4", got)
+	}
+
+	tpl.Release()
+	st := store.Stats()
+	if st.TotalRefs != 0 || st.UniquePages != 0 {
+		t.Fatalf("store not empty after all releases: %+v", st)
+	}
+}
+
+// TestOwnedBytesAmortization checks the accounting identity the session
+// manager's budget relies on: summing OwnedBytes over every live memory
+// (template included) equals unique resident bytes, private pages included.
+func TestOwnedBytesAmortization(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 9, 0)
+	tpl.Seal(store)
+
+	mems := []*Memory{tpl}
+	for i := 0; i < 3; i++ {
+		mems = append(mems, tpl.Fork())
+	}
+	// Diverge one fork by two pages.
+	mems[1].WriteU64(0, 1)
+	mems[1].WriteU64(5*PageSize, 2)
+
+	var owned uint64
+	for _, m := range mems {
+		owned = owned + m.Residency().OwnedBytes
+	}
+	st := store.Stats()
+	var private uint64
+	for _, m := range mems {
+		private += m.Residency().PrivateBytes
+	}
+	want := st.UniqueBytes + private
+	// Integer amortization (PageSize/refs) rounds down per holder; allow the
+	// remainder: 9 shared pages * up to (refs-1) bytes lost.
+	if owned > want || want-owned > 9*4 {
+		t.Fatalf("sum(owned) = %d, want ~%d (unique %d + private %d)",
+			owned, want, st.UniqueBytes, private)
+	}
+	r := mems[1].Residency()
+	if r.PrivatePages != 2 || r.SharedPages != 7 {
+		t.Fatalf("diverged fork residency = %+v, want 2 private / 7 shared", r)
+	}
+}
+
+func TestForkJournalIsFresh(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 2, 0)
+	tpl.Seal(store)
+
+	f := tpl.Fork()
+	// A new consumer arms its cursor with a clamped mark.
+	_, mark, ok := f.WritesSince(^uint64(0))
+	if !ok || mark != 0 {
+		t.Fatalf("fresh fork journal mark = %d ok=%v, want 0 true", mark, ok)
+	}
+	f.WriteU64(100, 7)
+	ranges, next, ok := f.WritesSince(mark)
+	if !ok || len(ranges) != 1 || ranges[0] != (WriteRange{Addr: 100, Size: 8}) {
+		t.Fatalf("fork journal: ranges=%v ok=%v", ranges, ok)
+	}
+	if _, _, ok := f.WritesSince(next); !ok {
+		t.Fatal("fork journal lost current mark")
+	}
+	// Template journal untouched by fork writes.
+	if ranges, _, ok := tpl.WritesSince(mark); ok && len(ranges) != 0 {
+		// Template has its own build history; just ensure the fork's write
+		// did not append to it.
+		for _, r := range ranges {
+			if r.Addr == 100 {
+				t.Fatal("fork write leaked into template journal")
+			}
+		}
+	}
+}
+
+func TestPageDataAliasing(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 2, 0)
+	tpl.Seal(store)
+	f := tpl.Fork()
+
+	data, ok := f.PageData(PageSize + 123)
+	if !ok || len(data) != PageSize {
+		t.Fatalf("PageData on shared page: ok=%v len=%d", ok, len(data))
+	}
+	tplData, _ := tpl.PageData(PageSize)
+	if &data[0] != &tplData[0] {
+		t.Fatal("fork and template alias different backing for a shared page")
+	}
+	// After a CoW break the page is private: no aliasing allowed.
+	f.WriteU8(PageSize, 9)
+	if _, ok := f.PageData(PageSize); ok {
+		t.Fatal("PageData exposed a private (mutable) page")
+	}
+	if _, ok := f.PageData(0); !ok {
+		t.Fatal("untouched page lost aliasing after unrelated break")
+	}
+	if _, ok := f.PageData(99 * PageSize); ok {
+		t.Fatal("PageData on unmapped address")
+	}
+}
+
+// TestStoreConcurrencySoak hammers one store with concurrent forks, CoW
+// breaks, reads, and releases — run under -race by the Makefile race gate.
+func TestStoreConcurrencySoak(t *testing.T) {
+	store := NewPageStore()
+	tpl := New()
+	buildImage(tpl, 16, 0)
+	tpl.Seal(store)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				f := tpl.Fork()
+				var buf [64]byte
+				for i := 0; i < 16; i++ {
+					if err := f.Read(uint64(i)*PageSize+32, buf[:]); err != nil {
+						panic(fmt.Sprintf("read: %v", err))
+					}
+				}
+				f.WriteU64(uint64(w%16)*PageSize, uint64(iter))
+				f.WriteU64(uint64((w+iter)%16)*PageSize+8, uint64(w))
+				_ = f.OwnedBytes()
+				_ = store.Stats()
+				f.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := store.Stats()
+	if st.TotalRefs != 16 || st.UniquePages != 16 {
+		t.Fatalf("store leaked after soak: %+v", st)
+	}
+	tpl.Release()
+	if st := store.Stats(); st.TotalRefs != 0 || st.UniquePages != 0 {
+		t.Fatalf("store not empty: %+v", st)
+	}
+}

@@ -7,12 +7,17 @@
 // Memory is organized in fixed-size pages allocated on demand, so a 64-bit
 // address space costs only what is actually touched. All multi-byte accessors
 // are little-endian (x86_64 / aarch64 guest byte order).
+//
+// A Memory can additionally be sealed into a PageStore (see pagestore.go) and
+// forked: forks share every unwritten page copy-on-write, so a fleet of
+// sessions built from one template image pays for its unique pages only.
 package mem
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PageSize is the granularity of backing allocation. 4 KiB matches the guest
@@ -20,15 +25,24 @@ import (
 const PageSize = 4096
 
 // Memory is a sparse byte-addressable address space. The zero value is ready
-// to use. Memory is not safe for concurrent mutation; the debugger stops the
-// "machine" before reading, mirroring a stopped GDB inferior.
+// to use. Reads may run concurrently with each other and with writes (the
+// machine-stop discipline of the debugger keeps mutation coarse, but the
+// fleet manager evicts one session's memory while another's extraction is
+// mid-read, so the map itself must be race-free).
 //
 // Every Write is appended to a bounded journal of dirty ranges so a debugger
 // attached across stop events can ask "what changed since my last stop?"
 // instead of re-reading the world. WritesSince answers against a mark
 // (a journal sequence number) handed out by a previous call.
 type Memory struct {
-	pages map[uint64][]byte
+	mu    sync.RWMutex
+	pages map[uint64][]byte // private (writable) pages
+
+	// CoW state: sealed pages live in the store and are referenced here.
+	// A write to a shared page privatizes it into pages (a CoW break).
+	shared   map[uint64]*SharedPage
+	store    *PageStore
+	released bool // store refs dropped; shared stays readable, never re-released
 
 	// Write journal. journal[i] records the i-th surviving entry; seq of
 	// journal[0] is journalBase, and journalBase+len(journal) is the seq the
@@ -63,29 +77,59 @@ func (e *ErrUnmapped) Error() string {
 	return fmt.Sprintf("mem: unmapped address %#x", e.Addr)
 }
 
-func (m *Memory) page(addr uint64, create bool) []byte {
+// pageLocked returns the readable backing of addr's page — private if the
+// page was written (or never sealed), shared otherwise. Callers hold m.mu.
+func (m *Memory) pageLocked(addr uint64) []byte {
 	base := addr &^ (PageSize - 1)
-	p, ok := m.pages[base]
-	if !ok && create {
-		if m.pages == nil {
-			m.pages = make(map[uint64][]byte)
-		}
-		p = make([]byte, PageSize)
-		m.pages[base] = p
+	if p, ok := m.pages[base]; ok {
+		return p
 	}
+	if sp, ok := m.shared[base]; ok {
+		return sp.data
+	}
+	return nil
+}
+
+// writablePageLocked returns addr's page for mutation, allocating it or
+// breaking CoW sharing as needed. Callers hold m.mu for writing.
+func (m *Memory) writablePageLocked(addr uint64) []byte {
+	base := addr &^ (PageSize - 1)
+	if p, ok := m.pages[base]; ok {
+		return p
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint64][]byte)
+	}
+	p := make([]byte, PageSize)
+	if sp, ok := m.shared[base]; ok {
+		// CoW break: privatize the page, drop our store reference. After
+		// Release the reference is already gone — privatize only.
+		copy(p, sp.data)
+		delete(m.shared, base)
+		if !m.released {
+			m.store.cowBreaks.Add(1)
+			m.store.release(sp)
+		}
+	}
+	m.pages[base] = p
 	return p
 }
 
 // Mapped reports whether addr has a backing page.
 func (m *Memory) Mapped(addr uint64) bool {
-	return m.page(addr, false) != nil
+	m.mu.RLock()
+	p := m.pageLocked(addr)
+	m.mu.RUnlock()
+	return p != nil
 }
 
 // Read copies len(dst) bytes starting at addr into dst. It fails with
 // ErrUnmapped if any byte of the range has no backing page.
 func (m *Memory) Read(addr uint64, dst []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for n := 0; n < len(dst); {
-		p := m.page(addr, false)
+		p := m.pageLocked(addr)
 		if p == nil {
 			return &ErrUnmapped{Addr: addr}
 		}
@@ -98,12 +142,16 @@ func (m *Memory) Read(addr uint64, dst []byte) error {
 }
 
 // Write copies src into memory starting at addr, allocating pages as needed.
+// Writes that land on shared pages break sharing for those pages only.
 func (m *Memory) Write(addr uint64, src []byte) {
-	if len(src) > 0 {
-		m.noteWrite(addr, uint64(len(src)))
+	if len(src) == 0 {
+		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteWrite(addr, uint64(len(src)))
 	for n := 0; n < len(src); {
-		p := m.page(addr, true)
+		p := m.writablePageLocked(addr)
 		off := int(addr & (PageSize - 1))
 		c := copy(p[off:], src[n:])
 		n += c
@@ -129,6 +177,8 @@ func (m *Memory) noteWrite(addr, size uint64) {
 // tracking. ok=false means the journal overflowed past mark — the caller has
 // lost history and must fall back to content revalidation.
 func (m *Memory) WritesSince(mark uint64) (ranges []WriteRange, next uint64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cur := m.journalBase + uint64(len(m.journal))
 	if mark >= cur {
 		return nil, cur, true
@@ -141,6 +191,142 @@ func (m *Memory) WritesSince(mark uint64) (ranges []WriteRange, next uint64, ok 
 	copy(ranges, tail)
 	return ranges, cur, true
 }
+
+// --- copy-on-write fleet sharing ---------------------------------------------
+
+// Seal interns every private page into store, converting this Memory into a
+// shared image: subsequent Forks share all sealed pages copy-on-write, and
+// writes to this Memory itself break sharing per page like any fork's would.
+// Sealing twice (or sealing pages written after a first seal) is allowed and
+// re-interns only the private remainder; the store must be the same one.
+func (m *Memory) Seal(store *PageStore) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store != nil && m.store != store {
+		panic("mem: Seal with a different PageStore")
+	}
+	m.store = store
+	if m.shared == nil {
+		m.shared = make(map[uint64]*SharedPage, len(m.pages))
+	}
+	for base, p := range m.pages {
+		m.shared[base] = store.intern(p)
+		delete(m.pages, base)
+	}
+}
+
+// Fork returns a copy-on-write clone sharing every sealed page. Pages written
+// into the parent after its last Seal are interned first, so the fork never
+// aliases mutable data. The fork starts with a fresh, empty write journal —
+// snapshot consumers arm their journal cursor against the fork itself.
+// Fork panics if the Memory was never sealed or was released.
+func (m *Memory) Fork() *Memory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		panic("mem: Fork of an unsealed Memory (call Seal first)")
+	}
+	if m.released {
+		panic("mem: Fork of a released Memory")
+	}
+	for base, p := range m.pages {
+		m.shared[base] = m.store.intern(p)
+		delete(m.pages, base)
+	}
+	child := &Memory{
+		pages:  make(map[uint64][]byte),
+		shared: make(map[uint64]*SharedPage, len(m.shared)),
+		store:  m.store,
+	}
+	for base, sp := range m.shared {
+		m.store.retain(sp)
+		child.shared[base] = sp
+	}
+	return child
+}
+
+// Release drops this Memory's references on the shared store so its pages
+// stop counting toward fleet residency. The Memory stays readable — in-flight
+// extractions finish against the still-immutable page data — and Release is
+// idempotent. The session manager calls this on eviction and deletion.
+func (m *Memory) Release() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.released || m.store == nil {
+		m.released = true
+		return
+	}
+	m.released = true
+	for _, sp := range m.shared {
+		m.store.release(sp)
+	}
+}
+
+// Store returns the PageStore this Memory was sealed into, or nil.
+func (m *Memory) Store() *PageStore {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.store
+}
+
+// PageData returns the immutable shared backing of addr's page when the page
+// is still shared (never written since seal/fork). Callers may alias the
+// returned slice indefinitely — it is never mutated — but must not write it.
+// ok is false for private (mutable) pages and unmapped addresses, which
+// callers must read through Read instead.
+func (m *Memory) PageData(addr uint64) (data []byte, ok bool) {
+	base := addr &^ (PageSize - 1)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, private := m.pages[base]; private {
+		return nil, false
+	}
+	if sp, shared := m.shared[base]; shared {
+		return sp.data, true
+	}
+	return nil, false
+}
+
+// Residency breaks a Memory's footprint down for accounting: private bytes
+// are owned outright; shared bytes are mapped from the store; owned bytes
+// amortize each shared page across its current holders, so summing OwnedBytes
+// over every live Memory (templates included) equals the fleet's unique
+// resident bytes.
+type Residency struct {
+	PrivatePages int
+	PrivateBytes uint64
+	SharedPages  int
+	SharedBytes  uint64
+	OwnedBytes   uint64
+}
+
+// Residency returns the current residency breakdown. A released Memory owns
+// nothing (its store references are gone).
+func (m *Memory) Residency() Residency {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r := Residency{
+		PrivatePages: len(m.pages),
+		PrivateBytes: uint64(len(m.pages)) * PageSize,
+		SharedPages:  len(m.shared),
+		SharedBytes:  uint64(len(m.shared)) * PageSize,
+	}
+	if m.released {
+		return r
+	}
+	r.OwnedBytes = r.PrivateBytes
+	for _, sp := range m.shared {
+		if refs := sp.refs.Load(); refs > 0 {
+			r.OwnedBytes += PageSize / uint64(refs)
+		}
+	}
+	return r
+}
+
+// OwnedBytes is shorthand for Residency().OwnedBytes.
+func (m *Memory) OwnedBytes() uint64 { return m.Residency().OwnedBytes }
+
+// --- scalar accessors ---------------------------------------------------------
 
 // ReadU8 reads one byte.
 func (m *Memory) ReadU8(addr uint64) (uint8, error) {
@@ -228,18 +414,30 @@ func (m *Memory) WriteCString(addr uint64, s string) {
 	m.Write(addr, append([]byte(s), 0))
 }
 
-// Footprint returns the number of mapped pages and total mapped bytes.
+// Footprint returns the number of mapped pages and total mapped bytes,
+// counting private and shared pages alike (the address-space view; see
+// Residency for the accounting view).
 func (m *Memory) Footprint() (pages int, bytes uint64) {
-	return len(m.pages), uint64(len(m.pages)) * PageSize
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := len(m.pages) + len(m.shared)
+	return n, uint64(n) * PageSize
 }
 
 // MappedRanges returns the sorted list of mapped page base addresses. Useful
 // for tests and for the target's memory-map introspection.
 func (m *Memory) MappedRanges() []uint64 {
-	out := make([]uint64, 0, len(m.pages))
+	m.mu.RLock()
+	out := make([]uint64, 0, len(m.pages)+len(m.shared))
 	for base := range m.pages {
 		out = append(out, base)
 	}
+	for base := range m.shared {
+		if _, dup := m.pages[base]; !dup {
+			out = append(out, base)
+		}
+	}
+	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

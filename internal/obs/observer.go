@@ -43,6 +43,7 @@ type Observer struct {
 	SnapPromotions     *Counter // stale pages promoted clean by the write journal
 	SnapStaleRefetches *Counter // stale pages refetched whole (no hash capability)
 	SnapSubpageFills   *Counter // sub-page (256 B block) refetch runs issued
+	SnapZeroCopyFills  *Counter // pages filled by aliasing immutable CoW store pages
 
 	// ViewCL-level behaviour.
 	PrefetchHints     *Counter // container-iterator prefetch hints issued
@@ -103,6 +104,7 @@ func NewObserver() *Observer {
 		SnapPromotions:     r.Counter("vl_snapshot_dirty_promotions_total", "stale snapshot pages promoted clean by the write journal"),
 		SnapStaleRefetches: r.Counter("vl_snapshot_stale_refetches_total", "stale snapshot pages refetched whole (no hash capability in the chain)"),
 		SnapSubpageFills:   r.Counter("vl_snapshot_subpage_fills_total", "sub-page (256 B block) refetch runs issued by snapshots"),
+		SnapZeroCopyFills:  r.Counter("vl_snapshot_zerocopy_fills_total", "snapshot pages filled by aliasing immutable CoW store pages (no copy, no link traffic)"),
 
 		PrefetchHints:     r.Counter("vl_prefetch_hints_total", "container-iterator prefetch hints issued"),
 		BatchPrefetchRuns: r.Counter("vl_batch_prefetch_runs_total", "coalesced cross-element batch-prefetch fills issued by snapshots"),

@@ -1,0 +1,34 @@
+package perf
+
+import "testing"
+
+// A small fleet exercises every phase of the BENCH_9 personality and pins
+// the deterministic claims; the full 64-session run is `make table9`.
+func TestMeasureFleetMemSmall(t *testing.T) {
+	rep, err := MeasureFleetMem(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(FormatFleetMem(rep))
+	if rep.DedupRatio < 3 {
+		t.Fatalf("dedup ratio %.2f, want >= 3 even at 8 sessions", rep.DedupRatio)
+	}
+	if rep.ForkAdmitP95MS > rep.BuildAdmitP95MS {
+		t.Fatalf("fork admit p95 %.3f ms slower than build %.3f ms",
+			rep.ForkAdmitP95MS, rep.BuildAdmitP95MS)
+	}
+	if rep.ZeroCopyFills == 0 {
+		t.Fatal("extraction never took the zero-copy fill path")
+	}
+	if rep.TemplateForks == 0 || rep.CowBreaks == 0 {
+		t.Fatalf("cow mechanics unobserved: forks=%d breaks=%d",
+			rep.TemplateForks, rep.CowBreaks)
+	}
+	if rep.DivergedPrivateBytes == 0 {
+		t.Fatal("workload divergence privatized nothing")
+	}
+	if rep.DivergedPrivateBytes >= rep.PerSessionImageBytes*uint64(rep.DivergedSessions) {
+		t.Fatalf("divergence privatized whole images: %d bytes across %d sessions (image %d)",
+			rep.DivergedPrivateBytes, rep.DivergedSessions, rep.PerSessionImageBytes)
+	}
+}

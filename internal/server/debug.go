@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"visualinux/internal/core"
+	"visualinux/internal/kernelsim"
 	"visualinux/internal/vchat"
 )
 
@@ -61,10 +62,22 @@ func (s *Server) handleSessionsDebug(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, row)
 	}
+	st := kernelsim.SharedStore().Stats()
+	built, forks := kernelsim.TemplateStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sessions":        rows,
 		"resident":        s.mgr.Len(),
 		"total_mem_bytes": s.mgr.TotalMem(),
+		"store": map[string]any{
+			"unique_pages":    st.UniquePages,
+			"unique_bytes":    st.UniqueBytes,
+			"shared_bytes":    st.SharedBytes,
+			"total_refs":      st.TotalRefs,
+			"dedup_hits":      st.DedupHits,
+			"cow_breaks":      st.CowBreaks,
+			"templates_built": built,
+			"template_forks":  forks,
+		},
 	})
 }
 

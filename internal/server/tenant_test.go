@@ -137,6 +137,11 @@ func TestSessionFabric64Tenants(t *testing.T) {
 		var health struct {
 			Sessions []sessionHealth `json:"sessions"`
 			Resident int             `json:"resident"`
+			Store    struct {
+				UniqueBytes   uint64 `json:"unique_bytes"`
+				SharedBytes   uint64 `json:"shared_bytes"`
+				TemplateForks uint64 `json:"template_forks"`
+			} `json:"store"`
 		}
 		if err := json.Unmarshal([]byte(body), &health); err != nil {
 			t.Fatal(err)
@@ -148,6 +153,20 @@ func TestSessionFabric64Tenants(t *testing.T) {
 			if row.Panes == 0 && row.ID != "s5" {
 				t.Fatalf("session %s health row reports no panes", row.ID)
 			}
+			if row.OwnedBytes == 0 || row.SharedBytes == 0 {
+				t.Fatalf("session %s residency breakdown missing: owned=%d shared=%d",
+					row.ID, row.OwnedBytes, row.SharedBytes)
+			}
+		}
+		// Fork-admitted tenants dedup against the shared store: the unique
+		// resident bytes sit well below the sum of per-session views.
+		if health.Store.UniqueBytes == 0 || health.Store.TemplateForks == 0 {
+			t.Fatalf("store totals missing: unique=%d forks=%d",
+				health.Store.UniqueBytes, health.Store.TemplateForks)
+		}
+		if health.Store.SharedBytes <= health.Store.UniqueBytes {
+			t.Fatalf("no sharing visible: shared=%d unique=%d",
+				health.Store.SharedBytes, health.Store.UniqueBytes)
 		}
 	}
 

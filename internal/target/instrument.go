@@ -140,6 +140,17 @@ func (in *Instrumented) DirtySince(mark uint64) ([]Range, uint64, bool) {
 	return DirtySince(in.under, mark)
 }
 
+// PageData implements PageProvider when the underlying target does. Aliased
+// pages never cross the (modeled) link, so this intentionally bypasses the
+// link counters — zero-copy fills are free by construction, and counting them
+// as transactions would misstate link traffic.
+func (in *Instrumented) PageData(addr uint64) ([]byte, bool) {
+	if pp, ok := in.under.(PageProvider); ok {
+		return pp.PageData(addr)
+	}
+	return nil, false
+}
+
 // Under returns the wrapped target.
 func (in *Instrumented) Under() Target { return in.under }
 

@@ -58,6 +58,36 @@ func (s *Sim) Symbols() []Symbol {
 	return out
 }
 
+// CloneWith returns a Sim over m with a private copy of the symbol table and
+// fresh stats, sharing the immutable type registry. The fleet fork path uses
+// it: mutation workloads register new symbols (k.Func) per session, so forks
+// must not share one table.
+func (s *Sim) CloneWith(m *mem.Memory) *Sim {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &Sim{
+		Mem:     m,
+		reg:     s.reg,
+		symbols: make(map[string]Symbol, len(s.symbols)),
+		byAddr:  make(map[uint64]string, len(s.byAddr)),
+		order:   append([]string(nil), s.order...),
+	}
+	for name, sym := range s.symbols {
+		c.symbols[name] = sym
+	}
+	for addr, name := range s.byAddr {
+		c.byAddr[addr] = name
+	}
+	return c
+}
+
+// PageData implements PageProvider when the backing memory still shares
+// addr's page with its CoW store. No Stats accounting: handing out an alias
+// is metadata, not a read — nothing crosses even a modeled link.
+func (s *Sim) PageData(addr uint64) ([]byte, bool) {
+	return s.Mem.PageData(addr)
+}
+
 // ReadMemory implements Target.
 func (s *Sim) ReadMemory(addr uint64, buf []byte) error {
 	s.stats.CountRead(len(buf))
@@ -179,6 +209,7 @@ func (s *Sim) MappedRanges() []Range {
 }
 
 var (
-	_ Target      = (*Sim)(nil)
-	_ RangeProber = (*Sim)(nil)
+	_ Target       = (*Sim)(nil)
+	_ RangeProber  = (*Sim)(nil)
+	_ PageProvider = (*Sim)(nil)
 )

@@ -32,6 +32,19 @@ type spage struct {
 	// the page was last validated; they are refetched (just those blocks,
 	// not the page) on next access.
 	dirty uint16
+	// aliased marks data as a zero-copy reference into the sim's immutable
+	// CoW page store rather than cache-owned bytes. Aliased data must never
+	// be written in place: any refetch that finds changed content privatizes
+	// the page first (unalias), mirroring the store's own CoW discipline.
+	aliased bool
+}
+
+// unalias gives p cache-owned backing so refetch paths may write into it.
+func (p *spage) unalias() {
+	if p.aliased {
+		p.data = append(make([]byte, 0, PageSize), p.data...)
+		p.aliased = false
+	}
 }
 
 // Snapshot is a page-granular read-through cache over any Target. Within one
@@ -62,6 +75,13 @@ type Snapshot struct {
 	under Target
 	stats Stats
 
+	// provider is the chain's zero-copy capability, resolved once: non-nil
+	// when the underlying target can hand out stable immutable page slices
+	// (a sim backed by a CoW page store). Cache fills then alias store pages
+	// instead of copying them, so a fleet of sessions forked from one
+	// template shares snapshot cache bytes too, not just guest memory.
+	provider PageProvider
+
 	mu    sync.RWMutex
 	pages map[uint64]*spage
 	gen   uint64 // current generation; bumped by Advance and Invalidate
@@ -90,12 +110,14 @@ type Snapshot struct {
 	staleRefetch  atomic.Uint64 // stale pages refetched whole (no hash capability)
 	subFills      atomic.Uint64 // sub-page block-run refetches issued
 	subBytes      atomic.Uint64 // bytes moved by sub-page refetches
+	zeroCopy      atomic.Uint64 // pages filled by aliasing store pages (no copy)
 
 	// Observer counter handles (nil-safe when uninstrumented): the same
 	// events as the atomic fields above, but aggregated process-wide so
 	// every snapshot in every worker feeds one /debug/metrics view.
 	mHits, mMisses, mFills, mInval, mBatchRuns        *obs.Counter
 	mAdvances, mReval, mPromoted, mStaleRef, mSubFill *obs.Counter
+	mZeroCopy                                         *obs.Counter
 }
 
 // NewSnapshot wraps t with a fresh, empty cache. If the chain journals
@@ -103,6 +125,9 @@ type Snapshot struct {
 // the first Advance can promote pages the journal proves untouched.
 func NewSnapshot(t Target) *Snapshot {
 	s := &Snapshot{under: t, pages: make(map[uint64]*spage), gen: 1}
+	if pp, ok := t.(PageProvider); ok {
+		s.provider = pp
+	}
 	if _, next, ok := DirtySince(t, ^uint64(0)); ok {
 		s.dirtyMark, s.dirtyOK = next, true
 	}
@@ -122,6 +147,7 @@ func (s *Snapshot) Instrument(o *obs.Observer) *Snapshot {
 		s.mBatchRuns = o.BatchPrefetchRuns
 		s.mAdvances, s.mReval = o.SnapAdvances, o.SnapRevalidations
 		s.mPromoted, s.mStaleRef, s.mSubFill = o.SnapPromotions, o.SnapStaleRefetches, o.SnapSubpageFills
+		s.mZeroCopy = o.SnapZeroCopyFills
 	}
 	return s
 }
@@ -285,6 +311,10 @@ func (s *Snapshot) SubpageFills() (runs, bytes uint64) {
 
 // BatchRuns reports how many coalesced batch-prefetch fills were issued.
 func (s *Snapshot) BatchRuns() uint64 { return s.batchRuns.Load() }
+
+// ZeroCopyFills reports pages filled by aliasing immutable store pages
+// instead of copying them through the link.
+func (s *Snapshot) ZeroCopyFills() uint64 { return s.zeroCopy.Load() }
 
 // HitRatio reports the fraction of page lookups served from cache
 // (0 when nothing has been looked up yet).
@@ -513,16 +543,28 @@ func (s *Snapshot) revalidateStaleLocked(first, last uint64) {
 	}
 }
 
+// pageScratch pools the page-sized scratch buffers the refetch paths read
+// through. Steady-state revalidation rounds run these paths on every stop
+// event; per-call make([]byte, ...) here was a top allocation site once the
+// extraction itself stopped allocating.
+var pageScratch = sync.Pool{New: func() any {
+	b := make([]byte, PageSize)
+	return &b
+}}
+
 // refetchBlocksLocked refetches the flagged SubPage blocks of one page,
 // coalescing adjacent flagged blocks into single reads, and promotes the
 // page. The fresh bytes are diffed against the cached ones so `changed` only
 // moves when content really moved (a journaled write of identical bytes does
-// not dirty dependent figures). On read failure the page is deleted; the
-// fill pass will retry it whole. Caller holds s.mu.
+// not dirty dependent figures), and a zero-copy page is privatized before the
+// first in-place update — never written through. On read failure the page is
+// deleted; the fill pass will retry it whole. Caller holds s.mu.
 func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
 	sp := s.span("snapshot.subpage")
 	sp.TagHex("page", base)
 	defer sp.End()
+	scratch := pageScratch.Get().(*[]byte)
+	defer pageScratch.Put(scratch)
 	contentChanged := false
 	for i := 0; i < BlocksPerPage; {
 		if bits&(1<<i) == 0 {
@@ -535,7 +577,7 @@ func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
 		}
 		off := uint64(i) * SubPage
 		n := uint64(j-i+1) * SubPage
-		tmp := make([]byte, n)
+		tmp := (*scratch)[:n]
 		if err := s.under.ReadMemory(base+off, tmp); err != nil {
 			delete(s.pages, base)
 			return
@@ -545,6 +587,7 @@ func (s *Snapshot) refetchBlocksLocked(base uint64, p *spage, bits uint16) {
 		s.subBytes.Add(n)
 		if !bytes.Equal(tmp, p.data[off:off+n]) {
 			contentChanged = true
+			p.unalias()
 			copy(p.data[off:], tmp)
 		}
 		i = j + 1
@@ -606,7 +649,9 @@ func (s *Snapshot) refetchPageLocked(pb uint64) {
 	sp.TagHex("page", pb)
 	defer sp.End()
 	p := s.pages[pb]
-	tmp := make([]byte, PageSize)
+	scratch := pageScratch.Get().(*[]byte)
+	defer pageScratch.Put(scratch)
+	tmp := *scratch
 	if err := s.under.ReadMemory(pb, tmp); err != nil {
 		delete(s.pages, pb)
 		return
@@ -615,8 +660,9 @@ func (s *Snapshot) refetchPageLocked(pb uint64) {
 	s.mStaleRef.Inc()
 	if !bytes.Equal(tmp, p.data) {
 		p.changed = s.gen
+		p.unalias()
+		copy(p.data, tmp)
 	}
-	p.data = tmp
 	p.dirty = 0
 	p.gen = s.gen
 }
@@ -703,9 +749,56 @@ func (s *Snapshot) fillRun(base, end uint64) error {
 	return firstErr
 }
 
-// readRun issues one coalesced read of a page-aligned run and caches every
-// page of it at the current generation. Caller holds s.mu.
+// readRun caches every page of a page-aligned run at the current generation.
+// When the chain exposes a PageProvider, pages still shared with the CoW
+// store are installed as zero-copy aliases — no read, no allocation, no link
+// traffic — and only the gaps (privatized or store-less pages) are read.
+// Caller holds s.mu.
 func (s *Snapshot) readRun(base, size uint64) error {
+	if s.provider == nil {
+		return s.copyRun(base, size)
+	}
+	var firstErr error
+	pending := uint64(0) // pages since pendBase awaiting a copy fill
+	pendBase := base
+	for off := uint64(0); off < size; off += PageSize {
+		if data, ok := s.provider.PageData(base + off); ok && len(data) == PageSize {
+			if pending > 0 {
+				if err := s.copyRun(pendBase, pending*PageSize); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pending = 0
+			}
+			s.pages[base+off] = &spage{
+				data:    data,
+				gen:     s.gen,
+				changed: s.gen,
+				aliased: true,
+			}
+			s.zeroCopy.Add(1)
+			s.mZeroCopy.Inc()
+			s.misses.Add(1)
+			s.mMisses.Inc()
+		} else {
+			if pending == 0 {
+				pendBase = base + off
+			}
+			pending++
+		}
+	}
+	if pending > 0 {
+		if err := s.copyRun(pendBase, pending*PageSize); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// copyRun issues one coalesced read of a page-aligned run and caches every
+// page of it. The run buffer is retained as the pages' backing (one
+// allocation per run, not per page), so it is deliberately not pooled.
+// Caller holds s.mu.
+func (s *Snapshot) copyRun(base, size uint64) error {
 	run := make([]byte, size)
 	if err := s.under.ReadMemory(base, run); err != nil {
 		return err

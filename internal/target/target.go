@@ -164,6 +164,21 @@ func ClipMapped(t Target, addr, size uint64) ([]Range, bool) {
 	return nil, false
 }
 
+// PageProvider is implemented by targets whose backing pages live in this
+// process and are guaranteed immutable while shared — the simulated machine's
+// CoW page store. PageData returns the stable backing slice of addr's page;
+// ok=false means the page is mutable, unmapped, or not local, and the caller
+// must read a copy through ReadMemory instead.
+//
+// This is a zero-copy capability, not a read: callers may alias the returned
+// slice indefinitely and must never write through it. Link-modeling wrappers
+// (Latency, the RSP client) deliberately do NOT forward it — a modeled serial
+// link has no same-process pages to share, and forwarding would let cache
+// fills skip the per-byte cost the paper measures.
+type PageProvider interface {
+	PageData(addr uint64) (data []byte, ok bool)
+}
+
 // BatchPrefetcher is implemented by caching targets that can fill many
 // ranges at once, merging adjacent ranges into coalesced link transactions
 // and clipping them to the mapped memory map.
