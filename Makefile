@@ -27,7 +27,11 @@
 #                      admission, worst session request p95 above 250ms,
 #                      or the template-fork/zero-copy fast paths idle
 #                      (BENCH_9_CUR.json, exact floor + same-run
-#                      comparison)
+#                      comparison), or the fleet-query fan-out regressed:
+#                      16-target mixed-fleet p95 above 100ms, a target
+#                      unhealthy or the core dumps missing, or the merge
+#                      empty/untagged (BENCH_10_CUR.json, absolute ceiling
+#                      + exact shape)
 #   make table6        regenerate the compiled-vs-interpreted CPU report
 #                      (BENCH_6.json)
 #   make table7        regenerate the stream fan-out push-latency report
@@ -35,15 +39,19 @@
 #   make table8        regenerate the multi-tenant session-fabric report
 #                      (BENCH_8.json)
 #   make table9        regenerate the fleet-memory CoW report (BENCH_9.json)
+#   make table10       regenerate the fleet-query fan-out report (BENCH_10.json)
+#   make fuzz-smoke    short ViewQL fuzz pass (panic hunt over Engine.Apply;
+#                      the committed corpus seeds always run)
 #   make race-link     race-detector pass over the read pipeline packages
 #                      (gdbrsp client/server, target cache, memory journal,
-#                      interpreter memo, server, core workers, stream broker)
+#                      interpreter memo, server, core workers, stream broker,
+#                      coredump loader, viewql engine)
 
 GO ?= go
 
-.PHONY: ci test race vet build bench bench-smoke bench-regress race-link table4 table4-rsp table4-steady table6 table7 table8 table9
+.PHONY: ci test race vet build bench bench-smoke bench-regress race-link fuzz-smoke table4 table4-rsp table4-steady table6 table7 table8 table9 table10
 
-ci: vet build race race-link bench-smoke bench-regress
+ci: vet build race race-link fuzz-smoke bench-smoke bench-regress
 
 vet:
 	$(GO) vet ./...
@@ -58,7 +66,10 @@ race:
 	$(GO) test -race ./...
 
 race-link:
-	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core ./internal/vchat ./internal/stream
+	$(GO) test -race ./internal/gdbrsp ./internal/target ./internal/mem ./internal/viewcl ./internal/server ./internal/obs ./internal/core ./internal/vchat ./internal/stream ./internal/coredump ./internal/viewql
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzApply -fuzztime=5s -run='^FuzzApply$$' ./internal/viewql
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkTable2Extract -benchtime=1x .
@@ -67,7 +78,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-regress:
-	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json -streamjson BENCH_7_CUR.json -tenantjson BENCH_8_CUR.json -memjson BENCH_9_CUR.json > /dev/null
+	$(GO) run ./cmd/perfbench -json BENCH_2.json -rspjson BENCH_3_CUR.json -steadyjson BENCH_4_CUR.json -cpujson BENCH_6_CUR.json -streamjson BENCH_7_CUR.json -tenantjson BENCH_8_CUR.json -memjson BENCH_9_CUR.json -fleetjson BENCH_10_CUR.json > /dev/null
 	$(GO) run ./cmd/benchguard BENCH_1.json BENCH_2.json
 	$(GO) run ./cmd/benchguard BENCH_3.json BENCH_3_CUR.json
 	$(GO) run ./cmd/benchguard -reusefloor 0.9 BENCH_4.json BENCH_4_CUR.json
@@ -75,6 +86,7 @@ bench-regress:
 	$(GO) run ./cmd/benchguard -pushp95ceil 250 BENCH_7_CUR.json
 	$(GO) run ./cmd/benchguard -tenantp95ceil 250 -isolationceil 8 BENCH_8_CUR.json
 	$(GO) run ./cmd/benchguard -dedupfloor 3 -forkadmitceil BENCH_9_CUR.json
+	$(GO) run ./cmd/benchguard -fleetp95ceil 100 -fleettargets 16 BENCH_10_CUR.json
 
 table4:
 	$(GO) run ./cmd/perfbench -json BENCH_1.json
@@ -96,3 +108,6 @@ table8:
 
 table9:
 	$(GO) run ./cmd/perfbench -memjson BENCH_9.json
+
+table10:
+	$(GO) run ./cmd/perfbench -fleetjson BENCH_10.json

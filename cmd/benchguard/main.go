@@ -11,6 +11,7 @@
 //	benchguard -pushp95ceil 250 BENCH_7.json
 //	benchguard -tenantp95ceil 250 -isolationceil 8 BENCH_8.json
 //	benchguard -dedupfloor 3 -forkadmitceil BENCH_9.json
+//	benchguard -fleetp95ceil 100 -fleettargets 16 BENCH_10.json
 //
 // Four file shapes are understood: the flat per-figure array written by
 // perfbench -json / -rspjson (gated on kgdb_ms), the steady-state
@@ -38,7 +39,11 @@
 // takes an exact floor; -forkadmitceil additionally requires fork-admission
 // p95 to be no slower than build-admission p95 — both arms measured in the
 // same run on the same host, so the comparison transfers — and the worst
-// session's request p95 to stay under -memp95ceil.
+// session's request p95 to stay under -memp95ceil. The fleet-query gate
+// (-fleetp95ceil) checks the cross-target fan-out p95 against an absolute
+// wall-clock ceiling and — exactly — the fleet shape (-fleettargets targets,
+// all healthy, core dumps present) and merge integrity (a non-empty merged
+// set with provenance on every ref).
 //
 // The modeled-latency columns are deterministic workload properties, but
 // they still carry a wall-clock component, so tiny figures are judged with
@@ -90,7 +95,17 @@ func main() {
 	dedupFloor := flag.Float64("dedupfloor", 0, "min dedup_ratio for fleet-memory reports (0 disables; single-file mode)")
 	forkAdmitCeil := flag.Bool("forkadmitceil", false, "require fork_admit_p95_ms <= build_admit_p95_ms for fleet-memory reports (with -dedupfloor)")
 	memP95Ceil := flag.Float64("memp95ceil", 250, "max worst_session_req_p95_ms for fleet-memory reports (with -dedupfloor)")
+	fleetP95Ceil := flag.Float64("fleetp95ceil", 0, "max fanout_p95_ms for fleet-query reports (0 disables; single-file mode)")
+	fleetTargetsWant := flag.Int("fleettargets", 16, "required target count for fleet-query reports (with -fleetp95ceil)")
 	flag.Parse()
+	if *fleetP95Ceil > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -fleetp95ceil 100 [-fleettargets 16] BENCH_10.json")
+			os.Exit(2)
+		}
+		guardFleet(flag.Arg(0), *fleetP95Ceil, *fleetTargetsWant)
+		return
+	}
 	if *dedupFloor > 0 {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchguard -dedupfloor 3 [-forkadmitceil] [-memp95ceil 250] BENCH_9.json")
@@ -412,6 +427,61 @@ func guardFleetMem(path string, dedupFloor float64, forkAdmitCeil bool, p95Ceil 
 	} else {
 		fmt.Printf("benchguard: template_forks %d, zero_copy_fills %d ok (fast paths engaged)\n",
 			ff.TemplateForks, ff.ZeroCopyFills)
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// fleetFile mirrors the perf.FleetReport fields the fleet-query gate needs.
+type fleetFile struct {
+	Targets      int     `json:"targets"`
+	Core         int     `json:"core"`
+	FanoutP95MS  float64 `json:"fanout_p95_ms"`
+	MergedRefs   int     `json:"merged_refs"`
+	HealthyTargs int     `json:"healthy_targets"`
+	TaggedRefs   int     `json:"tagged_refs"`
+}
+
+// guardFleet applies the fleet-query gates to one report: the fan-out p95
+// against an absolute wall-clock ceiling, the exact fleet shape (all
+// targets present and healthy, core dumps included), and the merge
+// integrity counters — a non-empty merged set with provenance on every
+// ref — so the gate can't pass on an empty or untagged merge.
+func guardFleet(path string, p95Ceil float64, wantTargets int) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var ff fleetFile
+	if err := json.Unmarshal(blob, &ff); err != nil || ff.Targets == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: not a perfbench -fleetjson report\n", path)
+		os.Exit(2)
+	}
+	failed := false
+	if ff.FanoutP95MS > p95Ceil {
+		fmt.Printf("benchguard: fanout_p95_ms %.2f ABOVE ceiling %.2f\n", ff.FanoutP95MS, p95Ceil)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: fanout_p95_ms %.2f ok (ceiling %.2f)\n", ff.FanoutP95MS, p95Ceil)
+	}
+	if ff.Targets != wantTargets || ff.HealthyTargs != ff.Targets || ff.Core == 0 {
+		fmt.Printf("benchguard: fleet shape off: %d targets (%d healthy, %d core); want %d, all healthy, core > 0\n",
+			ff.Targets, ff.HealthyTargs, ff.Core, wantTargets)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: fleet shape ok (%d targets, %d core dumps, all healthy)\n",
+			ff.Targets, ff.Core)
+	}
+	if ff.MergedRefs == 0 || ff.TaggedRefs != ff.MergedRefs {
+		fmt.Printf("benchguard: merge integrity off: %d refs, %d provenance-tagged; want a non-empty fully tagged merge\n",
+			ff.MergedRefs, ff.TaggedRefs)
+		failed = true
+	} else {
+		fmt.Printf("benchguard: merge integrity ok (%d refs, all provenance-tagged)\n", ff.MergedRefs)
 	}
 	if failed {
 		fmt.Println("benchguard: FAIL")

@@ -62,6 +62,17 @@
 //	                             # comparison and absolute ceilings); the
 //	                             # dedup ratio and CoW counters are
 //	                             # deterministic byte accounting.
+//	perfbench -fleetjson BENCH_10.json
+//	                             # also run the fleet-query personality — a
+//	                             # 16-target mixed fleet (live sims across
+//	                             # three workload variants plus two loaded
+//	                             # core dumps) answers one ViewQL program
+//	                             # through POST /fleet/query, measured
+//	                             # against the serial per-target loop — and
+//	                             # write the fan-out/merge report as JSON.
+//	                             # Latencies are host wall-clock (absolute
+//	                             # benchguard ceilings); the merge counters
+//	                             # are deterministic.
 //	perfbench -trace out.json    # also write a Chrome trace_event profile
 //	                             # of every figure's cached-KGDB extraction
 package main
@@ -125,6 +136,9 @@ func main() {
 	memJSONOut := flag.String("memjson", "", "write the fleet-memory (CoW template fork vs private build) report to this JSON file (e.g. BENCH_9.json)")
 	memSessions := flag.Int("memsessions", 0, "fleet size for -memjson (0 = default of 64)")
 	memReqs := flag.Int("memreqs", 0, "pane reads per session for -memjson (0 = default)")
+	fleetJSONOut := flag.String("fleetjson", "", "write the fleet-query (cross-target fan-out vs serial loop) report to this JSON file (e.g. BENCH_10.json)")
+	fleetTargets := flag.Int("fleettargets", 0, "fleet size for -fleetjson, two of which are loaded core dumps (0 = default of 16)")
+	fleetQueries := flag.Int("fleetqueries", 0, "query rounds per arm for -fleetjson (0 = default of 32)")
 	packetSize := flag.Int("packetsize", 512, "negotiated RSP PacketSize for -rspjson (the serial-stub constraint)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every figure's cached-KGDB extraction (open in chrome://tracing or Perfetto)")
 	perRead := flag.Duration("perread", 5*time.Millisecond, "modeled KGDB round-trip per read")
@@ -330,6 +344,29 @@ func main() {
 		fmt.Printf("\nFleet-memory personality (CoW template forks vs private builds, %d sessions):\n", rep.Sessions)
 		fmt.Print(perf.FormatFleetMem(rep))
 		fmt.Printf("wrote %s\n", *memJSONOut)
+	}
+
+	if *fleetJSONOut != "" {
+		// The fleet-query personality: one ViewQL program fanned across a
+		// mixed live+core fleet vs the serial per-target loop. The merge
+		// counters are deterministic; only the latencies are wall-clock.
+		rep, err := perf.MeasureFleet(*fleetTargets, *fleetQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: fleetjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := perf.FleetReportJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: fleetjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*fleetJSONOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: fleetjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nFleet-query personality (fan-out vs serial over %d mixed targets):\n", rep.Targets)
+		fmt.Print(perf.FormatFleet(rep))
+		fmt.Printf("wrote %s\n", *fleetJSONOut)
 	}
 
 	if *traceOut != "" {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "total simulated-kernel bytes across managed sessions; LRU sessions are evicted to fit (0 = unbounded)")
 	idleTTL := flag.Duration("idle-ttl", 0, "evict managed sessions idle this long; a background sweeper runs at ttl/4 (0 = never)")
 	privateBuilds := flag.Bool("private-builds", false, "build each managed session's kernel privately instead of forking the shared CoW template image (debugging escape hatch; admission is ~10x slower and nothing dedups)")
+	coreFile := flag.String("core", "", "attach post-mortem: serve a VLCORE01 core dump instead of a live simulated kernel (read-only; rounds are rejected)")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -57,6 +59,10 @@ func main() {
 		PrivateBuilds: *privateBuilds,
 	}, o)
 	startIdleSweeper(mgr, *idleTTL)
+	if *coreFile != "" {
+		servePostMortem(*addr, *coreFile, *figure, *workspace, mgr)
+		return
+	}
 	if *runEvery > 0 {
 		runContinuous(*addr, *procs, *workspace, *figure, *baseline, *runEvery, o, mgr)
 		return
@@ -131,6 +137,46 @@ func startIdleSweeper(mgr *core.SessionManager, ttl time.Duration) {
 			}
 		}
 	}()
+}
+
+// servePostMortem is the -core attach mode: load a VLCORE01 dump, admit it
+// through the manager as a read-only post-mortem session, and serve it on
+// the legacy routes (and under /sessions/core/ like any tenant). Further
+// dumps or live sims can still be admitted beside it with POST /sessions,
+// so one process fleet-queries live and crashed targets together.
+func servePostMortem(addr, path, figure, workspace string, mgr *core.SessionManager) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("vlserver: -core: %v", err)
+	}
+	var figIDs []string
+	if workspace != "" && workspace != "all" {
+		figs, err := workspaceFigures(workspace)
+		if err != nil {
+			log.Fatalf("vlserver: %v", err)
+		}
+		for _, f := range figs {
+			figIDs = append(figIDs, f.ID)
+		}
+	} else if workspace == "" && figure != "" {
+		figIDs = []string{figure}
+	}
+	ms, err := mgr.Create("core", core.SessionOptions{
+		Source:    core.SourceCore,
+		CoreImage: img,
+		Figures:   figIDs,
+	})
+	if err != nil && ms == nil {
+		log.Fatalf("vlserver: loading %s: %v", path, err)
+	}
+	if err != nil {
+		log.Printf("vlserver: partial extraction from %s: %v", path, err)
+	}
+	_, bytes := ms.Mem.Footprint()
+	fmt.Printf("vlserver: post-mortem session from %s (%d KiB image, %d panes); listening on http://%s\n",
+		path, bytes/1024, len(ms.Session.Tree.Panes()), addr)
+	fmt.Printf("vlserver: session is read-only: POST /round answers 422; fleet queries at /fleet/query span it and any live sessions admitted beside it\n")
+	log.Fatal(http.ListenAndServe(addr, server.NewManaged(mgr, ms)))
 }
 
 // runContinuous is the live-dashboard mode: the simulated kernel free-runs

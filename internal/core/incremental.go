@@ -103,6 +103,19 @@ func (x *IncrementalExtractor) Advance() { x.snap.Advance() }
 // Rounds reports how many extraction rounds have completed.
 func (x *IncrementalExtractor) Rounds() int { return x.rounds }
 
+// PaneFor resolves the pane a figure was attached to (false before the
+// figure's first successful round, or for figures this extractor doesn't
+// carry). The fleet fan-out uses it to aim one query at the same figure
+// across heterogeneous sessions.
+func (x *IncrementalExtractor) PaneFor(figID string) (int, bool) {
+	for _, st := range x.states {
+		if st.fig.ID == figID && st.paneID != 0 {
+			return st.paneID, true
+		}
+	}
+	return 0, false
+}
+
 // Round extracts every figure once. The first round is cold: each figure is
 // extracted and attached as a pane. Later rounds are deltas: a figure whose
 // page-granular read set is provably unchanged since its last validation is

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"visualinux/internal/coredump"
+	"visualinux/internal/ctypes"
 	"visualinux/internal/kernelsim"
 	"visualinux/internal/mem"
 	"visualinux/internal/obs"
@@ -68,15 +71,23 @@ const DefaultMaxSessions = 256
 // (kernel, incremental extractor, workload) plus the bookkeeping the
 // manager evicts and reports by.
 type ManagedSession struct {
-	ID        string
-	Session   *Session
+	ID      string
+	Session *Session
+	// Source records the attach mode. Kernel and Workload are nil for
+	// post-mortem (core dump) sessions: there is no simulator to step,
+	// only a frozen image to extract from.
+	Source    SourceKind
 	Kernel    *kernelsim.Kernel
 	Extractor *IncrementalExtractor
 	Workload  *kernelsim.Workload
+	// Mem is the session's memory image — the kernel's for live sessions,
+	// the loaded dump's for core sessions. Budget accounting and release
+	// go through it so both attach modes are charged the same way.
+	Mem *mem.Memory
 	// Obs is the session's own observer (registry, slow log, trace store):
 	// tenants never share mutable observability state, only the bounded
 	// session-labeled series the manager exports process-wide.
-	Obs *obs.Observer
+	Obs     *obs.Observer
 	Figures []vclstdlib.Figure
 	// MemBytes is the kernel's mapped footprint (the address-space view,
 	// fixed at admission). Budget accounting uses OwnedBytes instead, which
@@ -89,10 +100,27 @@ type ManagedSession struct {
 	mgr      *SessionManager
 }
 
+// SourceKind selects a session's attach mode at admission.
+type SourceKind string
+
+const (
+	// SourceSim is the default: build (or template-fork) a live simulated
+	// kernel and step it under the canned workload.
+	SourceSim SourceKind = "sim"
+	// SourceCore attaches post-mortem: load a VLCORE01 dump into a
+	// read-only target. No workload, no rounds beyond the cold one.
+	SourceCore SourceKind = "core"
+)
+
 // SessionOptions configures one tenant at admission.
 type SessionOptions struct {
-	Kernel  kernelsim.Options
-	Figures []string // stdlib figure IDs; empty = every figure
+	// Source picks the attach mode; empty means SourceSim.
+	Source SourceKind
+	// Kernel configures the simulated kernel (SourceSim only).
+	Kernel kernelsim.Options
+	// CoreImage is the raw dump to load (SourceCore only).
+	CoreImage []byte
+	Figures   []string // stdlib figure IDs; empty = every figure
 }
 
 // Sentinel errors the REST layer maps to status codes.
@@ -100,6 +128,9 @@ var (
 	ErrSessionExists   = errors.New("session already exists")
 	ErrTooManySessions = errors.New("session limit reached")
 	ErrMemBudget       = errors.New("memory budget exceeded")
+	// ErrPostMortem rejects workload steps against a core-dump session:
+	// the target is a frozen image, there is nothing to advance.
+	ErrPostMortem = errors.New("post-mortem session has no workload")
 )
 
 // NewSessionManager creates the fabric. o is the serving process's observer
@@ -178,38 +209,58 @@ func (m *SessionManager) Create(id string, opts SessionOptions) (*ManagedSession
 		return nil, err
 	}
 
-	// Kernel acquisition happens outside the manager lock. The default path
+	// Image acquisition happens outside the manager lock. The live path
 	// forks the shared template image for this config — microseconds, all
-	// pages shared copy-on-write; only the first request for a config pays a
-	// build. PrivateBuilds keeps the old build-per-session behavior. A
-	// racing Create of the same ID wastes one fork/build and gets
-	// ErrSessionExists, which is the correct answer.
-	var k *kernelsim.Kernel
-	if m.opts.PrivateBuilds {
-		k = kernelsim.Build(opts.Kernel)
-	} else {
-		k = kernelsim.FromTemplate(opts.Kernel)
-	}
-	_, memBytes := k.Mem.Footprint()
-	if m.opts.SessionBudget > 0 && memBytes > m.opts.SessionBudget {
-		m.reject()
-		k.Mem.Release()
-		return nil, fmt.Errorf("%w: kernel footprint %d > per-session budget %d",
-			ErrMemBudget, memBytes, m.opts.SessionBudget)
-	}
-
+	// pages shared copy-on-write; only the first request for a config pays
+	// a build (PrivateBuilds keeps the old build-per-session behavior).
+	// The core path parses the dump into a fresh private image and binds
+	// its symbols against a locally reconstructed type registry, like GDB
+	// loading vmlinux for a vmcore. A racing Create of the same ID wastes
+	// one fork/build/load and gets ErrSessionExists, which is the correct
+	// answer.
 	so := obs.NewObserver()
 	ms := &ManagedSession{
-		ID: id, Kernel: k, Obs: so, Figures: figs,
-		MemBytes: memBytes, Created: m.now(), mgr: m,
+		ID: id, Obs: so, Figures: figs, Created: m.now(), mgr: m,
 	}
-	ms.Extractor = NewIncrementalExtractor(k, k.Target(), figs, so)
+	switch opts.Source {
+	case "", SourceSim:
+		ms.Source = SourceSim
+		var k *kernelsim.Kernel
+		if m.opts.PrivateBuilds {
+			k = kernelsim.Build(opts.Kernel)
+		} else {
+			k = kernelsim.FromTemplate(opts.Kernel)
+		}
+		ms.Kernel = k
+		ms.Mem = k.Mem
+		ms.Extractor = NewIncrementalExtractor(k, k.Target(), figs, so)
+		ms.Workload = kernelsim.NewWorkload(k)
+	case SourceCore:
+		reg := kernelsim.RegisterTypes(ctypes.NewRegistry())
+		tgt, err := coredump.Load(bytes.NewReader(opts.CoreImage), reg)
+		if err != nil {
+			m.reject()
+			return nil, err
+		}
+		ms.Source = SourceCore
+		ms.Mem = tgt.Mem
+		ms.Extractor = NewIncrementalExtractor(nil, tgt, figs, so)
+	default:
+		return nil, fmt.Errorf("unknown session source %q", opts.Source)
+	}
+	_, memBytes := ms.Mem.Footprint()
+	if m.opts.SessionBudget > 0 && memBytes > m.opts.SessionBudget {
+		m.reject()
+		ms.Mem.Release()
+		return nil, fmt.Errorf("%w: image footprint %d > per-session budget %d",
+			ErrMemBudget, memBytes, m.opts.SessionBudget)
+	}
+	ms.MemBytes = memBytes
 	ms.Session = ms.Extractor.Session
-	ms.Workload = kernelsim.NewWorkload(k)
 	ms.lastUsed.Store(ms.Created.UnixNano())
 
 	if err := m.admit(ms); err != nil {
-		k.Mem.Release()
+		ms.Mem.Release()
 		return nil, err
 	}
 
@@ -300,8 +351,12 @@ func (ms *ManagedSession) Round() ([]RoundResult, error) {
 
 // StepRound advances the session's canned workload one step, marks the
 // stop boundary, and runs the delta round — the managed analogue of the
-// single-session free-run loop.
+// single-session free-run loop. Post-mortem sessions refuse: a core image
+// is frozen.
 func (ms *ManagedSession) StepRound() ([]RoundResult, error) {
+	if ms.Workload == nil {
+		return nil, fmt.Errorf("%w: %q", ErrPostMortem, ms.ID)
+	}
 	ms.Workload.Step()
 	ms.Extractor.Advance()
 	return ms.Round()
@@ -381,7 +436,7 @@ func (m *SessionManager) removeLocked(ms *ManagedSession) {
 	// Drop the session's CoW store references so its share stops counting
 	// against the budget. The memory stays readable: an in-flight round on
 	// another goroutine finishes against the still-immutable pages.
-	ms.Kernel.Mem.Release()
+	ms.Mem.Release()
 	if m.Tenants != nil {
 		m.Tenants.Release(ms.ID)
 	}
@@ -436,11 +491,11 @@ func (m *SessionManager) TotalMem() uint64 {
 // OwnedBytes reports the session's current owned bytes: CoW-broken private
 // pages in full plus an amortized share of every page still shared through
 // the store.
-func (ms *ManagedSession) OwnedBytes() uint64 { return ms.Kernel.Mem.OwnedBytes() }
+func (ms *ManagedSession) OwnedBytes() uint64 { return ms.Mem.OwnedBytes() }
 
 // MemResidency returns the session's private/shared/owned breakdown for the
 // debug surface.
-func (ms *ManagedSession) MemResidency() mem.Residency { return ms.Kernel.Mem.Residency() }
+func (ms *ManagedSession) MemResidency() mem.Residency { return ms.Mem.Residency() }
 
 // SessionInfo is one tenant's manager-level health row. MemBytes is the
 // mapped footprint; the residency triple breaks it down under CoW sharing
@@ -448,6 +503,7 @@ func (ms *ManagedSession) MemResidency() mem.Residency { return ms.Kernel.Mem.Re
 // charges).
 type SessionInfo struct {
 	ID           string    `json:"id"`
+	Source       string    `json:"source"`
 	Created      time.Time `json:"created"`
 	IdleSeconds  float64   `json:"idle_seconds"`
 	MemBytes     uint64    `json:"mem_bytes"`
@@ -472,6 +528,7 @@ func (m *SessionManager) List() []SessionInfo {
 		res := ms.MemResidency()
 		out = append(out, SessionInfo{
 			ID:           ms.ID,
+			Source:       string(ms.Source),
 			Created:      ms.Created,
 			IdleSeconds:  now.Sub(ms.LastUsed()).Seconds(),
 			MemBytes:     ms.MemBytes,

@@ -65,6 +65,22 @@ type Options struct {
 	// letting the paper's workload run before breaking in: maple trees
 	// fragment and the RCU lists fill up.
 	Churn int
+
+	// Fleet-heterogeneity variants: a fleet of sessions over divergent
+	// options must actually look different, or cross-target queries
+	// ("which target has the longest runqueue?") have nothing to rank.
+	// All fields stay comparable — Options keys the template-image map.
+
+	// RunqueueSkew piles runnable tasks onto CPU 0 instead of the default
+	// balanced round-robin: every block of RunqueueSkew extra tasks per
+	// NrCPUs lands on CPU 0, so rq0's nr_running grows with the skew.
+	RunqueueSkew int
+	// ZombieTasks spawns and immediately exits N extra tasks, leaving
+	// EXIT_ZOMBIE entries in the task list (the unreaped-children fault).
+	ZombieTasks int
+	// PipeBurst preloads a scratch pipe with N writes, filling its ring
+	// buffers (the stuck-reader workload shape).
+	PipeBurst int
 }
 
 func (o *Options) fill() {
@@ -115,8 +131,9 @@ func Build(opts Options) *Kernel {
 	if !opts.DisableStackRot {
 		k.buildStackRot()
 	}
-	k.finalizeSched()
+	k.finalizeSched(opts.RunqueueSkew)
 	k.finalizePidIDR()
+	k.applyVariants(opts)
 	k.churn(opts.Churn)
 	// max_pfn reflects every page frame handed out during the build, so
 	// helpers can scan the vmemmap like the kernel does.

@@ -323,6 +323,25 @@ func (k *Kernel) churn(rounds int) {
 	}
 }
 
+// applyVariants applies the fleet-heterogeneity options after the base
+// build: zombie leftovers and pipe pressure are ordinary mutations, run
+// through the same transition paths the live workload uses so every
+// derived structure stays consistent.
+func (k *Kernel) applyVariants(opts Options) {
+	for i := 0; i < opts.ZombieTasks; i++ {
+		pid := 700 + i
+		if _, err := k.SpawnTask(pid, "zombie", 1); err == nil {
+			_ = k.ExitTask(pid)
+		}
+	}
+	if opts.PipeBurst > 0 {
+		p := k.MakePipe()
+		for i := 0; i < opts.PipeBurst; i++ {
+			_ = k.PipeWrite(p, uint64(64+i*16))
+		}
+	}
+}
+
 // Workload is the deterministic mutation stepper behind churn, exported so
 // free-run mode (vlserver -run-interval) and the streaming bench can keep
 // aging the kernel between stop events: each Step maps/unmaps memory,

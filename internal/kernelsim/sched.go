@@ -20,8 +20,11 @@ func (k *Kernel) buildSched() {
 }
 
 // finalizeSched distributes runnable tasks round-robin over the CPUs and
-// builds each CPU's CFS timeline red-black tree keyed by vruntime.
-func (k *Kernel) finalizeSched() {
+// builds each CPU's CFS timeline red-black tree keyed by vruntime. A
+// positive skew unbalances the distribution: out of every NrCPUs+skew
+// tasks, the skew overflow lands on CPU 0, so rq0 is measurably the
+// longest runqueue (the fleet-heterogeneity layout variant).
+func (k *Kernel) finalizeSched(skew int) {
 	type entry struct {
 		node     uint64
 		vruntime uint64
@@ -33,6 +36,13 @@ func (k *Kernel) finalizeSched() {
 			continue
 		}
 		cpu := i % NrCPUs
+		if skew > 0 {
+			if idx := i % (NrCPUs + skew); idx >= NrCPUs {
+				cpu = 0
+			} else {
+				cpu = idx
+			}
+		}
 		t.Set("cpu", uint64(cpu))
 		t.Set("on_rq", 1)
 		t.Set("se.on_rq", 1)

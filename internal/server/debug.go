@@ -23,6 +23,7 @@ import (
 // never apply and the handlers are wired explicitly.
 func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/sessions", s.handleSessionsDebug)
+	s.mux.HandleFunc("/debug/fleet", s.handleFleetDebug)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

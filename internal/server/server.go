@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"visualinux/internal/core"
+	"visualinux/internal/vchat"
 )
 
 // Server exposes sessions over HTTP.
@@ -41,6 +42,11 @@ type Server struct {
 	// never reassigned; if the default session is evicted its tenant keeps
 	// serving the legacy surface over the still-live session object.
 	deflt *tenant
+
+	// fleet fans ViewQL queries across the managed sessions (/fleet/query,
+	// /debug/fleet, and the cross-target vchat intent). Its guard routes
+	// each per-session read through the tenant's read lock.
+	fleet *core.Fleet
 }
 
 // New wraps a single session as the default tenant — the historical
@@ -94,6 +100,9 @@ func newServer(mgr *core.SessionManager) *Server {
 	// The session fabric.
 	srv.mux.HandleFunc("/sessions", srv.handleSessions)
 	srv.mux.HandleFunc("/sessions/", srv.handleSessionPath)
+	// The fleet scope: one ViewQL query, every session.
+	srv.fleet = &core.Fleet{Mgr: mgr, Guard: srv.fleetGuard}
+	srv.mux.HandleFunc("/fleet/query", srv.handleFleetQuery)
 	srv.registerDebug()
 	return srv
 }
@@ -323,6 +332,22 @@ func (s *Server) handleVChat(t *tenant, w http.ResponseWriter, r *http.Request) 
 	}
 	if req.Pane == 0 {
 		req.Pane = 1
+	}
+	// Fleet questions span sessions, so they must be routed before this
+	// tenant's write lock is taken: the fleet guard re-acquires per-tenant
+	// read locks (including this one) during the fan-out.
+	if intent, _ := vchat.Classify(req.Message); intent == vchat.IntentFleet {
+		ans, err := s.fleet.Chat(req.Message)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kind":    "fleet",
+			"answer":  ans.Text,
+			"ranking": ans.Ranking,
+		})
+		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

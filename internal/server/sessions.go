@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 
 	"visualinux/internal/core"
@@ -21,10 +22,20 @@ import (
 // sessionCreateReq is the body of POST /sessions.
 type sessionCreateReq struct {
 	ID string `json:"id"`
+	// Source selects the attach mode: "" or "sim" builds a live simulated
+	// kernel; "core" loads the dump file named by Core post-mortem.
+	Source string `json:"source,omitempty"`
+	// Core is a server-side path to a VLCORE01 dump file (implies
+	// source "core").
+	Core string `json:"core,omitempty"`
 	// Workload shape of the simulated kernel backing the session.
 	Procs          int `json:"procs,omitempty"`
 	ThreadsPerProc int `json:"threads_per_proc,omitempty"`
 	Churn          int `json:"churn,omitempty"`
+	// Fleet-heterogeneity variants (see kernelsim.Options).
+	RunqueueSkew int `json:"runqueue_skew,omitempty"`
+	ZombieTasks  int `json:"zombie_tasks,omitempty"`
+	PipeBurst    int `json:"pipe_burst,omitempty"`
 	// Figures narrows the extracted stdlib figures (empty = all).
 	Figures []string `json:"figures,omitempty"`
 }
@@ -55,14 +66,28 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("session id must not contain '/' or spaces"))
 		return
 	}
-	ms, err := s.mgr.Create(req.ID, core.SessionOptions{
+	opts := core.SessionOptions{
 		Kernel: kernelsim.Options{
 			Processes:      req.Procs,
 			ThreadsPerProc: req.ThreadsPerProc,
 			Churn:          req.Churn,
+			RunqueueSkew:   req.RunqueueSkew,
+			ZombieTasks:    req.ZombieTasks,
+			PipeBurst:      req.PipeBurst,
 		},
+		Source:  core.SourceKind(req.Source),
 		Figures: req.Figures,
-	})
+	}
+	if req.Core != "" {
+		img, err := os.ReadFile(req.Core)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("core dump: %w", err))
+			return
+		}
+		opts.Source = core.SourceCore
+		opts.CoreImage = img
+	}
+	ms, err := s.mgr.Create(req.ID, opts)
 	if err != nil && ms == nil {
 		code := http.StatusUnprocessableEntity
 		switch {
@@ -97,6 +122,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	t.mu.RUnlock()
 	resp := map[string]any{
 		"id":        ms.ID,
+		"source":    string(ms.Source),
 		"panes":     panes,
 		"mem_bytes": ms.MemBytes,
 		"url":       "/sessions/" + ms.ID + "/",
@@ -175,7 +201,13 @@ func (s *Server) handleRound(t *tenant, w http.ResponseWriter, r *http.Request) 
 		return err
 	})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrPostMortem) {
+			// A core-dump session is frozen: stepping it is a client
+			// error, not a server fault.
+			code = http.StatusUnprocessableEntity
+		}
+		writeErr(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

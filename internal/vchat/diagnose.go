@@ -31,6 +31,10 @@ const (
 	IntentWhatChanged
 	// IntentStreamLag asks why the live stream is lagging.
 	IntentStreamLag
+	// IntentFleet asks a cross-target question ("which target has the
+	// longest runqueue?") answered by fanning out over the session fleet
+	// and ranking the per-target results.
+	IntentFleet
 )
 
 // Classify decides which intent a message carries and extracts a pane
@@ -40,6 +44,13 @@ func Classify(text string) (Intent, int) {
 	low := strings.ToLower(text)
 	pane := parsePane(low)
 	switch {
+	// Fleet questions outrank everything: "which fleet member has pane 3
+	// slowest?" names a pane and says "slowest", but the subject is the
+	// fleet, not this session.
+	case strings.Contains(low, "which target") || strings.Contains(low, "which session") ||
+		strings.Contains(low, "fleet member") || strings.Contains(low, "across the fleet") ||
+		strings.Contains(low, "which fleet"):
+		return IntentFleet, pane
 	case strings.Contains(low, "what changed") || strings.Contains(low, "what has changed"):
 		return IntentWhatChanged, pane
 	// Stream questions outrank the generic slow/why check: "why is my

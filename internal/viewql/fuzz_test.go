@@ -1,0 +1,114 @@
+package viewql_test
+
+import (
+	"fmt"
+	"testing"
+
+	"visualinux/internal/graph"
+	"visualinux/internal/viewql"
+)
+
+// fuzzGraph builds a small synthetic graph — enough structure for SELECT,
+// REACHABLE and WHERE clauses to do real work without the cost of a full
+// kernel build per fuzz iteration.
+func fuzzGraph() *graph.Graph {
+	g := graph.New("fuzz")
+	var prevID string
+	for i := 0; i < 4; i++ {
+		addr := uint64(0x1000 * (i + 1))
+		b := g.NewBoxIn(graph.BoxID("Task", addr), "Task", "task_struct", addr)
+		v := &graph.View{Name: graph.DefaultView, Items: []graph.Item{
+			{Kind: graph.ItemText, Name: "pid", Value: fmt.Sprint(100 + i), Raw: uint64(100 + i), IsNum: true},
+			{Kind: graph.ItemText, Name: "comm", Value: "proc", IsStr: true},
+		}}
+		if prevID != "" {
+			v.Items = append(v.Items, graph.Item{Kind: graph.ItemLink, Name: "next", TargetID: prevID})
+		}
+		b.AddView(v)
+		g.Add(b)
+		prevID = b.ID
+	}
+	return g
+}
+
+// seedPrograms: one valid program plus every malformed shape the issue
+// calls out — unterminated strings, nested parens, bogus set operators,
+// REACHABLE arity abuse. They double as the committed fuzz corpus.
+var seedPrograms = []string{
+	`foo = SELECT task_struct FROM * WHERE pid > 100`,
+	`foo = SELECT task_struct.pid FROM * AS p
+UPDATE foo WITH color: red`,
+	`foo = SELECT task_struct FROM REACHABLE(*)`,
+	`foo = SELECT task_struct FROM INSIDE(*, *)`,
+	`foo = SELECT task_struct FROM * WHERE comm == "unterminated`,
+	`foo = SELECT task_struct FROM ((((((((((((*))))))))))))`,
+	`foo = SELECT task_struct FROM * %% *`,
+	`foo = SELECT task_struct FROM REACHABLE(*, *, *)`,
+	`foo = SELECT task_struct FROM REACHABLE()`,
+	`foo = SELECT task_struct FROM REACHABLE`,
+	`UPDATE`,
+	`UPDATE * WITH`,
+	`UPDATE * WITH color:`,
+	`= SELECT`,
+	`foo = SELECT`,
+	`foo = SELECT task_struct FROM`,
+	`foo = SELECT task_struct FROM * WHERE`,
+	`foo = SELECT task_struct FROM * WHERE pid`,
+	`foo = SELECT task_struct FROM * WHERE pid >`,
+	`foo = SELECT task_struct FROM * WHERE (pid > 1`,
+	`foo = SELECT task_struct.`,
+	`foo = SELECT task_struct->`,
+	"foo = SELECT task_struct FROM * -- trailing comment",
+	"\x00\xff\xfe",
+	`foo = SELECT task_struct FROM * WHERE pid == 0xZZ`,
+	`foo = SELECT task_struct FROM * WHERE pid == 99999999999999999999999999`,
+}
+
+// FuzzApply: Engine.Apply must never panic, whatever the program — parse
+// errors yes, crashes no. Depth-limited parsing keeps "(((((..." from
+// exhausting the stack (a panic recover() can't catch).
+func FuzzApply(f *testing.F) {
+	for _, p := range seedPrograms {
+		f.Add(p)
+	}
+	g := fuzzGraph()
+	f.Fuzz(func(t *testing.T, src string) {
+		e := viewql.NewEngine(g)
+		_ = e.Apply(src) // errors fine; panics/hangs are the failure mode
+	})
+}
+
+// TestApplyMalformedNoPanic pins the seed corpus in the normal test run,
+// so the no-panic guarantee is exercised even without -fuzz.
+func TestApplyMalformedNoPanic(t *testing.T) {
+	g := fuzzGraph()
+	for _, src := range seedPrograms {
+		e := viewql.NewEngine(g)
+		_ = e.Apply(src)
+	}
+	// Deeply nested parens must come back as an error, not a stack overflow.
+	deep := "foo = SELECT task_struct FROM "
+	for i := 0; i < 10000; i++ {
+		deep += "("
+	}
+	deep += "*"
+	if err := viewql.NewEngine(g).Apply(deep); err == nil {
+		t.Fatal("deeply nested program accepted")
+	}
+}
+
+// TestReadOnlyRejectsUpdate: fleet queries run read-only against shared
+// panes; UPDATE must be refused before it mutates any box.
+func TestReadOnlyRejectsUpdate(t *testing.T) {
+	e := viewql.NewEngine(fuzzGraph())
+	e.ReadOnly = true
+	if err := e.Apply(`foo = SELECT task_struct FROM *`); err != nil {
+		t.Fatalf("read-only SELECT: %v", err)
+	}
+	if e.LastSet != "foo" {
+		t.Errorf("LastSet = %q, want foo", e.LastSet)
+	}
+	if err := e.Apply(`UPDATE foo WITH color: red`); err == nil {
+		t.Fatal("read-only UPDATE accepted")
+	}
+}

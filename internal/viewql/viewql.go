@@ -19,10 +19,13 @@ import (
 )
 
 // Ref identifies a selection element: a whole box, or one member item of a
-// box (selected via "type.member").
+// box (selected via "type.member"). In fleet-scoped queries the merge layer
+// stamps Target with the owning session's ID; single-target engines leave
+// it empty. Ref stays comparable (set algebra uses map[Ref]bool keys).
 type Ref struct {
 	BoxID  string
 	Member string // "" = the box itself
+	Target string // "" = the engine's own target; set by fleet merges
 }
 
 // Engine holds the named selection sets of one customization session
@@ -30,6 +33,13 @@ type Ref struct {
 type Engine struct {
 	G    *graph.Graph
 	Sets map[string][]Ref
+
+	// ReadOnly rejects UPDATE statements: fleet queries run against live
+	// panes under a shared read lock, so they must not mutate box attrs.
+	ReadOnly bool
+	// LastSet is the destination of the most recent SELECT — the set a
+	// fleet query reports when the program doesn't name one explicitly.
+	LastSet string
 }
 
 // NewEngine creates an engine over g.
@@ -37,8 +47,15 @@ func NewEngine(g *graph.Graph) *Engine {
 	return &Engine{G: g, Sets: make(map[string][]Ref)}
 }
 
-// Apply parses and executes a ViewQL program (multiple statements).
-func (e *Engine) Apply(src string) error {
+// Apply parses and executes a ViewQL program (multiple statements). Apply
+// never panics on malformed input: parse errors are returned, and any
+// residual interpreter panic is converted into an error (fuzz-enforced).
+func (e *Engine) Apply(src string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("viewql: internal error: %v", r)
+		}
+	}()
 	stmts, err := parse(src)
 	if err != nil {
 		return err
@@ -213,8 +230,9 @@ func isHex(c byte) bool {
 // --- parser ---------------------------------------------------------------------
 
 type vparser struct {
-	toks []vtok
-	pos  int
+	toks  []vtok
+	pos   int
+	depth int // current expression nesting (see maxParseDepth)
 }
 
 func parse(src string) ([]stmt, error) {
@@ -236,6 +254,19 @@ func parse(src string) ([]stmt, error) {
 
 func (p *vparser) peek() vtok { return p.toks[p.pos] }
 func (p *vparser) next() vtok { t := p.toks[p.pos]; p.pos++; return t }
+
+// maxParseDepth bounds expression nesting. Hand-written programs nest a
+// couple of levels; a hostile "((((((..." would otherwise recurse once per
+// paren and exhaust the goroutine stack — a panic recover() cannot catch.
+const maxParseDepth = 64
+
+func (p *vparser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("viewql:%d: expression nested too deeply (max %d)", p.peek().line, maxParseDepth)
+	}
+	return nil
+}
 
 func (p *vparser) kw(word string) bool {
 	t := p.peek()
@@ -363,6 +394,10 @@ func (p *vparser) update() (stmt, error) {
 }
 
 func (p *vparser) setExpr() (setExpr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	l, err := p.setTerm()
 	if err != nil {
 		return nil, err
@@ -441,6 +476,10 @@ func (p *vparser) setTerm() (setExpr, error) {
 }
 
 func (p *vparser) condOr() (cond, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	l, err := p.condAnd()
 	if err != nil {
 		return nil, err
@@ -534,8 +573,12 @@ func (e *Engine) exec(s stmt) error {
 			return err
 		}
 		e.Sets[st.Dest] = refs
+		e.LastSet = st.Dest
 		return nil
 	case *updateStmt:
+		if e.ReadOnly {
+			return fmt.Errorf("viewql: UPDATE not allowed in a read-only (fleet) query")
+		}
 		refs, err := e.evalSet(st.Target)
 		if err != nil {
 			return err
